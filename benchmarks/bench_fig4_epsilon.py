@@ -1,0 +1,70 @@
+"""Figure 4 — impact of ε on revenue and memory (RR-set footprint).
+
+Paper shape being reproduced: RMA's revenue is essentially flat in ε (its
+progressive stopping rule rarely needs the worst-case sample size), whereas
+the baselines' memory requirement grows steeply (∝ 1/ε²) as ε shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import epsilon_sweep
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_fig4_epsilon_impact(lastfm_base, benchmark):
+    epsilons = (0.05, 0.1, 0.2)
+
+    def run_sweep():
+        return epsilon_sweep(
+            "lastfm_like",
+            epsilons=epsilons,
+            algorithms=QUICK["algorithms"],
+            num_advertisers=QUICK["num_advertisers"],
+            alpha=0.1,
+            evaluation_rr_sets=QUICK["evaluation_rr_sets"],
+            seed=QUICK["seed"],
+            base=lastfm_base,
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    display = [
+        {
+            "epsilon": row["epsilon"],
+            "algorithm": row["algorithm"],
+            "revenue": row["revenue"],
+            "memory_proxy_bytes": row["memory_proxy_bytes"],
+        }
+        for row in rows
+    ]
+    print()
+    print(format_table(display, title="Figure 4 — revenue and memory footprint vs epsilon"))
+
+    # Shape check 1: RMA revenue varies little with epsilon.
+    rma_revenues = [row["revenue"] for row in rows if row["algorithm"] == "RMA"]
+    assert max(rma_revenues) <= 1.5 * max(min(rma_revenues), 1e-9)
+
+    # Shape check 2: the baselines' (required) memory grows as epsilon shrinks.
+    for algorithm in ("TI-CSRM", "TI-CARM"):
+        by_eps = {
+            row["epsilon"]: row["memory_proxy_bytes"]
+            for row in rows
+            if row["algorithm"] == algorithm
+        }
+        assert by_eps[min(epsilons)] > by_eps[max(epsilons)], algorithm
+
+    # Shape check 3: at the smallest epsilon the baselines need more RR-set
+    # memory than RMA actually used.
+    smallest = min(epsilons)
+    rma_memory = next(
+        row["memory_proxy_bytes"]
+        for row in rows
+        if row["algorithm"] == "RMA" and row["epsilon"] == smallest
+    )
+    ti_memory = next(
+        row["memory_proxy_bytes"]
+        for row in rows
+        if row["algorithm"] == "TI-CSRM" and row["epsilon"] == smallest
+    )
+    assert ti_memory > rma_memory

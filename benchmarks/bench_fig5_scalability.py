@@ -1,0 +1,90 @@
+"""Figure 5 — scalability in the number of advertisers and in the budgets.
+
+Runs the h-sweep on the DBLP-like network and the budget sweep on the
+LiveJournal-like network (both under the Weighted-Cascade model with uniform
+budgets, as in the paper).  Shape being reproduced: running time and revenue
+grow with h and with the budgets for every algorithm, and RMA's revenue keeps
+pace with the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import advertiser_count_sweep, budget_sweep
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_fig5_advertiser_count_sweep(benchmark):
+    counts = (1, 3, 6)
+
+    def run_sweep():
+        return advertiser_count_sweep(
+            "dblp_like",
+            advertiser_counts=counts,
+            algorithms=("RMA", "TI-CSRM"),
+            scale=QUICK["dblp_scale"],
+            alpha=0.2,
+            budget_fraction=0.2,
+            evaluation_rr_sets=4000,
+            seed=QUICK["seed"],
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    display = [
+        {
+            "h": row["num_advertisers"],
+            "algorithm": row["algorithm"],
+            "revenue": row["revenue"],
+            "time_s": row["running_time_seconds"],
+        }
+        for row in rows
+    ]
+    print()
+    print(format_table(display, title="Figure 5(a)-(b) — DBLP-like, sweep over h"))
+
+    # Shape check: revenue grows with h for each algorithm (more budgets in play).
+    for algorithm in ("RMA", "TI-CSRM"):
+        series = {
+            row["num_advertisers"]: row["revenue"]
+            for row in rows
+            if row["algorithm"] == algorithm
+        }
+        assert series[max(counts)] >= series[min(counts)], algorithm
+
+
+def test_fig5_budget_sweep(benchmark):
+    fractions = (0.1, 0.2, 0.3)
+
+    def run_sweep():
+        return budget_sweep(
+            "livejournal_like",
+            budget_fractions=fractions,
+            algorithms=("RMA", "TI-CSRM"),
+            num_advertisers=4,
+            scale=QUICK["livejournal_scale"],
+            alpha=0.2,
+            evaluation_rr_sets=4000,
+            seed=QUICK["seed"],
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    display = [
+        {
+            "budget_fraction": row["budget_fraction"],
+            "algorithm": row["algorithm"],
+            "revenue": row["revenue"],
+            "time_s": row["running_time_seconds"],
+        }
+        for row in rows
+    ]
+    print()
+    print(format_table(display, title="Figure 5(e)-(h) — LiveJournal-like, sweep over budgets"))
+
+    for algorithm in ("RMA", "TI-CSRM"):
+        series = {
+            row["budget_fraction"]: row["revenue"]
+            for row in rows
+            if row["algorithm"] == algorithm
+        }
+        assert series[max(fractions)] >= series[min(fractions)] * 0.9, algorithm

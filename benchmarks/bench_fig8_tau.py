@@ -1,0 +1,40 @@
+"""Figure 8 / Table 5 — impact of the trade-off parameter τ on RMA.
+
+Paper shape being reproduced: both the revenue and the running time of RMA
+shrink slightly as τ grows (a coarser threshold search does less work but
+finds marginally worse thresholds); the effect is small.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import tau_sweep
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_fig8_table5_tau_impact(lastfm_base, benchmark):
+    taus = (0.05, 0.15, 0.45)
+
+    def run_sweep():
+        return tau_sweep(
+            "lastfm_like",
+            taus=taus,
+            num_advertisers=QUICK["num_advertisers"],
+            alpha=0.1,
+            evaluation_rr_sets=QUICK["evaluation_rr_sets"],
+            seed=QUICK["seed"],
+            base=lastfm_base,
+        )
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 8 / Table 5 — RMA revenue and running time vs tau"))
+
+    revenues = {row["tau"]: row["revenue"] for row in rows}
+    times = {row["tau"]: row["running_time_seconds"] for row in rows}
+
+    # Shape check 1: revenue at the largest tau is within 25% of the smallest tau.
+    assert revenues[max(taus)] >= 0.75 * revenues[min(taus)]
+    # Shape check 2: a coarser search is not drastically slower than a fine one.
+    assert times[max(taus)] <= times[min(taus)] * 2.0

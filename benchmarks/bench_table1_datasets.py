@@ -1,0 +1,31 @@
+"""Table 1 — dataset statistics of the four synthetic stand-ins.
+
+Prints the structural summary of each synthetic network (the analogue of the
+paper's Table 1) and benchmarks the cost of building the largest one.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_BUILDERS
+from repro.experiments.figures import table1_datasets
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = table1_datasets(scale=QUICK["lastfm_scale"], seed=QUICK["seed"])
+    print()
+    print(format_table(rows, title="Table 1 — synthetic dataset statistics"))
+
+    # Sanity: the size ordering of the paper's datasets is preserved.
+    sizes = {row["dataset"]: row["nodes"] for row in rows}
+    assert sizes["lastfm_like"] < sizes["flixster_like"] < sizes["livejournal_like"]
+
+    def build_largest():
+        return DATASET_BUILDERS["livejournal_like"](
+            scale=QUICK["livejournal_scale"], seed=QUICK["seed"]
+        )
+
+    network = benchmark.pedantic(build_largest, rounds=1, iterations=1)
+    assert network.num_nodes > 0

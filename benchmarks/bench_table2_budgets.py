@@ -1,0 +1,45 @@
+"""Table 2 — advertiser budgets and CPE values on the Lastfm/Flixster stand-ins.
+
+Prints the sampled budget and cpe summary (the analogue of the paper's
+Table 2, rescaled to the synthetic graph sizes) and benchmarks advertiser
+sampling plus seed pricing.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import build_dataset
+from repro.experiments.figures import table2_budgets
+from repro.experiments.report import format_table
+
+from conftest import QUICK
+
+
+def test_table2_budget_and_cpe_summary(benchmark):
+    rows = table2_budgets(
+        datasets=("lastfm_like", "flixster_like"),
+        num_advertisers=QUICK["num_advertisers"],
+        scale=QUICK["lastfm_scale"],
+        seed=QUICK["seed"],
+    )
+    print()
+    print(format_table(rows, title="Table 2 — advertiser budgets and CPEs"))
+
+    for row in rows:
+        assert row["budget_min"] > 0
+        assert 1.0 <= row["cpe_min"] <= row["cpe_max"] <= 2.0
+    # Flixster-like budgets are larger than Lastfm-like ones, as in the paper,
+    # because the underlying network is bigger.
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["flixster_like"]["budget_mean"] > by_name["lastfm_like"]["budget_mean"]
+
+    def build_priced_dataset():
+        return build_dataset(
+            "lastfm_like",
+            num_advertisers=QUICK["num_advertisers"],
+            scale=QUICK["lastfm_scale"],
+            seed=QUICK["seed"],
+            singleton_rr_sets=300,
+        )
+
+    data = benchmark.pedantic(build_priced_dataset, rounds=1, iterations=1)
+    assert (data.instance.cost_matrix() > 0).all()

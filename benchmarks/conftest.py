@@ -1,0 +1,100 @@
+"""Shared configuration for the benchmark suite.
+
+Figures 1-3 and Table 3 of the paper are different views of one experiment
+(the α sweep under the three seed incentive models), so the sweep runs once
+as a session-scoped fixture and the individual bench modules print the
+columns of "their" figure from the shared rows.
+
+The benchmark sizes are deliberately small (scaled-down synthetic networks,
+capped RR-set pools) so the whole suite runs on a laptop; the *shape* of the
+results — which algorithm wins, how metrics move with each parameter — is
+what mirrors the paper, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+@pytest.fixture(autouse=True)
+def passthrough_print(capsys, monkeypatch):
+    """Route ``print`` around pytest's capture for the benchmark modules.
+
+    The benches print the paper-style tables; without this they would only be
+    visible for failing tests.  Scoped to ``benchmarks/`` via this conftest.
+    """
+    import builtins
+
+    real_print = builtins.print
+
+    def direct_print(*args, **kwargs):
+        with capsys.disabled():
+            real_print(*args, **kwargs)
+
+    monkeypatch.setattr(builtins, "print", direct_print)
+
+
+#: Benchmark-wide size knobs.  Raise these for a longer, closer-to-paper run.
+QUICK = {
+    "alphas": (0.1, 0.3, 0.5),
+    "incentives": ("linear", "quasilinear", "superlinear"),
+    "algorithms": ("RMA", "TI-CSRM", "TI-CARM"),
+    "num_advertisers": 5,
+    "lastfm_scale": 0.25,
+    "flixster_scale": 0.15,
+    "dblp_scale": 0.15,
+    "livejournal_scale": 0.12,
+    "evaluation_rr_sets": 4000,
+    "seed": 7,
+    "sampling_overrides": {"initial_rr_sets": 256, "max_rr_sets": 2048},
+    "ti_overrides": {"pilot_size": 128, "max_rr_sets_per_advertiser": 1024, "epsilon": 0.1},
+}
+
+
+@pytest.fixture(scope="session")
+def lastfm_base():
+    """Lastfm-like network prepared once for the whole benchmark session."""
+    return figures.prepare_base(
+        "lastfm_like",
+        num_advertisers=QUICK["num_advertisers"],
+        scale=QUICK["lastfm_scale"],
+        seed=QUICK["seed"],
+        singleton_rr_sets=500,
+    )
+
+
+@pytest.fixture(scope="session")
+def flixster_base():
+    """Flixster-like network prepared once for the whole benchmark session."""
+    return figures.prepare_base(
+        "flixster_like",
+        num_advertisers=QUICK["num_advertisers"],
+        scale=QUICK["flixster_scale"],
+        seed=QUICK["seed"],
+        singleton_rr_sets=500,
+    )
+
+
+def _run_alpha_sweep(dataset: str, base) -> list[dict]:
+    return figures.alpha_sweep(
+        dataset,
+        alphas=QUICK["alphas"],
+        incentives=QUICK["incentives"],
+        algorithms=QUICK["algorithms"],
+        num_advertisers=QUICK["num_advertisers"],
+        evaluation_rr_sets=QUICK["evaluation_rr_sets"],
+        seed=QUICK["seed"],
+        sampling_overrides=dict(QUICK["sampling_overrides"]),
+        ti_overrides=dict(QUICK["ti_overrides"]),
+        base=base,
+    )
+
+
+@pytest.fixture(scope="session")
+def alpha_sweep_rows(lastfm_base, flixster_base):
+    """The Figures 1-3 / Table 3 sweep on both small datasets, computed once."""
+    rows = []
+    rows.extend(_run_alpha_sweep("lastfm_like", lastfm_base))
+    rows.extend(_run_alpha_sweep("flixster_like", flixster_base))
+    return rows

@@ -1,0 +1,51 @@
+"""How seed pricing (incentive models) changes the optimal campaign.
+
+Sweeps the incentive scale α under the linear, quasi-linear and super-linear
+seed pricing models of Section 5.1 and shows how revenue, seeding cost and
+seed-set size respond — the workload behind Figures 1-3 of the paper.
+
+Run with:  python examples/incentive_models.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import alpha_sweep, prepare_base
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    print("Preparing a Lastfm-like base network (shared across the sweep) ...")
+    base = prepare_base("lastfm_like", num_advertisers=6, scale=0.35, seed=19,
+                        singleton_rr_sets=500)
+
+    print("Sweeping alpha for each incentive model with RMA ...\n")
+    rows = alpha_sweep(
+        "lastfm_like",
+        alphas=(0.1, 0.3, 0.5),
+        incentives=("linear", "quasilinear", "superlinear"),
+        algorithms=("RMA",),
+        base=base,
+        evaluation_rr_sets=6000,
+        seed=19,
+        sampling_overrides={"initial_rr_sets": 512, "max_rr_sets": 2048},
+    )
+    display = [
+        {
+            "incentive": row["incentive"],
+            "alpha": row["alpha"],
+            "revenue": row["revenue"],
+            "seeding_cost": row["seeding_cost"],
+            "seeds": row["total_seeds"],
+        }
+        for row in rows
+    ]
+    print(format_table(display, title="RMA under the three seed incentive models"))
+
+    print("Takeaways (mirroring the paper):")
+    print("  * revenue decreases as alpha grows (seeds get more expensive),")
+    print("  * super-linear pricing shrinks the affordable seed pool the most,")
+    print("  * seeding cost falls with alpha because fewer seeds are bought.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments whose tooling predates PEP 660
+editable installs (``python setup.py develop``) or lacks the ``wheel``
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro — Revenue Maximization in Social Advertising (SIGMOD 2021).
+
+A from-scratch Python reproduction of "Efficient and Effective Algorithms for
+Revenue Maximization in Social Advertising" (Han, Wu, Tang, Cui, Aslay,
+Lakshmanan).  The package contains:
+
+* ``repro.graph``       — CSR directed graphs, generators, IO, statistics
+* ``repro.diffusion``   — IC / TIC / Weighted-Cascade models, simulation,
+  action logs and probability learning
+* ``repro.rrsets``      — reverse-reachable set generation and estimators
+* ``repro.incentives``  — seed pricing models (linear / quasilinear / superlinear)
+* ``repro.advertising`` — advertisers, allocations, RM instances, oracles
+* ``repro.core``        — the paper's algorithms (Greedy, ThresholdGreedy,
+  Search, RM_with_Oracle, SeekUB, RMA)
+* ``repro.baselines``   — CA/CS-Greedy and TI-CARM/TI-CSRM of Aslay et al.
+* ``repro.datasets``    — synthetic stand-ins for Lastfm/Flixster/DBLP/LiveJournal
+* ``repro.experiments`` — the harness regenerating every table and figure
+
+Quickstart
+----------
+>>> from repro import build_dataset, rm_without_oracle, SamplingParameters
+>>> data = build_dataset("lastfm_like", num_advertisers=3, scale=0.2, seed=1)
+>>> result = rm_without_oracle(
+...     data.instance,
+...     SamplingParameters(initial_rr_sets=256, max_rr_sets=1024, seed=1),
+... )
+>>> result.allocation.total_seed_count() >= 0
+True
+"""
+
+from repro.advertising import Advertiser, Allocation, RMInstance
+from repro.advertising.oracle import (
+    ExactOracle,
+    MonteCarloOracle,
+    RevenueOracle,
+    RRSetOracle,
+)
+from repro.core import (
+    SamplingParameters,
+    SolverResult,
+    approximation_ratio,
+    greedy_single_advertiser,
+    one_batch_rm,
+    rm_with_oracle,
+    rm_without_oracle,
+    search_threshold,
+    threshold_greedy,
+)
+from repro.baselines import TIParameters, ca_greedy, cs_greedy, ti_carm, ti_csrm
+from repro.datasets import (
+    build_dataset,
+    build_instance,
+    dblp_like,
+    flixster_like,
+    lastfm_like,
+    livejournal_like,
+)
+from repro.experiments import compare_algorithms, evaluate_allocation, run_algorithm
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advertiser",
+    "Allocation",
+    "RMInstance",
+    "RevenueOracle",
+    "ExactOracle",
+    "MonteCarloOracle",
+    "RRSetOracle",
+    "SolverResult",
+    "SamplingParameters",
+    "approximation_ratio",
+    "greedy_single_advertiser",
+    "threshold_greedy",
+    "search_threshold",
+    "rm_with_oracle",
+    "rm_without_oracle",
+    "one_batch_rm",
+    "TIParameters",
+    "ca_greedy",
+    "cs_greedy",
+    "ti_carm",
+    "ti_csrm",
+    "build_dataset",
+    "build_instance",
+    "lastfm_like",
+    "flixster_like",
+    "dblp_like",
+    "livejournal_like",
+    "run_algorithm",
+    "compare_algorithms",
+    "evaluate_allocation",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Problem layer: advertisers, allocations, RM instances and revenue oracles."""
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import (
+    RevenueOracle,
+    MonteCarloOracle,
+    ExactOracle,
+    RRSetOracle,
+)
+
+__all__ = [
+    "Advertiser",
+    "Allocation",
+    "RMInstance",
+    "RevenueOracle",
+    "MonteCarloOracle",
+    "ExactOracle",
+    "RRSetOracle",
+]

@@ -1,0 +1,54 @@
+"""The :class:`Advertiser` value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.diffusion.topics import TopicDistribution
+from repro.exceptions import ProblemDefinitionError
+
+
+@dataclass(frozen=True)
+class Advertiser:
+    """One advertiser in the revenue maximization problem.
+
+    Attributes
+    ----------
+    budget:
+        Total amount ``B_i`` the advertiser is willing to spend on seed
+        incentives plus engagement payments.
+    cpe:
+        Cost-per-engagement paid to the host for every activated user.
+    topic_mix:
+        Distribution ``φ_i`` over latent topics; ``None`` for topic-oblivious
+        propagation models (IC, Weighted-Cascade).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    budget: float
+    cpe: float
+    topic_mix: Optional[TopicDistribution] = None
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not (self.budget > 0 and self.budget == self.budget):
+            raise ProblemDefinitionError(f"budget must be positive, got {self.budget!r}")
+        if not (self.cpe > 0 and self.cpe == self.cpe):
+            raise ProblemDefinitionError(f"cpe must be positive, got {self.cpe!r}")
+        if self.topic_mix is not None and not isinstance(self.topic_mix, TopicDistribution):
+            raise ProblemDefinitionError("topic_mix must be a TopicDistribution or None")
+
+    def with_budget(self, budget: float) -> "Advertiser":
+        """Return a copy of this advertiser with a different budget.
+
+        Used by the bicriteria machinery, which feeds the solvers a relaxed
+        budget ``(1 + ϱ/2)·B_i`` while reporting against the original.
+        """
+        return Advertiser(budget=budget, cpe=self.cpe, topic_mix=self.topic_mix, name=self.name)
+
+    @property
+    def max_engagements(self) -> float:
+        """``B_i / cpe_i`` — engagements affordable if nothing is spent on seeds."""
+        return self.budget / self.cpe

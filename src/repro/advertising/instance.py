@@ -1,0 +1,231 @@
+"""The revenue-maximization problem instance.
+
+:class:`RMInstance` bundles everything that defines one RM problem: the
+graph, the propagation model, the advertisers (budgets, cpe values, topic
+mixes) and the per-advertiser seeding cost matrix.  Solvers consume instances
+through this class only, which keeps the algorithm code independent of how
+the costs or probabilities were produced (learned, synthetic, or hand-set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.diffusion.models import PropagationModel
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.digraph import CSRDiGraph
+
+CostsLike = Union[np.ndarray, Sequence[Sequence[float]], Dict[int, np.ndarray]]
+
+
+class RMInstance:
+    """One instance of the Revenue Maximization problem (Definition 2.1).
+
+    Parameters
+    ----------
+    graph:
+        The social graph ``G = (V, E)``.
+    propagation_model:
+        A :class:`~repro.diffusion.models.PropagationModel` bound to ``graph``.
+    advertisers:
+        The ``h`` advertisers with their budgets, cpe values and topic mixes.
+    costs:
+        Seeding costs ``c_i(u)``.  Either an ``(h, n)`` array, or a 1-D array
+        of length ``n`` shared by all advertisers.
+    """
+
+    def __init__(
+        self,
+        graph: CSRDiGraph,
+        propagation_model: PropagationModel,
+        advertisers: Sequence[Advertiser],
+        costs: CostsLike,
+    ):
+        if propagation_model.graph is not graph:
+            raise ProblemDefinitionError("propagation model must be bound to the same graph")
+        if not advertisers:
+            raise ProblemDefinitionError("at least one advertiser is required")
+        self._graph = graph
+        self._model = propagation_model
+        self._advertisers: List[Advertiser] = list(advertisers)
+        self._costs = self._normalise_costs(costs)
+        self._edge_probability_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _normalise_costs(self, costs: CostsLike) -> np.ndarray:
+        h, n = len(self._advertisers), self._graph.num_nodes
+        if isinstance(costs, dict):
+            matrix = np.zeros((h, n), dtype=np.float64)
+            for advertiser, row in costs.items():
+                if not 0 <= advertiser < h:
+                    raise ProblemDefinitionError(f"cost row for unknown advertiser {advertiser}")
+                matrix[advertiser] = np.asarray(row, dtype=np.float64)
+        else:
+            array = np.asarray(costs, dtype=np.float64)
+            if array.ndim == 1:
+                if array.shape != (n,):
+                    raise ProblemDefinitionError(
+                        f"shared cost vector must have length {n}, got {array.shape}"
+                    )
+                matrix = np.tile(array, (h, 1))
+            elif array.ndim == 2:
+                if array.shape != (h, n):
+                    raise ProblemDefinitionError(
+                        f"cost matrix must have shape ({h}, {n}), got {array.shape}"
+                    )
+                matrix = array.copy()
+            else:
+                raise ProblemDefinitionError("costs must be a 1-D or 2-D array")
+        if np.any(matrix <= 0) or np.any(~np.isfinite(matrix)):
+            raise ProblemDefinitionError("all seeding costs must be positive and finite")
+        matrix.setflags(write=False)
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRDiGraph:
+        """The social graph."""
+        return self._graph
+
+    @property
+    def propagation_model(self) -> PropagationModel:
+        """The cascade model governing influence propagation."""
+        return self._model
+
+    @property
+    def advertisers(self) -> List[Advertiser]:
+        """The advertisers (a copy of the internal list)."""
+        return list(self._advertisers)
+
+    @property
+    def num_advertisers(self) -> int:
+        """Number of advertisers ``h``."""
+        return len(self._advertisers)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n`` in the graph."""
+        return self._graph.num_nodes
+
+    def advertiser(self, index: int) -> Advertiser:
+        """The advertiser with the given index."""
+        self._check_advertiser(index)
+        return self._advertisers[index]
+
+    def budget(self, advertiser: int) -> float:
+        """Budget ``B_i``."""
+        return self.advertiser(advertiser).budget
+
+    def budgets(self) -> np.ndarray:
+        """All budgets as an array of length ``h``."""
+        return np.array([adv.budget for adv in self._advertisers], dtype=np.float64)
+
+    def cpe(self, advertiser: int) -> float:
+        """Cost-per-engagement ``cpe(i)``."""
+        return self.advertiser(advertiser).cpe
+
+    def cpes(self) -> np.ndarray:
+        """All cpe values as an array of length ``h``."""
+        return np.array([adv.cpe for adv in self._advertisers], dtype=np.float64)
+
+    @property
+    def gamma(self) -> float:
+        """``Γ = Σ_i cpe(i)``."""
+        return float(self.cpes().sum())
+
+    @property
+    def min_budget(self) -> float:
+        """``B_min = min_i B_i`` (appears in the sampling bounds)."""
+        return float(self.budgets().min())
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+    def cost(self, advertiser: int, node: int) -> float:
+        """Seeding cost ``c_i(u)``."""
+        self._check_advertiser(advertiser)
+        if not 0 <= node < self._graph.num_nodes:
+            raise ProblemDefinitionError(f"node {node} out of range")
+        return float(self._costs[advertiser, node])
+
+    def cost_of_set(self, advertiser: int, nodes: Iterable[int]) -> float:
+        """Total seeding cost ``c_i(S) = Σ_{u∈S} c_i(u)``."""
+        self._check_advertiser(advertiser)
+        node_list = list(int(node) for node in nodes)
+        if not node_list:
+            return 0.0
+        return float(self._costs[advertiser, node_list].sum())
+
+    def cost_matrix(self) -> np.ndarray:
+        """The full ``(h, n)`` cost matrix (read-only)."""
+        return self._costs
+
+    # ------------------------------------------------------------------ #
+    # propagation probabilities
+    # ------------------------------------------------------------------ #
+    def edge_probabilities(self, advertiser: int) -> np.ndarray:
+        """Per-edge activation probabilities ``p^i`` for ``advertiser`` (cached)."""
+        self._check_advertiser(advertiser)
+        cached = self._edge_probability_cache.get(advertiser)
+        if cached is None:
+            topic_mix = self._advertisers[advertiser].topic_mix
+            cached = self._model.edge_probabilities(topic_mix)
+            cached = np.asarray(cached, dtype=np.float64)
+            cached.setflags(write=False)
+            self._edge_probability_cache[advertiser] = cached
+        return cached
+
+    def all_edge_probabilities(self) -> List[np.ndarray]:
+        """One probability array per advertiser, in advertiser order."""
+        return [self.edge_probabilities(i) for i in range(self.num_advertisers)]
+
+    # ------------------------------------------------------------------ #
+    # allocation helpers
+    # ------------------------------------------------------------------ #
+    def empty_allocation(self) -> Allocation:
+        """A fresh, empty allocation sized for this instance."""
+        return Allocation(self.num_advertisers)
+
+    def total_seeding_cost(self, allocation: Allocation) -> float:
+        """``Σ_i c_i(S_i)`` for an allocation."""
+        return sum(
+            self.cost_of_set(advertiser, seeds) for advertiser, seeds in allocation.items()
+        )
+
+    def payment(self, advertiser: int, seeds: Iterable[int], revenue: float) -> float:
+        """Advertiser ``i``'s total payment: seeding cost plus revenue (engagements)."""
+        return self.cost_of_set(advertiser, seeds) + revenue
+
+    def with_scaled_budgets(self, factor: float) -> "RMInstance":
+        """A copy of the instance with every budget multiplied by ``factor``.
+
+        Used by the bicriteria machinery (budgets ``(1 + ϱ/2)·B_i``) and by
+        the budget-sweep experiments.
+        """
+        if factor <= 0:
+            raise ProblemDefinitionError("budget scale factor must be positive")
+        scaled = [adv.with_budget(adv.budget * factor) for adv in self._advertisers]
+        clone = RMInstance(self._graph, self._model, scaled, self._costs)
+        clone._edge_probability_cache = dict(self._edge_probability_cache)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    def _check_advertiser(self, advertiser: int) -> None:
+        if not 0 <= advertiser < self.num_advertisers:
+            raise ProblemDefinitionError(
+                f"advertiser {advertiser} out of range [0, {self.num_advertisers})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"RMInstance(nodes={self.num_nodes}, edges={self._graph.num_edges}, "
+            f"advertisers={self.num_advertisers})"
+        )

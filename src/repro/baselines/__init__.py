@@ -1,0 +1,19 @@
+"""Baseline algorithms of Aslay et al. (VLDB 2017), re-implemented for comparison."""
+
+from repro.baselines.ca_greedy import ca_greedy
+from repro.baselines.cs_greedy import cs_greedy
+from repro.baselines.tim import estimate_kpt, tim_sample_size, estimate_max_seed_count
+from repro.baselines.ti_carm import ti_carm
+from repro.baselines.ti_csrm import ti_csrm
+from repro.baselines.ti_common import TIParameters
+
+__all__ = [
+    "ca_greedy",
+    "cs_greedy",
+    "estimate_kpt",
+    "tim_sample_size",
+    "estimate_max_seed_count",
+    "ti_carm",
+    "ti_csrm",
+    "TIParameters",
+]

@@ -1,0 +1,92 @@
+"""CA-Greedy — the Cost-Agnostic greedy baseline of Aslay et al. [5] (oracle setting).
+
+At every step the algorithm picks the unassigned ``(u, i)`` pair with the
+largest *marginal gain* ``π_i(u | S_i)``, ignoring seeding costs.  When the
+best element of an advertiser would violate its budget the advertiser is
+closed, so a single expensive high-gain node can exhaust a budget — the
+behaviour the paper's footnote 8 and the superlinear-cost experiments
+illustrate.  The approximation ratio (Eq. 4) is instance dependent and can be
+as bad as ``O(1/n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RevenueOracle
+from repro.core.result import SolverResult
+from repro.exceptions import SolverError
+from repro.utils.lazy_heap import LazyMarginalHeap
+
+
+def ca_greedy(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    budgets: Optional[np.ndarray] = None,
+    candidates: Optional[Iterable[int]] = None,
+) -> SolverResult:
+    """Run CA-Greedy and return a :class:`SolverResult`."""
+    h = instance.num_advertisers
+    if oracle.num_advertisers != h:
+        raise SolverError("oracle and instance disagree on the number of advertisers")
+    budget_array = (
+        np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
+    )
+    nodes = (
+        [int(node) for node in candidates]
+        if candidates is not None
+        else list(range(instance.num_nodes))
+    )
+
+    allocation = Allocation(h)
+    revenue = {i: 0.0 for i in range(h)}
+    cost = {i: 0.0 for i in range(h)}
+    closed = set()
+
+    def evaluate(element):
+        node, advertiser = element
+        return oracle.marginal_revenue(advertiser, node, allocation.seeds(advertiser))
+
+    heap: LazyMarginalHeap = LazyMarginalHeap(evaluate)
+    for advertiser in range(h):
+        for node in nodes:
+            singleton = oracle.revenue(advertiser, {node})
+            if instance.cost(advertiser, node) + singleton <= budget_array[advertiser]:
+                heap.push((node, advertiser))
+
+    while len(heap) and len(closed) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        (node, advertiser), _gain = popped
+        if advertiser in closed or allocation.is_assigned(node):
+            continue
+        gain = oracle.marginal_revenue(advertiser, node, allocation.seeds(advertiser))
+        node_cost = instance.cost(advertiser, node)
+        if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budget_array[advertiser]:
+            allocation.assign(node, advertiser)
+            revenue[advertiser] += gain
+            cost[advertiser] += node_cost
+            heap.advance_round()
+        else:
+            # Cost-agnostic greedy stops selecting for this advertiser as soon
+            # as its top-gain element no longer fits the budget.
+            closed.add(advertiser)
+
+    total_revenue = oracle.total_revenue(allocation)
+    return SolverResult(
+        allocation=allocation,
+        revenue=total_revenue,
+        per_advertiser_revenue={
+            advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)
+            for advertiser, seeds in allocation.items()
+        },
+        seeding_cost=instance.total_seeding_cost(allocation),
+        algorithm="CA-Greedy",
+        depleted_budgets=len(closed),
+        metadata={"closed_advertisers": len(closed)},
+    )

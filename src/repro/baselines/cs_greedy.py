@@ -1,0 +1,90 @@
+"""CS-Greedy — the Cost-Sensitive greedy baseline of Aslay et al. [5] (oracle setting).
+
+Identical loop structure to CA-Greedy but elements are ranked by the marginal
+*rate* ``ζ_i(u | S_i)`` (revenue gained per unit of budget consumed), so
+cheap, efficient nodes are preferred.  Its approximation ratio (Eq. 3)
+depends on the network instance and can be arbitrarily small, which is the
+main theoretical gap the paper closes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RevenueOracle
+from repro.core.greedy import marginal_rate
+from repro.core.result import SolverResult
+from repro.exceptions import SolverError
+from repro.utils.lazy_heap import LazyMarginalHeap
+
+
+def cs_greedy(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    budgets: Optional[np.ndarray] = None,
+    candidates: Optional[Iterable[int]] = None,
+) -> SolverResult:
+    """Run CS-Greedy and return a :class:`SolverResult`."""
+    h = instance.num_advertisers
+    if oracle.num_advertisers != h:
+        raise SolverError("oracle and instance disagree on the number of advertisers")
+    budget_array = (
+        np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
+    )
+    nodes = (
+        [int(node) for node in candidates]
+        if candidates is not None
+        else list(range(instance.num_nodes))
+    )
+
+    allocation = Allocation(h)
+    revenue = {i: 0.0 for i in range(h)}
+    cost = {i: 0.0 for i in range(h)}
+    closed = set()
+
+    def evaluate(element):
+        node, advertiser = element
+        gain = oracle.marginal_revenue(advertiser, node, allocation.seeds(advertiser))
+        return marginal_rate(gain, instance.cost(advertiser, node))
+
+    heap: LazyMarginalHeap = LazyMarginalHeap(evaluate)
+    for advertiser in range(h):
+        for node in nodes:
+            singleton = oracle.revenue(advertiser, {node})
+            if instance.cost(advertiser, node) + singleton <= budget_array[advertiser]:
+                heap.push((node, advertiser))
+
+    while len(heap) and len(closed) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        (node, advertiser), _rate = popped
+        if advertiser in closed or allocation.is_assigned(node):
+            continue
+        gain = oracle.marginal_revenue(advertiser, node, allocation.seeds(advertiser))
+        node_cost = instance.cost(advertiser, node)
+        if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budget_array[advertiser]:
+            allocation.assign(node, advertiser)
+            revenue[advertiser] += gain
+            cost[advertiser] += node_cost
+            heap.advance_round()
+        else:
+            closed.add(advertiser)
+
+    total_revenue = oracle.total_revenue(allocation)
+    return SolverResult(
+        allocation=allocation,
+        revenue=total_revenue,
+        per_advertiser_revenue={
+            advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)
+            for advertiser, seeds in allocation.items()
+        },
+        seeding_cost=instance.total_seeding_cost(allocation),
+        algorithm="CS-Greedy",
+        depleted_budgets=len(closed),
+        metadata={"closed_advertisers": len(closed)},
+    )

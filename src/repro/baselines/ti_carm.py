@@ -1,0 +1,20 @@
+"""TI-CARM — the practical, sampling-based Cost-Agnostic baseline of Aslay et al. [5]."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.advertising.instance import RMInstance
+from repro.baselines.ti_common import TIParameters, run_ti_baseline
+from repro.core.result import SolverResult
+
+
+def ti_carm(instance: RMInstance, params: Optional[TIParameters] = None) -> SolverResult:
+    """Run TI-CARM (Topic-aware Influence Cost-Agnostic Revenue Maximization).
+
+    Elements are ranked purely by estimated marginal revenue; seeding costs
+    are ignored during ranking (they still count against the budget), which
+    reproduces the baseline's characteristic failure mode under super-linear
+    seed pricing.
+    """
+    return run_ti_baseline(instance, params, cost_sensitive=False, algorithm_name="TI-CARM")

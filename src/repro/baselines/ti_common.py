@@ -1,0 +1,231 @@
+"""Shared machinery of the TI-CARM and TI-CSRM baselines.
+
+Both algorithms follow the same recipe (Aslay et al. [5]):
+
+1. per advertiser, size an RR-set pool with TIM (``1/ε²`` dependence),
+2. greedily allocate ``(node, advertiser)`` elements using estimates from the
+   per-advertiser pools — ranked by marginal gain (CARM) or marginal rate
+   (CSRM),
+3. enforce budget feasibility *conservatively*: the estimated revenue is
+   inflated by a concentration-bound penalty before being compared against
+   the budget, so the allocation never relies on a lucky under-estimate.
+   This is exactly the design decision that makes the baselines under-utilise
+   budgets (Section 2.2.1, limitation (iv)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.baselines.tim import (
+    estimate_kpt,
+    estimate_max_seed_count,
+    pilot_pool,
+    tim_sample_size,
+)
+from repro.core.greedy import marginal_rate
+from repro.core.result import SolverResult
+from repro.exceptions import SolverError
+from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
+from repro.utils.lazy_heap import LazyMarginalHeap
+from repro.utils.rng import RandomSource, as_rng
+
+
+@dataclass
+class TIParameters:
+    """Parameters of the TI-CARM / TI-CSRM baselines.
+
+    ``epsilon`` is the ε of Eq. (5) in the paper — the additive estimation
+    error the baselines tolerate; their pool sizes scale as ``1/ε²``.
+    ``max_rr_sets_per_advertiser`` caps the actually generated pools so that
+    the pure-Python reproduction stays tractable; the uncapped theoretical
+    requirement is always reported in the result metadata (it is what the
+    Figure 4 memory comparison uses).
+    """
+
+    epsilon: float = 0.1
+    delta: float = 0.01
+    pilot_size: int = 256
+    max_rr_sets_per_advertiser: int = 4096
+    use_subsim: bool = False
+    seed: RandomSource = None
+
+    def validate(self) -> None:
+        """Raise :class:`SolverError` on inconsistent settings."""
+        if self.epsilon <= 0:
+            raise SolverError("epsilon must be positive")
+        if not 0 < self.delta < 1:
+            raise SolverError("delta must lie in (0, 1)")
+        if self.pilot_size <= 0:
+            raise SolverError("pilot_size must be positive")
+        if self.max_rr_sets_per_advertiser <= 0:
+            raise SolverError("max_rr_sets_per_advertiser must be positive")
+
+
+class _AdvertiserPool:
+    """Per-advertiser RR-set pool with incremental coverage bookkeeping."""
+
+    def __init__(self, rr_sets: List[np.ndarray], num_nodes: int, cpe: float):
+        self.rr_sets = rr_sets
+        self.num_nodes = num_nodes
+        self.cpe = cpe
+        self.scale = cpe * num_nodes / max(1, len(rr_sets))
+        self.covered = np.zeros(len(rr_sets), dtype=bool)
+        self.membership: Dict[int, List[int]] = {}
+        for index, rr_set in enumerate(rr_sets):
+            for node in rr_set.tolist():
+                self.membership.setdefault(int(node), []).append(index)
+        self.covered_count = 0
+
+    def marginal_revenue(self, node: int) -> float:
+        """Estimated ``π_i(u | S_i)`` given the RR-sets already covered."""
+        indices = self.membership.get(int(node), ())
+        fresh = sum(1 for index in indices if not self.covered[index])
+        return self.scale * fresh
+
+    def add_seed(self, node: int) -> None:
+        """Mark every RR-set containing ``node`` as covered."""
+        for index in self.membership.get(int(node), ()):
+            if not self.covered[index]:
+                self.covered[index] = True
+                self.covered_count += 1
+
+    def revenue(self) -> float:
+        """Estimated ``π_i(S_i)`` of the currently covered RR-sets."""
+        return self.scale * self.covered_count
+
+
+def _build_pools(
+    instance: RMInstance, params: TIParameters, rng
+) -> tuple[Dict[int, _AdvertiserPool], Dict[str, object]]:
+    generator_cls = SubsimRRGenerator if params.use_subsim else RRSetGenerator
+    pools: Dict[int, _AdvertiserPool] = {}
+    required_total = 0
+    generated_total = 0
+    for advertiser in range(instance.num_advertisers):
+        seed_count = estimate_max_seed_count(instance, advertiser)
+        pilot = pilot_pool(instance, advertiser, size=params.pilot_size, rng=rng)
+        kpt = estimate_kpt(pilot, instance.num_nodes, seed_count)
+        required = tim_sample_size(
+            instance.num_nodes, seed_count, kpt, params.epsilon, params.delta
+        )
+        required_total += required
+        pool_size = min(required, params.max_rr_sets_per_advertiser)
+        generator = generator_cls(
+            instance.graph, instance.edge_probabilities(advertiser)
+        )
+        rr_sets = list(pilot)
+        if pool_size > len(rr_sets):
+            rr_sets.extend(generator.generate_many(pool_size - len(rr_sets), rng))
+        else:
+            rr_sets = rr_sets[:pool_size]
+        generated_total += len(rr_sets)
+        pools[advertiser] = _AdvertiserPool(
+            rr_sets, instance.num_nodes, instance.cpe(advertiser)
+        )
+    diagnostics = {
+        "required_rr_sets_total": required_total,
+        "generated_rr_sets_total": generated_total,
+        "memory_proxy_bytes": sum(
+            sum(rr.size for rr in pool.rr_sets) * 8 for pool in pools.values()
+        ),
+        "required_memory_proxy_bytes": _required_memory_proxy(
+            pools, required_total, generated_total
+        ),
+    }
+    return pools, diagnostics
+
+
+def _required_memory_proxy(
+    pools: Dict[int, _AdvertiserPool], required_total: int, generated_total: int
+) -> float:
+    """Memory the baselines *would* need without the per-advertiser cap."""
+    generated_bytes = sum(sum(rr.size for rr in pool.rr_sets) * 8 for pool in pools.values())
+    if generated_total == 0:
+        return 0.0
+    return generated_bytes * (required_total / generated_total)
+
+
+def run_ti_baseline(
+    instance: RMInstance,
+    params: Optional[TIParameters],
+    cost_sensitive: bool,
+    algorithm_name: str,
+) -> SolverResult:
+    """Common driver for TI-CARM (``cost_sensitive=False``) and TI-CSRM (True)."""
+    params = params or TIParameters()
+    params.validate()
+    rng = as_rng(params.seed)
+    pools, diagnostics = _build_pools(instance, params, rng)
+
+    h = instance.num_advertisers
+    budgets = instance.budgets()
+    allocation = Allocation(h)
+    cost = {i: 0.0 for i in range(h)}
+    closed: set[int] = set()
+
+    # Conservative upper-confidence penalty added to the revenue estimate when
+    # checking budget feasibility (Hoeffding bound on the coverage fraction).
+    penalties = {}
+    for advertiser, pool in pools.items():
+        pool_size = max(1, len(pool.rr_sets))
+        fraction_error = math.sqrt(math.log(2.0 * h / params.delta) / (2.0 * pool_size))
+        penalties[advertiser] = pool.cpe * instance.num_nodes * min(
+            fraction_error, params.epsilon
+        )
+
+    def evaluate(element):
+        node, advertiser = element
+        gain = pools[advertiser].marginal_revenue(node)
+        if cost_sensitive:
+            return marginal_rate(gain, instance.cost(advertiser, node))
+        return gain
+
+    heap: LazyMarginalHeap = LazyMarginalHeap(evaluate)
+    for advertiser in range(h):
+        for node in range(instance.num_nodes):
+            singleton = pools[advertiser].scale * len(
+                pools[advertiser].membership.get(node, ())
+            )
+            if instance.cost(advertiser, node) + singleton <= budgets[advertiser]:
+                heap.push((node, advertiser))
+
+    while len(heap) and len(closed) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        (node, advertiser), value = popped
+        if advertiser in closed or allocation.is_assigned(node) or value <= 0.0:
+            continue
+        pool = pools[advertiser]
+        gain = pool.marginal_revenue(node)
+        node_cost = instance.cost(advertiser, node)
+        projected_revenue = pool.revenue() + gain + penalties[advertiser]
+        if cost[advertiser] + node_cost + projected_revenue <= budgets[advertiser]:
+            allocation.assign(node, advertiser)
+            pool.add_seed(node)
+            cost[advertiser] += node_cost
+            heap.advance_round()
+        else:
+            closed.add(advertiser)
+
+    per_advertiser = {advertiser: pools[advertiser].revenue() for advertiser in range(h)}
+    return SolverResult(
+        allocation=allocation,
+        revenue=sum(per_advertiser.values()),
+        per_advertiser_revenue=per_advertiser,
+        seeding_cost=instance.total_seeding_cost(allocation),
+        algorithm=algorithm_name,
+        depleted_budgets=len(closed),
+        metadata={
+            "epsilon": params.epsilon,
+            "delta": params.delta,
+            **diagnostics,
+        },
+    )

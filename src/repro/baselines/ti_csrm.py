@@ -1,0 +1,20 @@
+"""TI-CSRM — the practical, sampling-based Cost-Sensitive baseline of Aslay et al. [5]."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.advertising.instance import RMInstance
+from repro.baselines.ti_common import TIParameters, run_ti_baseline
+from repro.core.result import SolverResult
+
+
+def ti_csrm(instance: RMInstance, params: Optional[TIParameters] = None) -> SolverResult:
+    """Run TI-CSRM (Topic-aware Influence Cost-Sensitive Revenue Maximization).
+
+    Elements are ranked by the estimated marginal rate ζ — revenue gained per
+    unit of budget consumed — so the allocation prefers cheap efficient seeds
+    but still checks budget feasibility with the conservative upper bound
+    that under-utilises the budget.
+    """
+    return run_ti_baseline(instance, params, cost_sensitive=True, algorithm_name="TI-CSRM")

@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Three sub-commands cover the common workflows:
+
+``python -m repro.cli solve``
+    Build a synthetic dataset, run one algorithm, print the evaluation.
+
+``python -m repro.cli compare``
+    Run several algorithms on the same instance and print a comparison table.
+
+``python -m repro.cli dataset``
+    Print the structural statistics of one of the synthetic datasets
+    (the Table 1 view).
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; everything it does
+can also be done programmatically (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.ti_common import TIParameters
+from repro.core.sampling_solver import SamplingParameters
+from repro.datasets.registry import DATASET_BUILDERS, build_dataset
+from repro.experiments.figures import table1_datasets
+from repro.experiments.metrics import independent_evaluator
+from repro.experiments.report import format_table
+from repro.experiments.runner import SAMPLING_ALGORITHMS, run_algorithm
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Revenue maximization in social advertising (SIGMOD 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run one algorithm on a synthetic dataset")
+    _add_instance_arguments(solve)
+    solve.add_argument(
+        "--algorithm",
+        default="RMA",
+        choices=sorted(SAMPLING_ALGORITHMS),
+        help="sampling-setting algorithm to run (default: RMA)",
+    )
+    _add_solver_arguments(solve)
+
+    compare = subparsers.add_parser("compare", help="compare several algorithms on one instance")
+    _add_instance_arguments(compare)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["RMA", "TI-CSRM", "TI-CARM"],
+        choices=sorted(SAMPLING_ALGORITHMS),
+        help="algorithms to compare",
+    )
+    _add_solver_arguments(compare)
+
+    dataset = subparsers.add_parser("dataset", help="print statistics of a synthetic dataset")
+    dataset.add_argument("--name", default="lastfm_like", choices=sorted(DATASET_BUILDERS))
+    dataset.add_argument("--scale", type=float, default=0.5)
+    dataset.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="lastfm_like", choices=sorted(DATASET_BUILDERS))
+    parser.add_argument("--advertisers", type=int, default=5, help="number of advertisers h")
+    parser.add_argument(
+        "--incentive",
+        default="linear",
+        choices=["linear", "quasilinear", "superlinear", "constant", "degree"],
+        help="seed incentive (pricing) model",
+    )
+    parser.add_argument("--alpha", type=float, default=0.1, help="incentive scale α")
+    parser.add_argument("--scale", type=float, default=0.3, help="network size multiplier")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epsilon", type=float, default=0.1, help="approximation slack ε")
+    parser.add_argument("--rho", type=float, default=0.1, help="budget overshoot control ϱ")
+    parser.add_argument("--tau", type=float, default=0.1, help="threshold-search trade-off τ")
+    parser.add_argument("--initial-rr-sets", type=int, default=512)
+    parser.add_argument("--max-rr-sets", type=int, default=4096)
+    parser.add_argument("--evaluation-rr-sets", type=int, default=10000)
+    parser.add_argument("--subsim", action="store_true", help="use the SUBSIM RR-set generator")
+
+
+def _prepare(args: argparse.Namespace):
+    data = build_dataset(
+        args.dataset,
+        num_advertisers=args.advertisers,
+        incentive=args.incentive,
+        alpha=args.alpha,
+        scale=args.scale,
+        seed=args.seed,
+        singleton_rr_sets=500,
+    )
+    sampling = SamplingParameters(
+        epsilon=args.epsilon,
+        rho=args.rho,
+        tau=args.tau,
+        initial_rr_sets=args.initial_rr_sets,
+        max_rr_sets=args.max_rr_sets,
+        use_subsim=args.subsim,
+        seed=args.seed,
+    )
+    ti = TIParameters(
+        epsilon=max(args.epsilon, 0.05),
+        pilot_size=128,
+        max_rr_sets_per_advertiser=max(256, args.max_rr_sets // max(args.advertisers, 1)),
+        use_subsim=args.subsim,
+        seed=args.seed,
+    )
+    return data, sampling, ti
+
+
+def _run_row(args, data, algorithm, sampling, ti, evaluator) -> dict:
+    # The baselines receive the (1 + rho)-scaled budget, as in the paper.
+    instance = data.instance
+    if algorithm not in ("RMA", "OneBatchRM"):
+        instance = instance.with_scaled_budgets(1.0 + args.rho)
+    run = run_algorithm(
+        algorithm,
+        instance,
+        evaluator=evaluator,
+        sampling_params=sampling,
+        ti_params=ti,
+    )
+    return {
+        "algorithm": algorithm,
+        "revenue": run.evaluation.revenue,
+        "seeding_cost": run.evaluation.seeding_cost,
+        "seeds": run.evaluation.total_seeds,
+        "budget_usage": run.evaluation.budget_usage,
+        "rate_of_return": run.evaluation.rate_of_return,
+        "time_s": round(run.running_time_seconds, 3),
+    }
+
+
+def command_solve(args: argparse.Namespace) -> int:
+    """Handle ``repro solve``."""
+    data, sampling, ti = _prepare(args)
+    evaluator = independent_evaluator(
+        data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+    )
+    row = _run_row(args, data, args.algorithm, sampling, ti, evaluator)
+    print(
+        format_table(
+            [row],
+            title=(
+                f"{args.algorithm} on {args.dataset} "
+                f"(h={args.advertisers}, {args.incentive}, alpha={args.alpha})"
+            ),
+        )
+    )
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    """Handle ``repro compare``."""
+    data, sampling, ti = _prepare(args)
+    evaluator = independent_evaluator(
+        data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+    )
+    rows = [
+        _run_row(args, data, algorithm, sampling, ti, evaluator)
+        for algorithm in args.algorithms
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Comparison on {args.dataset} "
+                f"(h={args.advertisers}, {args.incentive}, alpha={args.alpha})"
+            ),
+        )
+    )
+    best = max(rows, key=lambda row: row["revenue"])
+    print(f"Best revenue: {best['algorithm']} ({best['revenue']:.1f})")
+    return 0
+
+
+def command_dataset(args: argparse.Namespace) -> int:
+    """Handle ``repro dataset``."""
+    rows = table1_datasets(scale=args.scale, seed=args.seed, datasets=[args.name])
+    print(format_table(rows, title=f"Dataset statistics: {args.name}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve": command_solve,
+        "compare": command_compare,
+        "dataset": command_dataset,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

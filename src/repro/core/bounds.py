@@ -1,0 +1,167 @@
+"""Sample-size bounds and concentration helpers of Section 4 (Theorem 4.2).
+
+The one-batch bound ``θ_max = max(θ̂_max, θ̄_max)`` guarantees the bicriteria
+approximation when that many RR-sets are generated up front; the progressive
+solver uses it as the hard cap of its doubling schedule, together with the
+starting size ``θ_0`` and the per-check martingale bounds of Lemma B.7
+(the same bounds used by the OPIM-C framework).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.advertising.instance import RMInstance
+from repro.exceptions import SolverError
+
+
+def max_seeds_per_advertiser(instance: RMInstance, rho: float) -> np.ndarray:
+    """``μ_i`` — the most nodes advertiser ``i`` can hold under ``(1+ϱ)·B_i``.
+
+    Every selected node costs at least ``c_i(u)`` in incentives and at least
+    ``cpe(i)`` in engagement payments (a seed always activates itself), so
+    ``μ_i ≤ (1+ϱ)·B_i / min_u(c_i(u) + cpe(i))``, capped at ``n``.
+    """
+    if rho <= 0:
+        raise SolverError("rho must be positive")
+    costs = instance.cost_matrix()
+    mus = np.zeros(instance.num_advertisers, dtype=np.float64)
+    for advertiser in range(instance.num_advertisers):
+        cheapest = float(costs[advertiser].min()) + instance.cpe(advertiser)
+        affordable = (1.0 + rho) * instance.budget(advertiser) / cheapest
+        mus[advertiser] = min(instance.num_nodes, max(1.0, math.floor(affordable)))
+    return mus
+
+
+def theta_hat_max(
+    num_nodes: int,
+    lam: float,
+    epsilon: float,
+    delta: float,
+    mus: Sequence[float],
+) -> float:
+    """``θ̂_max`` of Theorem 4.2 — controls the (λ−ε)·OPT approximation events."""
+    if epsilon <= 0 or delta <= 0 or delta >= 1:
+        raise SolverError("epsilon must be positive and delta in (0, 1)")
+    mus = np.asarray(mus, dtype=np.float64)
+    log_term = math.log(4.0 / delta)
+    entropy_term = float(np.sum(mus * np.log(math.e * num_nodes / np.maximum(mus, 1.0))))
+    inner = lam * math.sqrt(log_term) + math.sqrt(lam * (log_term + entropy_term))
+    return 2.0 * num_nodes / (epsilon ** 2) * inner ** 2
+
+
+def theta_bar_max(
+    num_nodes: int,
+    gamma: float,
+    rho: float,
+    min_budget: float,
+    delta: float,
+    num_advertisers: int,
+    mu_max: float,
+) -> float:
+    """``θ̄_max`` of Theorem 4.2 — controls the budget-feasibility events."""
+    if min_budget <= 0 or gamma <= 0:
+        raise SolverError("gamma and min_budget must be positive")
+    if rho <= 0 or not 0 < delta < 1:
+        raise SolverError("rho must be positive and delta in (0, 1)")
+    log_term = math.log(4.0 * num_advertisers / delta)
+    entropy_term = mu_max * math.log(math.e * num_nodes / max(mu_max, 1.0))
+    return 8.0 * num_nodes * gamma * (1.0 + rho) / (rho ** 2 * min_budget) * (
+        log_term + entropy_term
+    )
+
+
+def theta_max(
+    instance: RMInstance,
+    lam: float,
+    epsilon: float,
+    delta: float,
+    rho: float,
+) -> float:
+    """``θ_max = max(θ̂_max, θ̄_max)`` for an instance (Theorem 4.2)."""
+    mus = max_seeds_per_advertiser(instance, rho)
+    hat = theta_hat_max(instance.num_nodes, lam, epsilon, delta, mus)
+    bar = theta_bar_max(
+        instance.num_nodes,
+        instance.gamma,
+        rho,
+        instance.min_budget,
+        delta,
+        instance.num_advertisers,
+        float(mus.max()),
+    )
+    return max(hat, bar)
+
+
+def theta_zero(instance: RMInstance, rho: float, delta_prime: float) -> float:
+    """``θ_0`` — the initial RR-set pool size of Algorithm 6 (Line 3)."""
+    if rho <= 0 or not 0 < delta_prime < 1:
+        raise SolverError("rho must be positive and delta_prime in (0, 1)")
+    return (
+        4.0
+        * instance.num_nodes
+        * instance.gamma
+        * (2.0 + rho / 3.0)
+        / (rho ** 2 * instance.min_budget)
+        * math.log(instance.num_advertisers / delta_prime)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Martingale concentration bounds (Lemma B.7, following Tang et al. OPIM-C)
+# --------------------------------------------------------------------------- #
+def upper_bound_from_estimate(
+    estimated_revenue: float, num_rr_sets: int, scale_total: float, a: float
+) -> float:
+    """High-probability upper bound on the true revenue given its estimate.
+
+    ``scale_total`` is ``nΓ``; the estimate is ``π̃`` over ``num_rr_sets``
+    RR-sets; ``a`` is the log-confidence parameter (``e^{-a}`` failure
+    probability).  Implements the first inequality of Lemma B.7.
+    """
+    if num_rr_sets <= 0 or scale_total <= 0:
+        raise SolverError("num_rr_sets and scale_total must be positive")
+    if a < 0:
+        raise SolverError("a must be non-negative")
+    coverage = max(0.0, estimated_revenue) * num_rr_sets / scale_total
+    root = math.sqrt(coverage + a / 2.0) + math.sqrt(a / 2.0)
+    return root ** 2 * scale_total / num_rr_sets
+
+
+def lower_bound_from_estimate(
+    estimated_revenue: float, num_rr_sets: int, scale_total: float, a: float
+) -> float:
+    """High-probability lower bound on the true revenue given its estimate.
+
+    Implements the second inequality of Lemma B.7; never returns a negative
+    value.
+    """
+    if num_rr_sets <= 0 or scale_total <= 0:
+        raise SolverError("num_rr_sets and scale_total must be positive")
+    if a < 0:
+        raise SolverError("a must be non-negative")
+    coverage = max(0.0, estimated_revenue) * num_rr_sets / scale_total
+    root = math.sqrt(coverage + 2.0 * a / 9.0) - math.sqrt(a / 2.0)
+    value = (root ** 2 - a / 18.0) * scale_total / num_rr_sets
+    return max(0.0, value)
+
+
+def epsilon_split(
+    epsilon: float, lam: float, delta: float, num_nodes: int, mus: Sequence[float]
+) -> tuple[float, float]:
+    """The (ε1, ε2) split of Eq. (15)-(16) used in the proof of Theorem 4.2.
+
+    Exposed mainly for tests that verify ``ε = λ·ε1 + ε2``.
+    """
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise SolverError("epsilon must be positive and delta in (0, 1)")
+    mus = np.asarray(mus, dtype=np.float64)
+    log_term = math.log(4.0 / delta)
+    entropy_term = float(np.sum(mus * np.log(math.e * num_nodes / np.maximum(mus, 1.0))))
+    denominator = lam * math.sqrt(log_term) + math.sqrt(lam * (log_term + entropy_term))
+    epsilon_one = epsilon * math.sqrt(log_term) / denominator
+    epsilon_two = epsilon - lam * epsilon_one
+    return epsilon_one, epsilon_two

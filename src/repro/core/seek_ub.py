@@ -1,0 +1,75 @@
+"""Algorithm 7 — ``SeekUB``: a tight upper bound on the sampling-space optimum.
+
+Given the byproducts of the threshold search run on the collection ``R1``,
+Theorem 3.2 yields several valid upper bounds on ``π̃(O⃗, R1)``; ``SeekUB``
+picks the applicable one and returns the tighter of it and the trivial bound
+``π̃(S⃗*, R1) / λ``.  Lemma B.8 proves every branch is a correct upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.advertising.allocation import Allocation
+from repro.core.result import SearchByproducts
+from repro.exceptions import SolverError
+
+RevenueOfAllocation = Callable[[Allocation], float]
+
+
+def seek_upper_bound(
+    best_revenue: float,
+    byproducts: Optional[SearchByproducts],
+    num_advertisers: int,
+    lam: float,
+    revenue_of: RevenueOfAllocation,
+) -> float:
+    """Return an upper bound ``z`` on ``π̃(O⃗, R1)``.
+
+    Parameters
+    ----------
+    best_revenue:
+        ``π̃(S⃗*, R1)`` — the sampling-space revenue of the returned solution.
+    byproducts:
+        The two boundary solutions of the threshold search (``None`` when
+        ``h = 1``, in which case only the trivial bound applies).
+    num_advertisers:
+        ``h``.
+    lam:
+        The approximation ratio λ of Theorem 3.5.
+    revenue_of:
+        Callable evaluating ``π̃(·, R1)`` for an allocation (the caller binds
+        the collection).
+    """
+    if lam <= 0 or lam > 1:
+        raise SolverError("lambda must lie in (0, 1]")
+    if best_revenue < 0:
+        raise SolverError("best_revenue must be non-negative")
+    trivial = best_revenue / lam
+
+    if num_advertisers == 1 or byproducts is None:
+        return trivial
+
+    b_min = byproducts.b_min
+    gamma_high = byproducts.gamma_high
+    high = byproducts.allocation_high
+    low = byproducts.allocation_low
+    high_revenue = revenue_of(high) if high is not None else 0.0
+    low_revenue = revenue_of(low) if low is not None else 0.0
+
+    if byproducts.b_low < b_min or low is None:
+        # Case 1 of Lemma B.8: the γ = 0 run did not deplete b_min budgets,
+        # so ThresholdGreedy(0) is within a factor 6 of the optimum.
+        z = 6.0 * high_revenue if high is not None else trivial
+    elif high is not None:
+        # Case 3: both boundary solutions exist.
+        if byproducts.b_high == 0:
+            z = 2.0 * high_revenue + num_advertisers * gamma_high
+        else:  # b_high == 1 (b_high < b_min ≤ 2)
+            z = 6.0 * high_revenue + num_advertisers * gamma_high
+    else:
+        # Case 2: the search never produced an upper-boundary solution, which
+        # means γ1 is within (1+τ) of γ_max; the b ≥ b_min bound applies.
+        z = low_revenue / lam
+
+    return min(z, trivial)

@@ -1,0 +1,269 @@
+"""Algorithms 2 and 3 — ``ThresholdGreedy(γ)`` and ``Fill(S⃗)``.
+
+``ThresholdGreedy`` selects elements ``(u, i)`` in decreasing order of
+*marginal gain* (like CA-Greedy) but only accepts an element whose *marginal
+rate* clears the threshold ``γ / B_i``.  The first budget-overflowing node of
+each advertiser is parked as the stopple node ``D_i``.  If exactly one budget
+was depleted, Algorithm 1 is re-run on the unassigned nodes for that
+advertiser (the ``A_i`` set of the paper's analysis).  ``Fill`` then spends
+whatever budget is left, greedily by marginal rate.
+
+Theorem 3.2 relates the revenue of the returned allocation to ``OPT`` through
+the number ``b`` of depleted budgets, which is what the binary search of
+Algorithm 4 exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RevenueOracle
+from repro.core.greedy import greedy_single_advertiser, marginal_rate
+from repro.exceptions import SolverError
+from repro.utils.lazy_heap import LazyMarginalHeap
+
+Element = Tuple[int, int]  # (node, advertiser)
+
+
+class _GreedyState:
+    """Bookkeeping shared by ThresholdGreedy and Fill.
+
+    Tracks, per advertiser, the selected set ``S_i``, its revenue and its
+    seeding cost, plus the global node-to-advertiser assignment so the
+    partition constraint can be checked in O(1).
+    """
+
+    def __init__(self, instance: RMInstance, oracle: RevenueOracle, budgets: np.ndarray):
+        self.instance = instance
+        self.oracle = oracle
+        self.budgets = budgets
+        h = instance.num_advertisers
+        self.selected: Dict[int, Set[int]] = {i: set() for i in range(h)}
+        self.stopple: Dict[int, Set[int]] = {i: set() for i in range(h)}
+        self.revenue: Dict[int, float] = {i: 0.0 for i in range(h)}
+        self.cost: Dict[int, float] = {i: 0.0 for i in range(h)}
+        self.assigned: Set[int] = set()
+
+    def marginal_gain(self, node: int, advertiser: int) -> float:
+        """``π_i(u | S_i)`` for the current ``S_i``."""
+        return self.oracle.marginal_revenue(advertiser, node, self.selected[advertiser])
+
+    def try_add(self, node: int, advertiser: int) -> str:
+        """Attempt to add ``(node, advertiser)``; returns 'selected' or 'stopple'."""
+        gain = self.marginal_gain(node, advertiser)
+        node_cost = self.instance.cost(advertiser, node)
+        new_cost = self.cost[advertiser] + node_cost
+        new_revenue = self.revenue[advertiser] + gain
+        if new_cost + new_revenue <= self.budgets[advertiser]:
+            self.selected[advertiser].add(node)
+            self.revenue[advertiser] = new_revenue
+            self.cost[advertiser] = new_cost
+            self.assigned.add(node)
+            return "selected"
+        self.stopple[advertiser].add(node)
+        self.assigned.add(node)
+        return "stopple"
+
+
+def _candidate_elements(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    budgets: np.ndarray,
+    candidates: Optional[Iterable[int]],
+) -> list[Element]:
+    """The initial set ``M`` of singleton-feasible (node, advertiser) pairs."""
+    nodes = (
+        [int(node) for node in candidates]
+        if candidates is not None
+        else list(range(instance.num_nodes))
+    )
+    elements: list[Element] = []
+    for advertiser in range(instance.num_advertisers):
+        for node in nodes:
+            singleton_revenue = oracle.revenue(advertiser, {node})
+            if instance.cost(advertiser, node) + singleton_revenue <= budgets[advertiser]:
+                elements.append((node, advertiser))
+    return elements
+
+
+def threshold_greedy(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    gamma: float,
+    budgets: Optional[np.ndarray] = None,
+    candidates: Optional[Iterable[int]] = None,
+    run_fill: bool = True,
+) -> Tuple[Allocation, int]:
+    """Algorithm 2 — returns ``(allocation S⃗*, b)``.
+
+    Parameters
+    ----------
+    gamma:
+        The marginal-rate threshold γ ≥ 0.
+    budgets:
+        Optional per-advertiser budget overrides (the sampling solver passes
+        the relaxed budgets here); defaults to the instance budgets.
+    candidates:
+        Candidate node pool; defaults to all nodes.
+    run_fill:
+        Whether to run the final ``Fill`` pass (Line 12).  Disabled only by
+        ablation benchmarks.
+    """
+    if gamma < 0:
+        raise SolverError("gamma must be non-negative")
+    h = instance.num_advertisers
+    budget_array = (
+        np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
+    )
+    if budget_array.shape != (h,):
+        raise SolverError(f"budgets must have length {h}")
+    if np.any(budget_array <= 0):
+        raise SolverError("budgets must be positive")
+
+    state = _GreedyState(instance, oracle, budget_array)
+    depleted: Set[int] = set()
+
+    def evaluate(element: Element) -> float:
+        node, advertiser = element
+        return state.marginal_gain(node, advertiser)
+
+    heap: LazyMarginalHeap[Element] = LazyMarginalHeap(evaluate)
+    heap.push_many(_candidate_elements(instance, oracle, budget_array, candidates))
+
+    # Main loop (Lines 3-8): pop by max marginal gain, apply the three filters.
+    while len(heap) and len(depleted) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        (node, advertiser), _gain = popped
+        # Filter 1: threshold on the marginal rate w.r.t. S_i ∪ D_i, and skip
+        # advertisers whose budget is already depleted (D_i non-empty).
+        if state.stopple[advertiser]:
+            continue
+        gain = state.marginal_gain(node, advertiser)
+        rate = marginal_rate(gain, instance.cost(advertiser, node))
+        if rate < gamma / budget_array[advertiser]:
+            continue
+        # Filter 2: the node must not be assigned to any advertiser yet.
+        if node in state.assigned:
+            continue
+        outcome = state.try_add(node, advertiser)
+        if outcome == "selected":
+            heap.advance_round()
+        else:
+            depleted.add(advertiser)
+
+    # Line 9-10: when exactly one budget is depleted, re-run Greedy for it on
+    # the still-unassigned nodes; its result backs the b = 1 case of Thm 3.2.
+    rescue: Dict[int, Set[int]] = {i: set() for i in range(h)}
+    if len(depleted) == 1:
+        advertiser = next(iter(depleted))
+        unassigned = [
+            node
+            for node in (candidates if candidates is not None else range(instance.num_nodes))
+            if int(node) not in set().union(*state.selected.values())
+        ]
+        best, _selected, _stopple = greedy_single_advertiser(
+            instance,
+            oracle,
+            advertiser,
+            candidates=unassigned,
+            budget=float(budget_array[advertiser]),
+        )
+        rescue[advertiser] = best
+
+    # Line 11: per advertiser keep the best of S_j, D_j, A_j.
+    chosen: Dict[int, Set[int]] = {}
+    for advertiser in range(h):
+        options = [state.selected[advertiser], state.stopple[advertiser], rescue[advertiser]]
+        revenues = [
+            oracle.revenue(advertiser, option) if option else 0.0 for option in options
+        ]
+        chosen[advertiser] = set(options[int(np.argmax(revenues))])
+
+    # The paper's Fill expects a partition; resolve cross-advertiser duplicates
+    # (possible when a stopple node of one advertiser was selected by another)
+    # by keeping the copy with the larger marginal contribution.
+    _deduplicate(chosen, oracle)
+
+    allocation = Allocation(h)
+    for advertiser, nodes in chosen.items():
+        for node in nodes:
+            allocation.assign(node, advertiser)
+
+    if run_fill:
+        allocation = fill(instance, oracle, allocation, budgets=budget_array, candidates=candidates)
+    return allocation, len(depleted)
+
+
+def _deduplicate(chosen: Dict[int, Set[int]], oracle: RevenueOracle) -> None:
+    """Ensure no node appears in two advertisers' chosen sets (keep best owner)."""
+    owners: Dict[int, int] = {}
+    for advertiser, nodes in chosen.items():
+        for node in list(nodes):
+            previous = owners.get(node)
+            if previous is None:
+                owners[node] = advertiser
+                continue
+            keep_gain = oracle.marginal_revenue(previous, node, chosen[previous] - {node})
+            new_gain = oracle.marginal_revenue(advertiser, node, chosen[advertiser] - {node})
+            if new_gain > keep_gain:
+                chosen[previous].discard(node)
+                owners[node] = advertiser
+            else:
+                chosen[advertiser].discard(node)
+
+
+def fill(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    allocation: Allocation,
+    budgets: Optional[np.ndarray] = None,
+    candidates: Optional[Iterable[int]] = None,
+) -> Allocation:
+    """Algorithm 3 — greedily spend leftover budget by maximum marginal rate.
+
+    Returns a new allocation extending ``allocation`` (the input is copied,
+    not mutated).
+    """
+    h = instance.num_advertisers
+    budget_array = (
+        np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
+    )
+    if budget_array.shape != (h,):
+        raise SolverError(f"budgets must have length {h}")
+
+    result = allocation.copy()
+    revenue: Dict[int, float] = {}
+    cost: Dict[int, float] = {}
+    for advertiser, seeds in result.items():
+        revenue[advertiser] = oracle.revenue(advertiser, seeds) if seeds else 0.0
+        cost[advertiser] = instance.cost_of_set(advertiser, seeds)
+
+    def evaluate(element: Element) -> float:
+        node, advertiser = element
+        gain = oracle.marginal_revenue(advertiser, node, result.seeds(advertiser))
+        return marginal_rate(gain, instance.cost(advertiser, node))
+
+    heap: LazyMarginalHeap[Element] = LazyMarginalHeap(evaluate)
+    heap.push_many(_candidate_elements(instance, oracle, budget_array, candidates))
+
+    while len(heap):
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        (node, advertiser), _rate = popped
+        if result.is_assigned(node):
+            continue
+        gain = oracle.marginal_revenue(advertiser, node, result.seeds(advertiser))
+        node_cost = instance.cost(advertiser, node)
+        if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budget_array[advertiser]:
+            result.assign(node, advertiser)
+            revenue[advertiser] += gain
+            cost[advertiser] += node_cost
+            heap.advance_round()
+    return result

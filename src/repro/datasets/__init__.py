@@ -1,0 +1,31 @@
+"""Synthetic, scaled-down stand-ins for the paper's four evaluation datasets."""
+
+from repro.datasets.synthetic import (
+    SyntheticNetwork,
+    lastfm_like,
+    flixster_like,
+    dblp_like,
+    livejournal_like,
+    synthetic_tic_probabilities,
+)
+from repro.datasets.registry import (
+    PreparedDataset,
+    DATASET_BUILDERS,
+    build_dataset,
+    build_instance,
+    sample_advertisers,
+)
+
+__all__ = [
+    "SyntheticNetwork",
+    "lastfm_like",
+    "flixster_like",
+    "dblp_like",
+    "livejournal_like",
+    "synthetic_tic_probabilities",
+    "PreparedDataset",
+    "DATASET_BUILDERS",
+    "build_dataset",
+    "build_instance",
+    "sample_advertisers",
+]

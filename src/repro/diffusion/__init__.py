@@ -1,0 +1,36 @@
+"""Influence-propagation substrate: topic models, cascade models, simulation."""
+
+from repro.diffusion.topics import TopicDistribution, uniform_topics, random_topics, skewed_topics
+from repro.diffusion.models import (
+    PropagationModel,
+    IndependentCascadeModel,
+    WeightedCascadeModel,
+    TrivalencyModel,
+    TopicAwareICModel,
+)
+from repro.diffusion.simulation import (
+    simulate_cascade,
+    monte_carlo_spread,
+    exact_spread,
+)
+from repro.diffusion.action_logs import ActionLog, ActionEvent, generate_action_log
+from repro.diffusion.learning import learn_topic_edge_probabilities
+
+__all__ = [
+    "TopicDistribution",
+    "uniform_topics",
+    "random_topics",
+    "skewed_topics",
+    "PropagationModel",
+    "IndependentCascadeModel",
+    "WeightedCascadeModel",
+    "TrivalencyModel",
+    "TopicAwareICModel",
+    "simulate_cascade",
+    "monte_carlo_spread",
+    "exact_spread",
+    "ActionLog",
+    "ActionEvent",
+    "generate_action_log",
+    "learn_topic_edge_probabilities",
+]

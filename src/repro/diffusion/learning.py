@@ -1,0 +1,126 @@
+"""Learning topic-aware edge probabilities from action logs.
+
+The paper relies on the method of Barbieri et al. [9] to learn
+``p̂^z_(u,v)`` from the Flixster and Lastfm action logs.  The full EM
+procedure of [9] is orthogonal to the paper's contribution, so we implement a
+frequency-based credit-attribution learner in the spirit of Goyal et al.'s
+"data-based approach": for each latent topic ``z``, the probability of edge
+``(u, v)`` is the fraction of topic-``z`` items adopted by ``u`` that ``v``
+adopted *afterwards* (within a propagation window), Laplace-smoothed.
+
+The output matrix plugs directly into
+:class:`repro.diffusion.models.TopicAwareICModel`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import DiffusionError
+from repro.graph.digraph import CSRDiGraph
+from repro.diffusion.action_logs import ActionLog
+
+
+def learn_topic_edge_probabilities(
+    graph: CSRDiGraph,
+    log: ActionLog,
+    num_topics: int,
+    propagation_window: int = 10,
+    smoothing: float = 0.0,
+    max_probability: float = 1.0,
+) -> np.ndarray:
+    """Estimate the ``(num_topics, num_edges)`` TIC probability matrix.
+
+    Parameters
+    ----------
+    graph:
+        Social graph whose canonical edge order indexes the output columns.
+    log:
+        Action log with per-item topic annotations.
+    num_topics:
+        Number of latent topics ``L``.
+    propagation_window:
+        ``v``'s adoption is credited to ``u`` only if it happened no more than
+        this many time units after ``u``'s adoption.
+    smoothing:
+        Additive (Laplace) smoothing applied to the success counts.
+    max_probability:
+        Upper clamp applied to the learned probabilities.
+    """
+    if num_topics <= 0:
+        raise DiffusionError("num_topics must be positive")
+    if propagation_window <= 0:
+        raise DiffusionError("propagation_window must be positive")
+    if smoothing < 0:
+        raise DiffusionError("smoothing must be non-negative")
+    if not 0.0 < max_probability <= 1.0:
+        raise DiffusionError("max_probability must be in (0, 1]")
+    for item, topic in log.item_topics.items():
+        if not 0 <= topic < num_topics:
+            raise DiffusionError(f"item {item} has topic {topic} outside [0, {num_topics})")
+
+    successes: Dict[Tuple[int, int], float] = defaultdict(float)
+    trials: Dict[Tuple[int, int], float] = defaultdict(float)
+
+    events_by_item: Dict[int, Dict[int, int]] = defaultdict(dict)
+    for event in log.events:
+        existing = events_by_item[event.item].get(event.user)
+        if existing is None or event.timestamp < existing:
+            events_by_item[event.item][event.user] = event.timestamp
+
+    for item, adoption_times in events_by_item.items():
+        topic = log.item_topics.get(item)
+        if topic is None:
+            continue
+        for user, user_time in adoption_times.items():
+            if user >= graph.num_nodes:
+                continue
+            neighbor_ids = graph.out_neighbors(user)
+            for neighbor in neighbor_ids.tolist():
+                key = (topic, _edge_lookup(graph, user, neighbor))
+                trials[key] += 1.0
+                neighbor_time = adoption_times.get(int(neighbor))
+                if neighbor_time is not None and 0 < neighbor_time - user_time <= propagation_window:
+                    successes[key] += 1.0
+
+    matrix = np.zeros((num_topics, graph.num_edges), dtype=np.float64)
+    for (topic, edge_id), trial_count in trials.items():
+        win = successes.get((topic, edge_id), 0.0)
+        matrix[topic, edge_id] = (win + smoothing) / (trial_count + 2.0 * smoothing)
+    np.clip(matrix, 0.0, max_probability, out=matrix)
+    return matrix
+
+
+_EDGE_INDEX_CACHE: Dict[int, Dict[Tuple[int, int], int]] = {}
+
+
+def _edge_lookup(graph: CSRDiGraph, source: int, target: int) -> int:
+    """Canonical edge id of ``source -> target`` (cached per graph object)."""
+    cache_key = id(graph)
+    index = _EDGE_INDEX_CACHE.get(cache_key)
+    if index is None:
+        index = {
+            (int(u), int(v)): edge_id
+            for edge_id, (u, v) in enumerate(zip(graph.sources, graph.targets))
+        }
+        _EDGE_INDEX_CACHE[cache_key] = index
+    try:
+        return index[(int(source), int(target))]
+    except KeyError as exc:
+        raise DiffusionError(f"edge ({source}, {target}) does not exist") from exc
+
+
+def positive_probability_fraction(matrix: np.ndarray) -> float:
+    """Fraction of strictly positive entries in a probability matrix.
+
+    The paper reports that >95% (Flixster) and 77% (Lastfm) of learned
+    probabilities are positive; the dataset builders use this metric to check
+    the synthetic stand-ins are in a comparable regime.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.size == 0:
+        return 0.0
+    return float(np.count_nonzero(matrix > 0.0)) / matrix.size

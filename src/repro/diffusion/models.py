@@ -1,0 +1,205 @@
+"""Cascade propagation models.
+
+All models expose a single interface: :meth:`PropagationModel.edge_probabilities`
+returns a ``float64`` array of length ``graph.num_edges`` aligned with the
+graph's canonical edge order.  Ad-independent models (IC, Weighted-Cascade,
+Trivalency) ignore the supplied topic mix; the Topic-aware IC model combines
+per-topic probabilities with the mix as ``p^i = Σ_z φ_i(z) · p̂^z`` exactly as
+defined in Section 2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DiffusionError
+from repro.graph.digraph import CSRDiGraph
+from repro.diffusion.topics import TopicDistribution
+
+
+TopicMix = Union[TopicDistribution, Sequence[float], np.ndarray, None]
+
+
+def _mix_to_array(topic_mix: TopicMix, num_topics: int) -> np.ndarray:
+    if isinstance(topic_mix, TopicDistribution):
+        weights = topic_mix.weights
+    else:
+        weights = np.asarray(topic_mix, dtype=np.float64)
+    if weights.shape != (num_topics,):
+        raise DiffusionError(
+            f"topic mix must have length {num_topics}, got shape {weights.shape}"
+        )
+    if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0):
+        raise DiffusionError("topic mix must be a probability vector")
+    return weights
+
+
+class PropagationModel(ABC):
+    """Base class of every cascade model.
+
+    Sub-classes are immutable value objects bound to a specific graph so that
+    the edge-probability arrays they produce are guaranteed to be aligned with
+    that graph's edge numbering.
+    """
+
+    def __init__(self, graph: CSRDiGraph):
+        self._graph = graph
+
+    @property
+    def graph(self) -> CSRDiGraph:
+        """The graph the model is defined on."""
+        return self._graph
+
+    @property
+    def num_topics(self) -> int:
+        """Number of latent topics (1 for topic-oblivious models)."""
+        return 1
+
+    @abstractmethod
+    def edge_probabilities(self, topic_mix: TopicMix = None) -> np.ndarray:
+        """Per-edge activation probabilities for an ad with the given topic mix."""
+
+    def _validate_probability_array(self, probabilities: np.ndarray) -> np.ndarray:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.shape != (self._graph.num_edges,):
+            raise DiffusionError(
+                "probability array must have one entry per edge "
+                f"({self._graph.num_edges}), got shape {probabilities.shape}"
+            )
+        if np.any(probabilities < 0) or np.any(probabilities > 1):
+            raise DiffusionError("edge probabilities must lie in [0, 1]")
+        return probabilities
+
+
+class IndependentCascadeModel(PropagationModel):
+    """Classic IC model with a fixed probability per edge.
+
+    Parameters
+    ----------
+    graph:
+        The underlying social graph.
+    probability:
+        Either a scalar applied to every edge or an array with one entry per
+        edge in canonical order.
+    """
+
+    def __init__(self, graph: CSRDiGraph, probability: Union[float, np.ndarray] = 0.1):
+        super().__init__(graph)
+        if np.isscalar(probability):
+            value = float(probability)
+            if not 0.0 <= value <= 1.0:
+                raise DiffusionError("probability must lie in [0, 1]")
+            self._probabilities = np.full(graph.num_edges, value, dtype=np.float64)
+        else:
+            self._probabilities = self._validate_probability_array(np.asarray(probability))
+        self._probabilities.setflags(write=False)
+
+    def edge_probabilities(self, topic_mix: TopicMix = None) -> np.ndarray:
+        """Return the fixed edge probabilities (topic mix is ignored)."""
+        return self._probabilities
+
+
+class WeightedCascadeModel(PropagationModel):
+    """Weighted-Cascade model: ``p_(u,v) = 1 / in_degree(v)``.
+
+    This is the model the paper uses for the DBLP and LiveJournal scalability
+    experiments (Section 5.2.3).
+    """
+
+    def __init__(self, graph: CSRDiGraph):
+        super().__init__(graph)
+        in_degrees = graph.in_degrees().astype(np.float64)
+        targets = graph.targets
+        with np.errstate(divide="ignore"):
+            probabilities = np.where(
+                in_degrees[targets] > 0, 1.0 / np.maximum(in_degrees[targets], 1.0), 0.0
+            )
+        self._probabilities = probabilities
+        self._probabilities.setflags(write=False)
+
+    def edge_probabilities(self, topic_mix: TopicMix = None) -> np.ndarray:
+        """Return the in-degree-normalised edge probabilities."""
+        return self._probabilities
+
+
+class TrivalencyModel(PropagationModel):
+    """Trivalency model: each edge gets a probability drawn from a small set.
+
+    The classic TRIVALENCY benchmark assigns each edge one of
+    ``{0.1, 0.01, 0.001}`` uniformly at random; the values are configurable.
+    """
+
+    def __init__(
+        self,
+        graph: CSRDiGraph,
+        values: Sequence[float] = (0.1, 0.01, 0.001),
+        seed=None,
+    ):
+        super().__init__(graph)
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0 or np.any(values < 0) or np.any(values > 1):
+            raise DiffusionError("trivalency values must be probabilities")
+        from repro.utils.rng import as_rng
+
+        rng = as_rng(seed)
+        self._probabilities = rng.choice(values, size=graph.num_edges)
+        self._probabilities.setflags(write=False)
+
+    def edge_probabilities(self, topic_mix: TopicMix = None) -> np.ndarray:
+        """Return the randomly assigned per-edge probabilities."""
+        return self._probabilities
+
+
+class TopicAwareICModel(PropagationModel):
+    """Topic-aware Independent Cascade (TIC) model of Barbieri et al. [9].
+
+    Parameters
+    ----------
+    graph:
+        The underlying social graph.
+    topic_edge_probabilities:
+        Array of shape ``(num_topics, num_edges)`` where row ``z`` holds the
+        per-edge activation probabilities ``p̂^z_(u,v)`` under latent topic
+        ``z``, aligned with the graph's canonical edge order.
+    """
+
+    def __init__(self, graph: CSRDiGraph, topic_edge_probabilities: np.ndarray):
+        super().__init__(graph)
+        matrix = np.asarray(topic_edge_probabilities, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != graph.num_edges:
+            raise DiffusionError(
+                "topic_edge_probabilities must have shape (num_topics, num_edges)"
+            )
+        if matrix.shape[0] == 0:
+            raise DiffusionError("at least one topic is required")
+        if np.any(matrix < 0) or np.any(matrix > 1):
+            raise DiffusionError("topic edge probabilities must lie in [0, 1]")
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+
+    @property
+    def num_topics(self) -> int:
+        """Number of latent topics ``L``."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def topic_edge_probabilities(self) -> np.ndarray:
+        """The full ``(L, num_edges)`` probability matrix (read-only)."""
+        return self._matrix
+
+    def edge_probabilities(self, topic_mix: TopicMix = None) -> np.ndarray:
+        """Mix the per-topic probabilities with the ad's topic distribution.
+
+        A ``None`` topic mix defaults to the uniform distribution, which is
+        convenient in tests and quickstart examples.
+        """
+        if topic_mix is None:
+            weights = np.full(self.num_topics, 1.0 / self.num_topics)
+        else:
+            weights = _mix_to_array(topic_mix, self.num_topics)
+        mixed = weights @ self._matrix
+        # Mixing preserves the [0, 1] range but guard against float drift.
+        return np.clip(mixed, 0.0, 1.0)

@@ -1,0 +1,118 @@
+"""Topic distributions for the Topic-aware Independent Cascade (TIC) model.
+
+Every ad ``i`` is associated with a distribution ``phi_i`` over ``L`` latent
+topics (Section 2.1 of the paper).  :class:`TopicDistribution` is a validated
+wrapper around a probability vector with a few convenience constructors used
+by the synthetic dataset builders.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DiffusionError
+from repro.utils.rng import RandomSource, as_rng
+
+
+class TopicDistribution:
+    """A probability distribution over ``L`` latent topics.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weights; they are normalised to sum to one.  An
+        all-zero vector is rejected.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: Sequence[float]):
+        array = np.asarray(weights, dtype=np.float64)
+        if array.ndim != 1 or array.size == 0:
+            raise DiffusionError("topic weights must be a non-empty 1-D sequence")
+        if np.any(array < 0) or np.any(~np.isfinite(array)):
+            raise DiffusionError("topic weights must be finite and non-negative")
+        total = float(array.sum())
+        if total <= 0:
+            raise DiffusionError("topic weights must not all be zero")
+        self._weights = array / total
+        self._weights.setflags(write=False)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised topic weights (read-only array of length ``num_topics``)."""
+        return self._weights
+
+    @property
+    def num_topics(self) -> int:
+        """Number of latent topics ``L``."""
+        return int(self._weights.size)
+
+    def probability(self, topic: int) -> float:
+        """Probability mass assigned to ``topic``."""
+        if not 0 <= topic < self.num_topics:
+            raise DiffusionError(f"topic {topic} out of range [0, {self.num_topics})")
+        return float(self._weights[topic])
+
+    def sample(self, rng: RandomSource = None) -> int:
+        """Draw a topic index according to the distribution."""
+        generator = as_rng(rng)
+        return int(generator.choice(self.num_topics, p=self._weights))
+
+    def entropy(self) -> float:
+        """Shannon entropy (nats) of the distribution."""
+        positive = self._weights[self._weights > 0]
+        return float(-(positive * np.log(positive)).sum())
+
+    def __len__(self) -> int:
+        return self.num_topics
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopicDistribution):
+            return NotImplemented
+        return np.allclose(self._weights, other._weights)
+
+    def __repr__(self) -> str:
+        return f"TopicDistribution({np.array2string(self._weights, precision=3)})"
+
+
+def uniform_topics(num_topics: int) -> TopicDistribution:
+    """The uniform distribution over ``num_topics`` topics."""
+    if num_topics <= 0:
+        raise DiffusionError("num_topics must be positive")
+    return TopicDistribution(np.ones(num_topics))
+
+
+def random_topics(
+    num_topics: int, concentration: float = 1.0, seed: RandomSource = None
+) -> TopicDistribution:
+    """A Dirichlet-random topic distribution.
+
+    ``concentration`` below one produces sparse, peaked mixes (one or two
+    dominant topics per ad), matching the topic profiles learned from real
+    action logs.
+    """
+    if num_topics <= 0:
+        raise DiffusionError("num_topics must be positive")
+    if concentration <= 0:
+        raise DiffusionError("concentration must be positive")
+    rng = as_rng(seed)
+    return TopicDistribution(rng.dirichlet(np.full(num_topics, concentration)))
+
+
+def skewed_topics(num_topics: int, dominant_topic: int, dominance: float = 0.8) -> TopicDistribution:
+    """A distribution placing ``dominance`` mass on one topic, the rest uniform."""
+    if num_topics <= 0:
+        raise DiffusionError("num_topics must be positive")
+    if not 0 <= dominant_topic < num_topics:
+        raise DiffusionError("dominant_topic out of range")
+    if not 0.0 < dominance <= 1.0:
+        raise DiffusionError("dominance must be in (0, 1]")
+    weights = np.full(num_topics, (1.0 - dominance) / max(1, num_topics - 1))
+    if num_topics == 1:
+        weights = np.array([1.0])
+    else:
+        weights[dominant_topic] = dominance
+    return TopicDistribution(weights)

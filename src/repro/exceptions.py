@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class DiffusionError(ReproError):
+    """Raised when a propagation model is configured inconsistently."""
+
+
+class ProblemDefinitionError(ReproError):
+    """Raised when an RM problem instance is invalid (budgets, costs, cpe)."""
+
+
+class SolverError(ReproError):
+    """Raised when a solver is invoked with invalid parameters."""
+
+
+class SamplingError(ReproError):
+    """Raised when RR-set sampling parameters or state are invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset cannot be constructed as requested."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on invalid configurations."""

@@ -1,0 +1,37 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.metrics import (
+    EvaluationResult,
+    evaluate_allocation,
+    independent_evaluator,
+    budget_usage,
+    rate_of_return,
+)
+from repro.experiments.runner import AlgorithmRun, run_algorithm, compare_algorithms
+from repro.experiments.report import format_table, format_series, rows_to_csv
+from repro.experiments.persistence import (
+    save_rows_json,
+    load_rows_json,
+    save_rows_csv,
+    load_rows_csv,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_allocation",
+    "independent_evaluator",
+    "budget_usage",
+    "rate_of_return",
+    "AlgorithmRun",
+    "run_algorithm",
+    "compare_algorithms",
+    "format_table",
+    "format_series",
+    "rows_to_csv",
+    "save_rows_json",
+    "load_rows_json",
+    "save_rows_csv",
+    "load_rows_csv",
+    "figures",
+]

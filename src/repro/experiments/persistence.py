@@ -1,0 +1,91 @@
+"""Saving and loading experiment results.
+
+The benchmark harness produces plain rows (lists of dictionaries).  This
+module persists them as JSON or CSV so that longer offline runs can be
+archived and re-plotted without re-running the solvers, and so that two runs
+can be diffed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.exceptions import ExperimentError
+
+PathLike = Union[str, Path]
+Rows = List[Dict[str, object]]
+
+
+def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: dict | None = None) -> None:
+    """Write result rows (plus optional run metadata) to a JSON file."""
+    payload = {"metadata": metadata or {}, "rows": list(rows)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+
+
+def load_rows_json(path: PathLike) -> tuple[Rows, dict]:
+    """Read rows and metadata previously written by :func:`save_rows_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ExperimentError(f"{path} is not a saved result file")
+    return list(payload["rows"]), dict(payload.get("metadata", {}))
+
+
+def save_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> None:
+    """Write result rows to a CSV file (columns are the union of row keys)."""
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("cannot save an empty row list to CSV")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def load_rows_csv(path: PathLike) -> Rows:
+    """Read rows from a CSV file, converting numeric-looking fields back."""
+    rows: Rows = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for raw in reader:
+            rows.append({key: _coerce(value) for key, value in raw.items()})
+    return rows
+
+
+def _coerce(value: str) -> object:
+    """Best-effort conversion of a CSV cell back to int / float / bool / str."""
+    if value is None:
+        return None
+    text = value.strip()
+    if text == "":
+        return ""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def merge_result_files(paths: Sequence[PathLike]) -> Rows:
+    """Concatenate the rows of several saved JSON result files."""
+    merged: Rows = []
+    for path in paths:
+        rows, _ = load_rows_json(path)
+        merged.extend(rows)
+    return merged

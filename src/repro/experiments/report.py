@@ -1,0 +1,98 @@
+"""Plain-text table / series formatting for the benchmark harness.
+
+The benchmarks print rows in the same layout the paper's tables and figures
+use (one row per parameter setting, one column per algorithm), so the shape
+of the results — who wins, by roughly what factor, where crossovers happen —
+can be read directly off the pytest output.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    formatted = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in formatted))
+        for index, column in enumerate(columns)
+    ]
+    buffer = io.StringIO()
+    if title:
+        buffer.write(title + "\n")
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    buffer.write(header + "\n")
+    buffer.write("-" * len(header) + "\n")
+    for line in formatted:
+        buffer.write("  ".join(cell.ljust(width) for cell, width in zip(line, widths)) + "\n")
+    return buffer.getvalue()
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render one figure panel: x values as rows, one column per series."""
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise result rows as CSV text (for saving alongside bench output)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines) + "\n"
+
+
+def summarise_comparison(rows: Iterable[Dict[str, object]], metric: str) -> Dict[str, float]:
+    """Average ``metric`` per algorithm over a set of result rows."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for row in rows:
+        algorithm = str(row.get("algorithm", "?"))
+        value = row.get(metric)
+        if value is None or value == "":
+            continue
+        sums[algorithm] = sums.get(algorithm, 0.0) + float(value)
+        counts[algorithm] = counts.get(algorithm, 0) + 1
+    return {
+        algorithm: sums[algorithm] / counts[algorithm]
+        for algorithm in sums
+        if counts[algorithm]
+    }

@@ -1,0 +1,28 @@
+"""Directed-graph substrate used by the diffusion and sampling layers."""
+
+from repro.graph.digraph import CSRDiGraph
+from repro.graph.builders import from_edge_array, from_edge_list, from_networkx, to_networkx
+from repro.graph.generators import (
+    erdos_renyi_digraph,
+    preferential_attachment_digraph,
+    small_world_digraph,
+    power_law_configuration_digraph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "CSRDiGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "erdos_renyi_digraph",
+    "preferential_attachment_digraph",
+    "small_world_digraph",
+    "power_law_configuration_digraph",
+    "read_edge_list",
+    "write_edge_list",
+    "GraphStats",
+    "compute_stats",
+]

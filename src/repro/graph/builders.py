@@ -1,0 +1,93 @@
+"""Constructors converting other edge representations into :class:`CSRDiGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import CSRDiGraph
+
+
+def from_edge_list(
+    edges: Iterable[Tuple[int, int]],
+    num_nodes: Optional[int] = None,
+    undirected: bool = False,
+) -> CSRDiGraph:
+    """Build a graph from an iterable of ``(source, target)`` pairs.
+
+    Parameters
+    ----------
+    edges:
+        Directed edges.  Duplicates are merged; self-loops are rejected.
+    num_nodes:
+        Total node count.  Defaults to ``max endpoint + 1``.
+    undirected:
+        When True every pair is inserted in both directions, matching how the
+        paper treats the undirected DBLP network.
+    """
+    pairs = [(int(u), int(v)) for u, v in edges]
+    if undirected:
+        pairs = pairs + [(v, u) for u, v in pairs]
+    if pairs:
+        sources = np.array([u for u, _ in pairs], dtype=np.int64)
+        targets = np.array([v for _, v in pairs], dtype=np.int64)
+        inferred = int(max(sources.max(), targets.max())) + 1
+    else:
+        sources = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+        inferred = 0
+    if num_nodes is None:
+        num_nodes = inferred
+    elif num_nodes < inferred:
+        raise GraphError(
+            f"num_nodes={num_nodes} is smaller than required by edges ({inferred})"
+        )
+    return CSRDiGraph(num_nodes, sources, targets)
+
+
+def from_edge_array(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    num_nodes: Optional[int] = None,
+    undirected: bool = False,
+) -> CSRDiGraph:
+    """Build a graph from two parallel endpoint arrays."""
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if undirected:
+        sources, targets = (
+            np.concatenate([sources, targets]),
+            np.concatenate([targets, sources]),
+        )
+    if num_nodes is None:
+        num_nodes = int(max(sources.max(initial=-1), targets.max(initial=-1))) + 1
+    return CSRDiGraph(num_nodes, sources, targets)
+
+
+def from_networkx(nx_graph) -> CSRDiGraph:
+    """Convert a :mod:`networkx` graph (directed or undirected) to CSR form.
+
+    Node labels must be integers ``0 .. n-1``; use
+    ``networkx.convert_node_labels_to_integers`` beforehand otherwise.
+    """
+    import networkx as nx
+
+    num_nodes = nx_graph.number_of_nodes()
+    labels = set(nx_graph.nodes())
+    if labels and labels != set(range(num_nodes)):
+        raise GraphError("networkx graph must be labelled with integers 0..n-1")
+    undirected = not nx_graph.is_directed()
+    edges = [(u, v) for u, v in nx_graph.edges() if u != v]
+    return from_edge_list(edges, num_nodes=num_nodes, undirected=undirected)
+
+
+def to_networkx(graph: CSRDiGraph):
+    """Convert a :class:`CSRDiGraph` to a :class:`networkx.DiGraph`."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,248 @@
+"""Compressed-sparse-row directed graph.
+
+The RR-set generators need fast access to the *in*-neighbourhood of a node
+(reverse BFS), while forward Monte-Carlo simulation needs the
+*out*-neighbourhood.  :class:`CSRDiGraph` therefore stores both adjacency
+directions as CSR arrays built once at construction time.
+
+Edges are identified by their position in the canonical edge arrays
+(``sources``, ``targets``), so per-topic and per-advertiser probabilities can
+be stored as plain ``float`` arrays of length ``num_edges`` aligned with those
+positions.  The in-CSR keeps, for every in-edge, the index of the canonical
+edge it mirrors (``in_edge_ids``) so probability lookups during reverse
+traversal stay O(1) and vectorisable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+
+class CSRDiGraph:
+    """Immutable directed graph in CSR form.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are the integers ``0 .. num_nodes - 1``.
+    sources, targets:
+        Parallel integer arrays defining the directed edges
+        ``sources[k] -> targets[k]``.  Self-loops and exact duplicate edges
+        are rejected because the diffusion models assume simple graphs.
+    """
+
+    def __init__(self, num_nodes: int, sources: np.ndarray, targets: np.ndarray):
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise GraphError("sources and targets must be 1-D arrays of equal length")
+        if sources.size:
+            if sources.min(initial=0) < 0 or targets.min(initial=0) < 0:
+                raise GraphError("edge endpoints must be non-negative node ids")
+            if sources.max(initial=-1) >= num_nodes or targets.max(initial=-1) >= num_nodes:
+                raise GraphError("edge endpoint exceeds num_nodes - 1")
+            if np.any(sources == targets):
+                raise GraphError("self-loops are not supported")
+        self._num_nodes = int(num_nodes)
+        self._sources, self._targets = self._deduplicate(sources, targets)
+        self._build_out_csr()
+        self._build_in_csr()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _deduplicate(sources: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if sources.size == 0:
+            return sources.copy(), targets.copy()
+        stacked = np.stack([sources, targets], axis=1)
+        unique = np.unique(stacked, axis=0)
+        return unique[:, 0].copy(), unique[:, 1].copy()
+
+    def _build_out_csr(self) -> None:
+        order = np.argsort(self._sources, kind="stable")
+        self._out_targets = self._targets[order]
+        self._out_edge_ids = order.astype(np.int64)
+        counts = np.bincount(self._sources, minlength=self._num_nodes)
+        self._out_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    def _build_in_csr(self) -> None:
+        order = np.argsort(self._targets, kind="stable")
+        self._in_sources = self._sources[order]
+        self._in_edge_ids = order.astype(np.int64)
+        counts = np.bincount(self._targets, minlength=self._num_nodes)
+        self._in_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the graph."""
+        return int(self._sources.size)
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Canonical edge source array (read-only view)."""
+        view = self._sources.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def targets(self) -> np.ndarray:
+        """Canonical edge target array (read-only view)."""
+        view = self._targets.view()
+        view.setflags(write=False)
+        return view
+
+    def nodes(self) -> range:
+        """Iterate node identifiers ``0 .. num_nodes - 1``."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield directed edges as ``(source, target)`` pairs."""
+        for u, v in zip(self._sources.tolist(), self._targets.tolist()):
+            yield u, v
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Targets of the out-edges of ``node`` (read-only slice)."""
+        self._check_node(node)
+        return self._out_targets[self._out_offsets[node]: self._out_offsets[node + 1]]
+
+    def out_edge_ids(self, node: int) -> np.ndarray:
+        """Canonical edge ids of the out-edges of ``node``."""
+        self._check_node(node)
+        return self._out_edge_ids[self._out_offsets[node]: self._out_offsets[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Sources of the in-edges of ``node`` (read-only slice)."""
+        self._check_node(node)
+        return self._in_sources[self._in_offsets[node]: self._in_offsets[node + 1]]
+
+    def in_edge_ids(self, node: int) -> np.ndarray:
+        """Canonical edge ids of the in-edges of ``node``."""
+        self._check_node(node)
+        return self._in_edge_ids[self._in_offsets[node]: self._in_offsets[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Number of out-edges of ``node``."""
+        self._check_node(node)
+        return int(self._out_offsets[node + 1] - self._out_offsets[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of in-edges of ``node``."""
+        self._check_node(node)
+        return int(self._in_offsets[node + 1] - self._in_offsets[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of out-degrees for every node."""
+        return np.diff(self._out_offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """Array of in-degrees for every node."""
+        return np.diff(self._in_offsets)
+
+    @property
+    def in_offsets(self) -> np.ndarray:
+        """CSR offsets of the in-adjacency (length ``num_nodes + 1``)."""
+        view = self._in_offsets.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def in_sources(self) -> np.ndarray:
+        """Concatenated in-neighbour array aligned with :attr:`in_offsets`."""
+        view = self._in_sources.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def in_edge_id_array(self) -> np.ndarray:
+        """Canonical edge ids aligned with :attr:`in_sources`."""
+        view = self._in_edge_ids.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def out_offsets(self) -> np.ndarray:
+        """CSR offsets of the out-adjacency (length ``num_nodes + 1``)."""
+        view = self._out_offsets.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def out_target_array(self) -> np.ndarray:
+        """Concatenated out-neighbour array aligned with :attr:`out_offsets`."""
+        view = self._out_targets.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def out_edge_id_array(self) -> np.ndarray:
+        """Canonical edge ids aligned with :attr:`out_target_array`."""
+        view = self._out_edge_ids.view()
+        view.setflags(write=False)
+        return view
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return True if the directed edge ``source -> target`` exists."""
+        self._check_node(source)
+        self._check_node(target)
+        return bool(np.any(self.out_neighbors(source) == target))
+
+    def reverse(self) -> "CSRDiGraph":
+        """Return a new graph with every edge direction flipped."""
+        return CSRDiGraph(self._num_nodes, self._targets.copy(), self._sources.copy())
+
+    def subgraph(self, nodes: Iterable[int]) -> "CSRDiGraph":
+        """Induced subgraph on ``nodes`` with node ids relabelled ``0..k-1``.
+
+        The relabelling follows the sorted order of the provided nodes.
+        """
+        node_list = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if node_list.size and (node_list.min() < 0 or node_list.max() >= self._num_nodes):
+            raise GraphError("subgraph nodes must be existing node ids")
+        relabel = -np.ones(self._num_nodes, dtype=np.int64)
+        relabel[node_list] = np.arange(node_list.size)
+        keep = (relabel[self._sources] >= 0) & (relabel[self._targets] >= 0)
+        return CSRDiGraph(
+            int(node_list.size),
+            relabel[self._sources[keep]],
+            relabel[self._targets[keep]],
+        )
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(f"node {node} is out of range [0, {self._num_nodes})")
+
+    def __repr__(self) -> str:
+        return f"CSRDiGraph(num_nodes={self._num_nodes}, num_edges={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRDiGraph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and np.array_equal(self._sources, other._sources)
+            and np.array_equal(self._targets, other._targets)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs used as dict keys rarely
+        return hash((self._num_nodes, self.num_edges))

@@ -1,0 +1,58 @@
+"""Plain-text edge-list input/output.
+
+The format is the SNAP-style whitespace-separated ``source target`` per line,
+with ``#``-prefixed comment lines, which is how the paper's datasets (DBLP,
+LiveJournal) are distributed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.digraph import CSRDiGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, undirected: bool = False) -> CSRDiGraph:
+    """Read a whitespace-separated edge list file into a graph.
+
+    Lines starting with ``#`` are treated as comments.  Node ids must be
+    non-negative integers; they are used verbatim (no relabelling), matching
+    SNAP conventions.
+    """
+    edges = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'source target', got {line!r}")
+            try:
+                source, target = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(
+                    f"{path}:{line_number}: endpoints must be integers, got {line!r}"
+                ) from exc
+            if source == target:
+                continue
+            edges.append((source, target))
+    return from_edge_list(edges, undirected=undirected)
+
+
+def write_edge_list(graph: CSRDiGraph, path: PathLike, header: str = "") -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    ``header`` (if non-empty) is emitted as a ``#`` comment on the first line.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# {header}\n")
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for source, target in graph.edges():
+            handle.write(f"{source}\t{target}\n")

@@ -1,0 +1,86 @@
+"""Structural statistics used by the Table 1 reproduction and dataset sanity checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a directed graph."""
+
+    num_nodes: int
+    num_edges: int
+    mean_out_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    reciprocity: float
+    fraction_isolated: float
+    largest_wcc_fraction: float
+
+    def as_row(self) -> dict:
+        """Return the statistics as a plain dict for tabular reporting."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "mean_out_degree": round(self.mean_out_degree, 3),
+            "max_out_degree": self.max_out_degree,
+            "max_in_degree": self.max_in_degree,
+            "reciprocity": round(self.reciprocity, 3),
+            "fraction_isolated": round(self.fraction_isolated, 3),
+            "largest_wcc_fraction": round(self.largest_wcc_fraction, 3),
+        }
+
+
+def _largest_wcc_fraction(graph: CSRDiGraph) -> float:
+    """Fraction of nodes in the largest weakly-connected component (union-find)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    parent = np.arange(graph.num_nodes, dtype=np.int64)
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    for u, v in zip(graph.sources.tolist(), graph.targets.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    roots = np.array([find(int(node)) for node in range(graph.num_nodes)])
+    _, counts = np.unique(roots, return_counts=True)
+    return float(counts.max()) / graph.num_nodes
+
+
+def _reciprocity(graph: CSRDiGraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    forward = set(zip(graph.sources.tolist(), graph.targets.tolist()))
+    mutual = sum(1 for u, v in forward if (v, u) in forward)
+    return mutual / len(forward)
+
+
+def compute_stats(graph: CSRDiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    out_degrees = graph.out_degrees()
+    in_degrees = graph.in_degrees()
+    num_nodes = graph.num_nodes
+    isolated = int(np.sum((out_degrees == 0) & (in_degrees == 0))) if num_nodes else 0
+    return GraphStats(
+        num_nodes=num_nodes,
+        num_edges=graph.num_edges,
+        mean_out_degree=float(out_degrees.mean()) if num_nodes else 0.0,
+        max_out_degree=int(out_degrees.max()) if num_nodes else 0,
+        max_in_degree=int(in_degrees.max()) if num_nodes else 0,
+        reciprocity=_reciprocity(graph),
+        fraction_isolated=(isolated / num_nodes) if num_nodes else 0.0,
+        largest_wcc_fraction=_largest_wcc_fraction(graph),
+    )

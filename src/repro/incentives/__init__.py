@@ -1,0 +1,23 @@
+"""Seed incentive (node seeding cost) models from Section 5.1 of the paper."""
+
+from repro.incentives.models import (
+    IncentiveModel,
+    LinearIncentiveModel,
+    QuasiLinearIncentiveModel,
+    SuperLinearIncentiveModel,
+    ConstantIncentiveModel,
+    DegreeIncentiveModel,
+    incentive_model_by_name,
+)
+from repro.incentives.singleton import estimate_singleton_spreads
+
+__all__ = [
+    "IncentiveModel",
+    "LinearIncentiveModel",
+    "QuasiLinearIncentiveModel",
+    "SuperLinearIncentiveModel",
+    "ConstantIncentiveModel",
+    "DegreeIncentiveModel",
+    "incentive_model_by_name",
+    "estimate_singleton_spreads",
+]

@@ -1,0 +1,133 @@
+"""Seed incentive models.
+
+The paper's experiments price node ``u`` for advertiser ``i`` as a function of
+the node's singleton influence spread ``σ_i({u})`` scaled by a constant
+``α`` (Section 5.1):
+
+* Linear:      ``c_i(u) = α · σ_i({u})``
+* QuasiLinear: ``c_i(u) = α · σ_i({u}) · ln(σ_i({u}))``
+* SuperLinear: ``c_i(u) = α · σ_i({u})²``
+
+Two extra models are provided for tests and examples: a constant cost and a
+follower-count (out-degree) proportional cost, the simple pricing strategy
+mentioned in Section 2.1's discussion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.exceptions import ProblemDefinitionError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class IncentiveModel(ABC):
+    """Maps per-node singleton spreads to seeding costs for one advertiser."""
+
+    #: short name used by the experiment configs ("linear", "quasilinear", ...)
+    name: str = "abstract"
+
+    def __init__(self, alpha: float = 0.1, min_cost: float = 1e-6):
+        self.alpha = check_positive("alpha", alpha)
+        self.min_cost = check_non_negative("min_cost", min_cost)
+
+    @abstractmethod
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        """Model-specific cost before the minimum-cost clamp."""
+
+    def costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        """Seeding cost of every node given its singleton spread.
+
+        Costs are clamped below by ``min_cost`` so that every node has a
+        strictly positive price, as the problem definition requires.
+        """
+        spreads = np.asarray(singleton_spreads, dtype=np.float64)
+        if spreads.ndim != 1:
+            raise ProblemDefinitionError("singleton_spreads must be a 1-D array")
+        if np.any(spreads < 0) or np.any(~np.isfinite(spreads)):
+            raise ProblemDefinitionError("singleton spreads must be finite and non-negative")
+        raw = self._raw_costs(spreads)
+        return np.maximum(raw, self.min_cost)
+
+    def cost_of(self, singleton_spread: float) -> float:
+        """Cost of a single node given its singleton spread."""
+        return float(self.costs(np.array([singleton_spread]))[0])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(alpha={self.alpha})"
+
+
+class LinearIncentiveModel(IncentiveModel):
+    """``c(u) = α · σ({u})``."""
+
+    name = "linear"
+
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        return self.alpha * singleton_spreads
+
+
+class QuasiLinearIncentiveModel(IncentiveModel):
+    """``c(u) = α · σ({u}) · ln(σ({u}))`` (natural log, clamped at zero)."""
+
+    name = "quasilinear"
+
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        safe = np.maximum(singleton_spreads, 1.0)
+        return self.alpha * singleton_spreads * np.log(safe)
+
+
+class SuperLinearIncentiveModel(IncentiveModel):
+    """``c(u) = α · σ({u})²``."""
+
+    name = "superlinear"
+
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        return self.alpha * np.square(singleton_spreads)
+
+
+class ConstantIncentiveModel(IncentiveModel):
+    """Every node costs exactly ``alpha`` regardless of its influence."""
+
+    name = "constant"
+
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        return np.full_like(singleton_spreads, self.alpha)
+
+
+class DegreeIncentiveModel(IncentiveModel):
+    """``c(u) = α · (out_degree(u) + 1)`` — the follower-count pricing strategy.
+
+    The "singleton spread" argument of :meth:`costs` is interpreted as the
+    node's follower count (out-degree) for this model.
+    """
+
+    name = "degree"
+
+    def _raw_costs(self, singleton_spreads: np.ndarray) -> np.ndarray:
+        return self.alpha * (singleton_spreads + 1.0)
+
+
+_REGISTRY: Dict[str, Type[IncentiveModel]] = {
+    LinearIncentiveModel.name: LinearIncentiveModel,
+    QuasiLinearIncentiveModel.name: QuasiLinearIncentiveModel,
+    SuperLinearIncentiveModel.name: SuperLinearIncentiveModel,
+    ConstantIncentiveModel.name: ConstantIncentiveModel,
+    DegreeIncentiveModel.name: DegreeIncentiveModel,
+}
+
+
+def incentive_model_by_name(name: str, alpha: float = 0.1, min_cost: float = 1e-6) -> IncentiveModel:
+    """Instantiate an incentive model from its short name.
+
+    Recognised names: ``linear``, ``quasilinear``, ``superlinear``,
+    ``constant``, ``degree``.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ProblemDefinitionError(
+            f"unknown incentive model {name!r}; expected one of {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](alpha=alpha, min_cost=min_cost)

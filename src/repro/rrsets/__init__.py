@@ -1,0 +1,22 @@
+"""Reverse-reachable set machinery (Borgs et al. [12]) adapted to the RM problem."""
+
+from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
+from repro.rrsets.collection import RRCollection, CoverageState
+from repro.rrsets.uniform import UniformRRSampler, PerAdvertiserRRSampler
+from repro.rrsets.estimators import (
+    estimate_total_revenue,
+    estimate_advertiser_revenue,
+    estimate_spread,
+)
+
+__all__ = [
+    "RRSetGenerator",
+    "SubsimRRGenerator",
+    "RRCollection",
+    "CoverageState",
+    "UniformRRSampler",
+    "PerAdvertiserRRSampler",
+    "estimate_total_revenue",
+    "estimate_advertiser_revenue",
+    "estimate_spread",
+]

@@ -1,0 +1,204 @@
+"""Collections of advertiser-tagged RR-sets and incremental coverage tracking.
+
+The uniform sampling scheme of Section 4.2 tags every RR-set with the
+advertiser it was generated for.  Revenue estimation and the greedy inner
+loops of the solvers then reduce to weighted maximum coverage over the tagged
+collection:
+
+* ``π̃(S⃗, R) = nΓ · (#covered RR-sets) / |R|`` where an RR-set tagged ``j``
+  is covered iff ``S_j`` intersects it (Lemma 4.1).
+* The marginal gain of assigning node ``u`` to advertiser ``i`` is
+  ``nΓ/|R|`` times the number of *uncovered* RR-sets tagged ``i`` that
+  contain ``u``.
+
+:class:`CoverageState` maintains those marginal counts incrementally so that
+each greedy pass over the collection costs ``O(Σ |R_k|)`` amortised.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+
+class RRCollection:
+    """An append-only list of RR-sets, each tagged with an advertiser index.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes in the underlying graph (for validation and the
+        estimator scale factor).
+    num_advertisers:
+        Number of advertisers ``h``; tags must lie in ``[0, h)``.
+    """
+
+    def __init__(self, num_nodes: int, num_advertisers: int):
+        if num_nodes <= 0:
+            raise SamplingError("num_nodes must be positive")
+        if num_advertisers <= 0:
+            raise SamplingError("num_advertisers must be positive")
+        self._num_nodes = num_nodes
+        self._num_advertisers = num_advertisers
+        self._sets: List[np.ndarray] = []
+        self._tags: List[int] = []
+        # (advertiser, node) -> list of RR-set indices containing node with that tag
+        self._membership: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._total_size = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, rr_set: Sequence[int], advertiser: int) -> int:
+        """Append one RR-set tagged with ``advertiser``; returns its index."""
+        if not 0 <= advertiser < self._num_advertisers:
+            raise SamplingError(f"advertiser tag {advertiser} out of range")
+        members = np.unique(np.asarray(rr_set, dtype=np.int64))
+        if members.size == 0:
+            raise SamplingError("an RR-set always contains at least its root")
+        if members.min() < 0 or members.max() >= self._num_nodes:
+            raise SamplingError("RR-set contains invalid node ids")
+        index = len(self._sets)
+        self._sets.append(members)
+        self._tags.append(int(advertiser))
+        self._total_size += int(members.size)
+        for node in members.tolist():
+            self._membership[(int(advertiser), node)].append(index)
+        return index
+
+    def extend(self, rr_sets: Iterable[Tuple[Sequence[int], int]]) -> None:
+        """Append many ``(rr_set, advertiser)`` pairs."""
+        for rr_set, advertiser in rr_sets:
+            self.add(rr_set, advertiser)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes this collection refers to."""
+        return self._num_nodes
+
+    @property
+    def num_advertisers(self) -> int:
+        """Number of advertiser tags."""
+        return self._num_advertisers
+
+    @property
+    def total_size(self) -> int:
+        """Sum of RR-set cardinalities (memory/work proxy)."""
+        return self._total_size
+
+    def rr_set(self, index: int) -> np.ndarray:
+        """The node members of RR-set ``index``."""
+        return self._sets[index]
+
+    def tag(self, index: int) -> int:
+        """The advertiser tag of RR-set ``index``."""
+        return self._tags[index]
+
+    def tags(self) -> np.ndarray:
+        """All advertiser tags as an array aligned with RR-set indices."""
+        return np.asarray(self._tags, dtype=np.int64)
+
+    def count_per_advertiser(self) -> np.ndarray:
+        """Number of RR-sets tagged with each advertiser."""
+        counts = np.zeros(self._num_advertisers, dtype=np.int64)
+        for tag in self._tags:
+            counts[tag] += 1
+        return counts
+
+    def sets_containing(self, advertiser: int, node: int) -> List[int]:
+        """Indices of RR-sets tagged ``advertiser`` that contain ``node``."""
+        return list(self._membership.get((advertiser, node), ()))
+
+    def coverage_count(self, advertiser: int, nodes: Iterable[int]) -> int:
+        """Number of RR-sets tagged ``advertiser`` intersecting ``nodes``."""
+        covered: set[int] = set()
+        for node in nodes:
+            covered.update(self._membership.get((advertiser, int(node)), ()))
+        return len(covered)
+
+    def memory_proxy_bytes(self) -> int:
+        """Approximate memory footprint of the stored RR-sets, in bytes."""
+        return self._total_size * 8 + len(self._sets) * 64
+
+
+class CoverageState:
+    """Incremental coverage bookkeeping for greedy selection on a collection.
+
+    The state tracks, for every ``(advertiser, node)`` pair, how many RR-sets
+    tagged with that advertiser contain the node and are not yet covered by
+    the current allocation.  Adding a node to an advertiser's seed set marks
+    the relevant RR-sets covered and decrements the counts of every other
+    node they contain — the textbook maximum-coverage update.
+    """
+
+    def __init__(self, collection: RRCollection):
+        self._collection = collection
+        self._covered = np.zeros(len(collection), dtype=bool)
+        self._marginal: Dict[Tuple[int, int], int] = defaultdict(int)
+        for index in range(len(collection)):
+            tag = collection.tag(index)
+            for node in collection.rr_set(index).tolist():
+                self._marginal[(tag, node)] += 1
+        self._covered_count = 0
+        self._covered_per_advertiser = np.zeros(collection.num_advertisers, dtype=np.int64)
+
+    @property
+    def collection(self) -> RRCollection:
+        """The underlying RR-set collection."""
+        return self._collection
+
+    @property
+    def covered_count(self) -> int:
+        """Total number of covered RR-sets."""
+        return self._covered_count
+
+    def covered_count_for(self, advertiser: int) -> int:
+        """Number of covered RR-sets tagged ``advertiser``."""
+        return int(self._covered_per_advertiser[advertiser])
+
+    def marginal_coverage(self, advertiser: int, node: int) -> int:
+        """Uncovered RR-sets tagged ``advertiser`` that contain ``node``."""
+        return self._marginal.get((advertiser, int(node)), 0)
+
+    def is_covered(self, index: int) -> bool:
+        """Whether RR-set ``index`` is already covered."""
+        return bool(self._covered[index])
+
+    def add_seed(self, advertiser: int, node: int) -> int:
+        """Assign ``node`` to ``advertiser`` and return the newly covered count."""
+        newly_covered = 0
+        for index in self._collection.sets_containing(advertiser, int(node)):
+            if self._covered[index]:
+                continue
+            self._covered[index] = True
+            newly_covered += 1
+            tag = self._collection.tag(index)
+            for member in self._collection.rr_set(index).tolist():
+                key = (tag, member)
+                current = self._marginal.get(key, 0)
+                if current > 0:
+                    self._marginal[key] = current - 1
+        self._covered_count += newly_covered
+        self._covered_per_advertiser[advertiser] += newly_covered
+        return newly_covered
+
+    def copy(self) -> "CoverageState":
+        """Deep copy of the state (used when a solver explores alternatives)."""
+        clone = CoverageState.__new__(CoverageState)
+        clone._collection = self._collection
+        clone._covered = self._covered.copy()
+        clone._marginal = dict(self._marginal)
+        # defaultdict semantics are not needed on the copy path; .get covers misses
+        clone._covered_count = self._covered_count
+        clone._covered_per_advertiser = self._covered_per_advertiser.copy()
+        return clone

@@ -1,0 +1,122 @@
+"""Unbiased revenue and spread estimators built on tagged RR-set collections.
+
+Lemma 4.1 of the paper: with RR-sets drawn by the uniform advertiser
+sampler, ``π(S⃗) = nΓ · E[Λ(S⃗, R)]`` where ``Λ`` indicates that the RR-set's
+tagged advertiser ``j`` has ``S_j ∩ R ≠ ∅``.  The empirical analogues below
+are therefore unbiased estimates of total and per-advertiser revenue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.rrsets.collection import RRCollection
+
+Allocation = Mapping[int, Iterable[int]]
+
+
+def _scale(collection: RRCollection, gamma: float) -> float:
+    if len(collection) == 0:
+        raise SamplingError("cannot estimate from an empty RR-set collection")
+    if gamma <= 0:
+        raise SamplingError("gamma must be positive")
+    return collection.num_nodes * gamma / len(collection)
+
+
+def estimate_total_revenue(
+    collection: RRCollection, allocation: Allocation, gamma: float
+) -> float:
+    """Estimate ``π(S⃗)``: total expected revenue of an allocation.
+
+    ``allocation`` maps advertiser index to an iterable of seed nodes.
+    """
+    covered = 0
+    for advertiser, seeds in allocation.items():
+        covered += collection.coverage_count(advertiser, seeds)
+    return _scale(collection, gamma) * covered
+
+
+def estimate_advertiser_revenue(
+    collection: RRCollection, advertiser: int, seeds: Iterable[int], gamma: float
+) -> float:
+    """Estimate ``π_i(S_i)`` for one advertiser."""
+    covered = collection.coverage_count(advertiser, seeds)
+    return _scale(collection, gamma) * covered
+
+
+def estimate_marginal_revenue(
+    collection: RRCollection,
+    advertiser: int,
+    node: int,
+    current_seeds: Iterable[int],
+    gamma: float,
+) -> float:
+    """Estimate ``π_i(u | S_i)`` — marginal revenue of adding ``node``."""
+    current = set(int(s) for s in current_seeds)
+    already = set()
+    for seed in current:
+        already.update(collection.sets_containing(advertiser, seed))
+    additional = [
+        index
+        for index in collection.sets_containing(advertiser, int(node))
+        if index not in already
+    ]
+    return _scale(collection, gamma) * len(additional)
+
+
+def estimate_spread(
+    rr_sets: Sequence[np.ndarray], seeds: Iterable[int], num_nodes: int
+) -> float:
+    """Plain single-ad spread estimate ``σ(A) ≈ n · (#hit RR-sets)/|R|``.
+
+    Used by the TIM-style baselines, which keep untagged per-advertiser pools.
+    """
+    if not rr_sets:
+        raise SamplingError("cannot estimate from an empty RR-set list")
+    if num_nodes <= 0:
+        raise SamplingError("num_nodes must be positive")
+    seed_set = set(int(s) for s in seeds)
+    if not seed_set:
+        return 0.0
+    hits = 0
+    for rr_set in rr_sets:
+        members = rr_set.tolist() if isinstance(rr_set, np.ndarray) else rr_set
+        if any(member in seed_set for member in members):
+            hits += 1
+    return num_nodes * hits / len(rr_sets)
+
+
+def coverage_counts_by_node(
+    rr_sets: Sequence[np.ndarray], num_nodes: int
+) -> np.ndarray:
+    """Number of RR-sets containing each node (singleton coverage counts)."""
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    for rr_set in rr_sets:
+        members = np.asarray(rr_set, dtype=np.int64)
+        counts[members] += 1
+    return counts
+
+
+def empirical_coverage_fraction(
+    collection: RRCollection, allocation: Allocation
+) -> float:
+    """Fraction of RR-sets covered by an allocation (the raw ``Λ`` mean)."""
+    if len(collection) == 0:
+        raise SamplingError("cannot estimate from an empty RR-set collection")
+    covered = 0
+    for advertiser, seeds in allocation.items():
+        covered += collection.coverage_count(advertiser, seeds)
+    return covered / len(collection)
+
+
+def per_advertiser_estimates(
+    collection: RRCollection, allocation: Allocation, gamma: float
+) -> Dict[int, float]:
+    """Per-advertiser revenue estimates for every advertiser in ``allocation``."""
+    return {
+        advertiser: estimate_advertiser_revenue(collection, advertiser, seeds, gamma)
+        for advertiser, seeds in allocation.items()
+    }

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG management, lazy-greedy heaps, timers and logging."""
+
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.lazy_heap import LazyMarginalHeap, HeapEntry
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_open_interval,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_rng",
+    "spawn_rngs",
+    "LazyMarginalHeap",
+    "HeapEntry",
+    "Timer",
+    "timed",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_open_interval",
+]

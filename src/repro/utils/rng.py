@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (graph generators, diffusion
+simulation, RR-set sampling, dataset synthesis) accepts either an integer
+seed, ``None`` or an existing :class:`numpy.random.Generator`.  This module
+centralises the conversion so results are reproducible end to end when a seed
+is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+RandomSource = Union[int, None, np.random.Generator]
+
+
+def as_rng(seed: RandomSource = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
+        (returned unchanged so that callers can thread a single stream
+        through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomSource, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single source.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the child streams are
+    statistically independent regardless of how many are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def random_subset(
+    items: Iterable[int], probability: float, rng: Optional[np.random.Generator] = None
+) -> list[int]:
+    """Return each element of ``items`` independently with ``probability``."""
+    generator = as_rng(rng)
+    kept = [item for item in items if generator.random() < probability]
+    return kept

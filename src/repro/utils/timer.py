@@ -1,0 +1,53 @@
+"""Lightweight wall-clock timing used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulates elapsed wall-clock time across named sections.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("sampling"):
+    ...     pass
+    >>> timer.total() >= 0.0
+    True
+    """
+
+    sections: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to ``sections[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total time accumulated over all sections, in seconds."""
+        return sum(self.sections.values())
+
+    def reset(self) -> None:
+        """Drop all accumulated measurements."""
+        self.sections.clear()
+
+
+@contextmanager
+def timed() -> Iterator[dict]:
+    """Context manager yielding a dict whose ``"seconds"`` key is filled on exit."""
+    result = {"seconds": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers shared across the library.
+
+They raise :class:`ValueError` with a message naming the offending parameter,
+which keeps the call sites in the algorithms short and uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def _require_finite_number(name: str, value: Any) -> float:
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(number) or math.isinf(number):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return number
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    number = _require_finite_number(name, value)
+    if number <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return number
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    number = _require_finite_number(name, value)
+    if number < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return number
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    number = _require_finite_number(name, value)
+    if not 0.0 <= number <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return number
+
+
+def check_in_open_interval(name: str, value: Any, low: float, high: float) -> float:
+    """Validate that ``value`` lies strictly between ``low`` and ``high``."""
+    number = _require_finite_number(name, value)
+    if not low < number < high:
+        raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return number

@@ -1,0 +1,166 @@
+"""Tests for Advertiser, Allocation and RMInstance."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.diffusion.models import IndependentCascadeModel
+from repro.diffusion.topics import TopicDistribution
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.builders import from_edge_list
+
+
+class TestAdvertiser:
+    def test_valid_construction(self):
+        advertiser = Advertiser(budget=100.0, cpe=1.5, name="brand")
+        assert advertiser.budget == 100.0
+        assert advertiser.max_engagements == pytest.approx(100 / 1.5)
+
+    def test_with_budget_returns_copy(self):
+        advertiser = Advertiser(budget=100.0, cpe=1.0)
+        scaled = advertiser.with_budget(50.0)
+        assert scaled.budget == 50.0
+        assert advertiser.budget == 100.0
+        assert scaled.cpe == advertiser.cpe
+
+    def test_topic_mix_accepted(self):
+        advertiser = Advertiser(budget=1.0, cpe=1.0, topic_mix=TopicDistribution([1, 1]))
+        assert advertiser.topic_mix.num_topics == 2
+
+    @pytest.mark.parametrize("budget,cpe", [(0.0, 1.0), (-5.0, 1.0), (10.0, 0.0), (10.0, -1.0)])
+    def test_invalid_values_rejected(self, budget, cpe):
+        with pytest.raises(ProblemDefinitionError):
+            Advertiser(budget=budget, cpe=cpe)
+
+    def test_invalid_topic_mix_type(self):
+        with pytest.raises(ProblemDefinitionError):
+            Advertiser(budget=1.0, cpe=1.0, topic_mix=[0.5, 0.5])
+
+
+class TestAllocation:
+    def test_assign_and_query(self):
+        allocation = Allocation(2)
+        allocation.assign(3, 0)
+        assert allocation.seeds(0) == frozenset({3})
+        assert allocation.owner_of(3) == 0
+        assert allocation.is_assigned(3)
+        assert allocation.total_seed_count() == 1
+
+    def test_partition_constraint_enforced(self):
+        allocation = Allocation(2)
+        allocation.assign(3, 0)
+        with pytest.raises(ProblemDefinitionError):
+            allocation.assign(3, 1)
+
+    def test_reassigning_same_advertiser_is_noop(self):
+        allocation = Allocation(2)
+        allocation.assign(3, 0)
+        allocation.assign(3, 0)
+        assert allocation.seed_count(0) == 1
+
+    def test_unassign(self):
+        allocation = Allocation(2)
+        allocation.assign(3, 0)
+        allocation.unassign(3)
+        assert not allocation.is_assigned(3)
+        allocation.assign(3, 1)
+        assert allocation.owner_of(3) == 1
+
+    def test_copy_is_independent(self):
+        allocation = Allocation(2)
+        allocation.assign(1, 0)
+        clone = allocation.copy()
+        clone.assign(2, 1)
+        assert not allocation.is_assigned(2)
+        assert allocation == Allocation.from_dict(2, {0: [1]})
+
+    def test_from_dict_validates_disjointness(self):
+        with pytest.raises(ProblemDefinitionError):
+            Allocation.from_dict(2, {0: [1], 1: [1]})
+
+    def test_items_and_pairs(self):
+        allocation = Allocation.from_dict(2, {0: [1, 2], 1: [3]})
+        items = dict(allocation.items())
+        assert items[0] == frozenset({1, 2})
+        assert set(allocation.pairs()) == {(1, 0), (2, 0), (3, 1)}
+
+    def test_invalid_advertiser(self):
+        allocation = Allocation(2)
+        with pytest.raises(ProblemDefinitionError):
+            allocation.assign(0, 7)
+
+    def test_is_empty(self):
+        allocation = Allocation(1)
+        assert allocation.is_empty()
+        allocation.assign(0, 0)
+        assert not allocation.is_empty()
+
+
+class TestRMInstance:
+    def test_basic_accessors(self, probabilistic_instance):
+        instance = probabilistic_instance
+        assert instance.num_advertisers == 2
+        assert instance.num_nodes == 4
+        assert instance.gamma == pytest.approx(3.0)
+        assert instance.min_budget == pytest.approx(5.0)
+        assert instance.budgets().tolist() == [6.0, 5.0]
+        assert instance.cpes().tolist() == [1.0, 2.0]
+
+    def test_cost_lookups(self, probabilistic_instance):
+        assert probabilistic_instance.cost(0, 1) == pytest.approx(1.5)
+        assert probabilistic_instance.cost_of_set(1, [1, 2, 3]) == pytest.approx(3.0)
+        assert probabilistic_instance.cost_of_set(0, []) == 0.0
+
+    def test_shared_cost_vector_broadcast(self, diamond_graph):
+        model = IndependentCascadeModel(diamond_graph, 0.5)
+        advertisers = [Advertiser(budget=5, cpe=1), Advertiser(budget=5, cpe=1)]
+        instance = RMInstance(diamond_graph, model, advertisers, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert instance.cost(0, 2) == instance.cost(1, 2) == 3.0
+
+    def test_edge_probabilities_cached(self, topic_instance):
+        first = topic_instance.edge_probabilities(0)
+        second = topic_instance.edge_probabilities(0)
+        assert first is second
+
+    def test_edge_probabilities_differ_across_topic_mixes(self, topic_instance):
+        assert not np.allclose(
+            topic_instance.edge_probabilities(0), topic_instance.edge_probabilities(1)
+        )
+
+    def test_with_scaled_budgets(self, probabilistic_instance):
+        scaled = probabilistic_instance.with_scaled_budgets(2.0)
+        assert scaled.budgets().tolist() == [12.0, 10.0]
+        assert probabilistic_instance.budgets().tolist() == [6.0, 5.0]
+
+    def test_total_seeding_cost(self, probabilistic_instance):
+        allocation = Allocation.from_dict(2, {0: [0], 1: [3]})
+        expected = probabilistic_instance.cost(0, 0) + probabilistic_instance.cost(1, 3)
+        assert probabilistic_instance.total_seeding_cost(allocation) == pytest.approx(expected)
+
+    def test_invalid_costs_rejected(self, diamond_graph):
+        model = IndependentCascadeModel(diamond_graph, 0.5)
+        advertisers = [Advertiser(budget=5, cpe=1)]
+        with pytest.raises(ProblemDefinitionError):
+            RMInstance(diamond_graph, model, advertisers, np.zeros((1, 4)))
+        with pytest.raises(ProblemDefinitionError):
+            RMInstance(diamond_graph, model, advertisers, np.ones((2, 4)))
+
+    def test_mismatched_graph_rejected(self, diamond_graph, path_graph):
+        model = IndependentCascadeModel(path_graph, 0.5)
+        advertisers = [Advertiser(budget=5, cpe=1)]
+        with pytest.raises(ProblemDefinitionError):
+            RMInstance(diamond_graph, model, advertisers, np.ones((1, 4)))
+
+    def test_no_advertisers_rejected(self, diamond_graph):
+        model = IndependentCascadeModel(diamond_graph, 0.5)
+        with pytest.raises(ProblemDefinitionError):
+            RMInstance(diamond_graph, model, [], np.ones((0, 4)))
+
+    def test_cost_dict_form(self, diamond_graph):
+        model = IndependentCascadeModel(diamond_graph, 0.5)
+        advertisers = [Advertiser(budget=5, cpe=1), Advertiser(budget=5, cpe=1)]
+        costs = {0: np.ones(4), 1: np.full(4, 2.0)}
+        instance = RMInstance(diamond_graph, model, advertisers, costs)
+        assert instance.cost(1, 0) == 2.0

@@ -1,0 +1,82 @@
+"""Tests for the CA-Greedy and CS-Greedy oracle-setting baselines."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import ExactOracle
+from repro.baselines.ca_greedy import ca_greedy
+from repro.baselines.cs_greedy import cs_greedy
+from repro.diffusion.models import IndependentCascadeModel
+from repro.exceptions import SolverError
+from repro.graph.builders import from_edge_list
+
+
+@pytest.fixture
+def oracle(probabilistic_instance):
+    return ExactOracle(probabilistic_instance)
+
+
+class TestCAGreedy:
+    def test_budget_feasible_output(self, probabilistic_instance, oracle):
+        result = ca_greedy(probabilistic_instance, oracle)
+        for advertiser, seeds in result.allocation.items():
+            if seeds:
+                payment = probabilistic_instance.cost_of_set(advertiser, seeds) + oracle.revenue(
+                    advertiser, seeds
+                )
+                assert payment <= probabilistic_instance.budget(advertiser) + 1e-9
+
+    def test_partition_constraint(self, topic_instance):
+        oracle = ExactOracle(topic_instance)
+        result = ca_greedy(topic_instance, oracle)
+        nodes = [node for _, seeds in result.allocation.items() for node in seeds]
+        assert len(nodes) == len(set(nodes))
+
+    def test_revenue_matches_oracle_evaluation(self, probabilistic_instance, oracle):
+        result = ca_greedy(probabilistic_instance, oracle)
+        assert result.revenue == pytest.approx(oracle.total_revenue(result.allocation))
+
+    def test_mismatched_oracle_rejected(self, probabilistic_instance, single_advertiser_instance):
+        with pytest.raises(SolverError):
+            ca_greedy(probabilistic_instance, ExactOracle(single_advertiser_instance))
+
+    def test_cost_agnostic_picks_expensive_high_gain_node(self):
+        """Reproduces the paper's footnote-8 example: CA prefers the big node."""
+        graph = from_edge_list([(0, 1), (0, 2), (0, 3), (4, 5), (6, 7)], num_nodes=8)
+        model = IndependentCascadeModel(graph, probability=1.0)
+        advertisers = [Advertiser(budget=10.0, cpe=1.0)]
+        # Node 0 reaches 4 nodes but costs 5.9; nodes 4 and 6 reach 2 each and cost 1.
+        costs = np.array([[5.9, 1, 1, 1, 1.0, 1, 1.0, 1]])
+        instance = RMInstance(graph, model, advertisers, costs)
+        oracle = ExactOracle(instance)
+        ca = ca_greedy(instance, oracle)
+        cs = cs_greedy(instance, oracle)
+        assert 0 in ca.allocation.seeds(0)
+        # Cost-sensitive greedy prefers the two cheap efficient nodes.
+        assert {4, 6} <= cs.allocation.seeds(0)
+        assert cs.revenue > ca.revenue
+
+
+class TestCSGreedy:
+    def test_budget_feasible_output(self, probabilistic_instance, oracle):
+        result = cs_greedy(probabilistic_instance, oracle)
+        for advertiser, seeds in result.allocation.items():
+            if seeds:
+                payment = probabilistic_instance.cost_of_set(advertiser, seeds) + oracle.revenue(
+                    advertiser, seeds
+                )
+                assert payment <= probabilistic_instance.budget(advertiser) + 1e-9
+
+    def test_selects_nonempty_when_feasible(self, probabilistic_instance, oracle):
+        result = cs_greedy(probabilistic_instance, oracle)
+        assert result.allocation.total_seed_count() > 0
+
+    def test_per_advertiser_revenue_reported(self, probabilistic_instance, oracle):
+        result = cs_greedy(probabilistic_instance, oracle)
+        assert set(result.per_advertiser_revenue) == {0, 1}
+
+    def test_closed_advertisers_metadata(self, probabilistic_instance, oracle):
+        result = cs_greedy(probabilistic_instance, oracle)
+        assert 0 <= result.metadata["closed_advertisers"] <= 2

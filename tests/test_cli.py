@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.algorithm == "RMA"
+        assert args.dataset == "lastfm_like"
+
+    def test_compare_algorithm_list(self):
+        args = build_parser().parse_args(["compare", "--algorithms", "RMA", "TI-CSRM"])
+        assert args.algorithms == ["RMA", "TI-CSRM"]
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset", "--name", "dblp_like"])
+        assert args.name == "dblp_like"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--algorithm", "Mystery"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--dataset", "facebook"])
+
+    def test_numeric_options_parsed(self):
+        args = build_parser().parse_args(
+            ["solve", "--alpha", "0.3", "--epsilon", "0.2", "--max-rr-sets", "1000"]
+        )
+        assert args.alpha == 0.3
+        assert args.epsilon == 0.2
+        assert args.max_rr_sets == 1000
+
+
+class TestCommands:
+    def test_dataset_command_prints_stats(self, capsys):
+        exit_code = main(["dataset", "--name", "lastfm_like", "--scale", "0.1", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "lastfm_like" in captured.out
+        assert "nodes" in captured.out
+
+    def test_solve_command_runs_small_instance(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--dataset", "lastfm_like",
+                "--advertisers", "2",
+                "--scale", "0.1",
+                "--seed", "1",
+                "--algorithm", "OneBatchRM",
+                "--initial-rr-sets", "128",
+                "--max-rr-sets", "256",
+                "--evaluation-rr-sets", "800",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "OneBatchRM" in captured.out
+        assert "revenue" in captured.out
+
+    def test_compare_command_runs_two_algorithms(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--dataset", "lastfm_like",
+                "--advertisers", "2",
+                "--scale", "0.1",
+                "--seed", "1",
+                "--algorithms", "OneBatchRM", "TI-CSRM",
+                "--initial-rr-sets", "128",
+                "--max-rr-sets", "256",
+                "--evaluation-rr-sets", "800",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Best revenue" in captured.out
+        assert "TI-CSRM" in captured.out

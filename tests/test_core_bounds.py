@@ -1,0 +1,142 @@
+"""Tests for the Theorem 4.2 sample-size bounds and the martingale bounds."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.oracle import ExactOracle
+from repro.core.bounds import (
+    epsilon_split,
+    lower_bound_from_estimate,
+    max_seeds_per_advertiser,
+    theta_bar_max,
+    theta_hat_max,
+    theta_max,
+    theta_zero,
+    upper_bound_from_estimate,
+)
+from repro.exceptions import SolverError
+
+
+class TestMaxSeeds:
+    def test_bounded_by_num_nodes(self, probabilistic_instance):
+        mus = max_seeds_per_advertiser(probabilistic_instance, rho=0.1)
+        assert (mus <= probabilistic_instance.num_nodes).all()
+        assert (mus >= 1).all()
+
+    def test_grows_with_rho(self, topic_instance):
+        small = max_seeds_per_advertiser(topic_instance, rho=0.1)
+        large = max_seeds_per_advertiser(topic_instance, rho=1.0)
+        assert (large >= small).all()
+
+    def test_invalid_rho(self, probabilistic_instance):
+        with pytest.raises(SolverError):
+            max_seeds_per_advertiser(probabilistic_instance, rho=0.0)
+
+
+class TestThetaBounds:
+    def test_theta_hat_decreases_with_epsilon(self):
+        small_eps = theta_hat_max(1000, 0.1, 0.05, 0.01, [5, 5])
+        large_eps = theta_hat_max(1000, 0.1, 0.2, 0.01, [5, 5])
+        assert small_eps > large_eps
+
+    def test_theta_bar_decreases_with_rho(self):
+        small_rho = theta_bar_max(1000, 10.0, 0.1, 100.0, 0.01, 5, 10.0)
+        large_rho = theta_bar_max(1000, 10.0, 0.5, 100.0, 0.01, 5, 10.0)
+        assert small_rho > large_rho
+
+    def test_theta_max_is_max_of_components(self, probabilistic_instance):
+        lam, eps, delta, rho = 0.15, 0.05, 0.01, 0.1
+        mus = max_seeds_per_advertiser(probabilistic_instance, rho)
+        hat = theta_hat_max(probabilistic_instance.num_nodes, lam, eps, delta, mus)
+        bar = theta_bar_max(
+            probabilistic_instance.num_nodes,
+            probabilistic_instance.gamma,
+            rho,
+            probabilistic_instance.min_budget,
+            delta,
+            probabilistic_instance.num_advertisers,
+            float(mus.max()),
+        )
+        assert theta_max(probabilistic_instance, lam, eps, delta, rho) == pytest.approx(
+            max(hat, bar)
+        )
+
+    def test_theta_zero_smaller_than_theta_max(self, probabilistic_instance):
+        lam = 0.15
+        t_max = theta_max(probabilistic_instance, lam, 0.05, 0.01, 0.1)
+        t_zero = theta_zero(probabilistic_instance, 0.1, 0.01 / 4)
+        assert t_zero < t_max
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            theta_hat_max(100, 0.1, 0.0, 0.01, [1])
+        with pytest.raises(SolverError):
+            theta_bar_max(100, 1.0, 0.1, 0.0, 0.01, 1, 1.0)
+
+
+class TestEpsilonSplit:
+    def test_split_recovers_epsilon(self):
+        lam, eps = 0.2, 0.05
+        eps1, eps2 = epsilon_split(eps, lam, 0.01, 1000, [5, 5, 5])
+        assert lam * eps1 + eps2 == pytest.approx(eps)
+        assert eps1 > 0 and eps2 > 0
+
+
+class TestMartingaleBounds:
+    def test_upper_above_lower(self):
+        for estimate in [0.0, 5.0, 50.0, 500.0]:
+            upper = upper_bound_from_estimate(estimate, 1000, 4000.0, a=3.0)
+            lower = lower_bound_from_estimate(estimate, 1000, 4000.0, a=3.0)
+            assert upper >= lower
+
+    def test_bounds_bracket_estimate(self):
+        estimate = 100.0
+        upper = upper_bound_from_estimate(estimate, 2000, 4000.0, a=3.0)
+        lower = lower_bound_from_estimate(estimate, 2000, 4000.0, a=3.0)
+        assert lower <= estimate <= upper
+
+    def test_bounds_tighten_with_more_samples(self):
+        estimate = 100.0
+        few = upper_bound_from_estimate(estimate, 100, 4000.0, a=3.0) - lower_bound_from_estimate(
+            estimate, 100, 4000.0, a=3.0
+        )
+        many = upper_bound_from_estimate(estimate, 10000, 4000.0, a=3.0) - lower_bound_from_estimate(
+            estimate, 10000, 4000.0, a=3.0
+        )
+        assert many < few
+
+    def test_lower_bound_never_negative(self):
+        assert lower_bound_from_estimate(0.0, 100, 4000.0, a=10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            upper_bound_from_estimate(1.0, 0, 10.0, 1.0)
+        with pytest.raises(SolverError):
+            lower_bound_from_estimate(1.0, 10, 10.0, -1.0)
+
+    def test_coverage_of_true_revenue(self, probabilistic_instance):
+        """Empirically, the bounds should contain the true revenue almost always."""
+        from repro.rrsets.uniform import UniformRRSampler
+        from repro.rrsets.estimators import estimate_advertiser_revenue
+
+        oracle = ExactOracle(probabilistic_instance)
+        truth = oracle.revenue(0, {0, 1})
+        scale_total = probabilistic_instance.num_nodes * probabilistic_instance.gamma
+        misses = 0
+        trials = 20
+        for trial in range(trials):
+            sampler = UniformRRSampler(
+                probabilistic_instance.graph,
+                probabilistic_instance.all_edge_probabilities(),
+                probabilistic_instance.cpes(),
+                seed=trial,
+            )
+            collection = sampler.generate_collection(400)
+            estimate = estimate_advertiser_revenue(
+                collection, 0, {0, 1}, probabilistic_instance.gamma
+            )
+            upper = upper_bound_from_estimate(estimate, 400, scale_total, a=3.0)
+            lower = lower_bound_from_estimate(estimate, 400, scale_total, a=3.0)
+            if not lower <= truth <= upper:
+                misses += 1
+        assert misses <= 2

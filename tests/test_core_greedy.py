@@ -1,0 +1,126 @@
+"""Tests for Algorithm 1 (single-advertiser Greedy) and the marginal rate."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import ExactOracle
+from repro.core.greedy import greedy_single_advertiser, marginal_rate
+from repro.diffusion.models import IndependentCascadeModel
+from repro.exceptions import SolverError
+from repro.graph.builders import from_edge_list
+
+
+def brute_force_single(instance, oracle, advertiser=0, budget=None):
+    """Exhaustive optimum over all feasible seed sets for one advertiser."""
+    budget = instance.budget(advertiser) if budget is None else budget
+    nodes = list(range(instance.num_nodes))
+    best_value = 0.0
+    best_set = set()
+    for size in range(len(nodes) + 1):
+        for subset in itertools.combinations(nodes, size):
+            seeds = set(subset)
+            revenue = oracle.revenue(advertiser, seeds)
+            if instance.cost_of_set(advertiser, seeds) + revenue <= budget and revenue > best_value:
+                best_value = revenue
+                best_set = seeds
+    return best_set, best_value
+
+
+class TestMarginalRate:
+    def test_formula(self):
+        assert marginal_rate(3.0, 1.0) == pytest.approx(0.75)
+
+    def test_zero_gain(self):
+        assert marginal_rate(0.0, 5.0) == 0.0
+
+    def test_negative_gain_clamped(self):
+        assert marginal_rate(-1.0, 5.0) == 0.0
+
+    def test_rate_below_one(self):
+        assert 0.0 < marginal_rate(100.0, 0.01) < 1.0
+
+
+class TestGreedySingleAdvertiser:
+    def test_respects_budget(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        best, selected, stopple = greedy_single_advertiser(instance, oracle, 0)
+        cost = instance.cost_of_set(0, best)
+        revenue = oracle.revenue(0, best)
+        # The returned set is either budget feasible (S_i) or the stopple node.
+        if best == selected:
+            assert cost + revenue <= instance.budget(0) + 1e-9
+
+    def test_achieves_one_third_of_optimum(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        best, _, _ = greedy_single_advertiser(instance, oracle, 0)
+        _, optimum = brute_force_single(instance, oracle)
+        assert oracle.revenue(0, best) >= optimum / 3.0 - 1e-9
+
+    def test_one_third_bound_across_random_instances(self):
+        """Theorem 3.1 must hold on a batch of random tiny instances."""
+        rng = np.random.default_rng(0)
+        for trial in range(6):
+            edges = [(0, 1), (1, 2), (0, 3), (3, 4), (2, 4)]
+            graph = from_edge_list(edges, num_nodes=5)
+            probs = rng.uniform(0.1, 0.9, graph.num_edges)
+            model = IndependentCascadeModel(graph, probs)
+            costs = rng.uniform(0.5, 3.0, size=(1, 5))
+            budget = float(rng.uniform(3.0, 8.0))
+            instance = RMInstance(graph, model, [Advertiser(budget=budget, cpe=1.0)], costs)
+            oracle = ExactOracle(instance)
+            best, _, _ = greedy_single_advertiser(instance, oracle, 0)
+            _, optimum = brute_force_single(instance, oracle)
+            assert oracle.revenue(0, best) >= optimum / 3.0 - 1e-9, f"trial {trial}"
+
+    def test_candidate_restriction(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        best, _, _ = greedy_single_advertiser(instance, oracle, 0, candidates=[1, 2])
+        assert best <= {1, 2}
+
+    def test_budget_override(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        best, selected, stopple = greedy_single_advertiser(instance, oracle, 0, budget=2.0)
+        # Budget 2 with unit costs and cpe 1: each node's revenue >= 1 so at
+        # most one node fits in S_i (cost 1 + revenue >= 1 <= 2).
+        assert len(selected) <= 1
+
+    def test_infeasible_singletons_are_dropped(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        # Budget so small that node 0 (spread 5) cannot fit, but leaves fit.
+        best, selected, stopple = greedy_single_advertiser(instance, oracle, 0, budget=2.5)
+        assert 0 not in selected
+
+    def test_empty_candidates_gives_empty_solution(self, single_advertiser_instance):
+        instance = single_advertiser_instance
+        oracle = ExactOracle(instance)
+        best, selected, stopple = greedy_single_advertiser(instance, oracle, 0, candidates=[])
+        assert best == set() and selected == set() and stopple == set()
+
+    def test_invalid_advertiser(self, single_advertiser_instance):
+        oracle = ExactOracle(single_advertiser_instance)
+        with pytest.raises(SolverError):
+            greedy_single_advertiser(single_advertiser_instance, oracle, 5)
+
+    def test_invalid_budget(self, single_advertiser_instance):
+        oracle = ExactOracle(single_advertiser_instance)
+        with pytest.raises(SolverError):
+            greedy_single_advertiser(single_advertiser_instance, oracle, 0, budget=0.0)
+
+    def test_stopple_node_is_single(self, star_graph):
+        """D_i holds at most one node — the first budget violator."""
+        model = IndependentCascadeModel(star_graph, probability=1.0)
+        instance = RMInstance(
+            star_graph, model, [Advertiser(budget=3.0, cpe=1.0)], np.full((1, 5), 0.5)
+        )
+        oracle = ExactOracle(instance)
+        _, _, stopple = greedy_single_advertiser(instance, oracle, 0)
+        assert len(stopple) <= 1

@@ -1,0 +1,137 @@
+"""Tests for the RMA progressive solver (Algorithm 6) and the one-batch variant."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.oracle import ExactOracle
+from repro.core.oracle_solver import approximation_ratio
+from repro.core.sampling_solver import SamplingParameters, one_batch_rm, rm_without_oracle
+from repro.exceptions import SolverError
+from tests.test_core_search_and_solver import brute_force_optimum
+
+
+def quick_params(**overrides):
+    defaults = dict(
+        epsilon=0.1,
+        delta=0.05,
+        tau=0.1,
+        rho=0.2,
+        initial_rr_sets=256,
+        max_rr_sets=2048,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SamplingParameters(**defaults)
+
+
+class TestSamplingParameters:
+    def test_defaults_validate(self):
+        SamplingParameters().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("epsilon", 0.0),
+            ("delta", 1.5),
+            ("tau", 0.0),
+            ("rho", -1.0),
+            ("initial_rr_sets", 0),
+            ("max_rr_sets", 0),
+            ("min_initial_rr_sets", 0),
+            ("validation_ratio", 0.0),
+            ("validation_growth_factor", 0.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        params = SamplingParameters()
+        setattr(params, field, value)
+        with pytest.raises(SolverError):
+            params.validate()
+
+
+class TestRMWithoutOracle:
+    def test_returns_allocation_with_metadata(self, probabilistic_instance):
+        result = rm_without_oracle(probabilistic_instance, quick_params())
+        assert result.algorithm == "RMA"
+        assert result.metadata["rr_sets"] >= 256
+        assert result.metadata["iterations"] >= 1
+        assert 0.0 <= result.metadata["beta"]
+        assert result.revenue >= 0.0
+
+    def test_bicriteria_budget_feasibility(self, probabilistic_instance):
+        """The true payment must stay within (1 + rho) x budget per advertiser."""
+        params = quick_params(rho=0.3, initial_rr_sets=1024, max_rr_sets=4096)
+        result = rm_without_oracle(probabilistic_instance, params)
+        oracle = ExactOracle(probabilistic_instance)
+        for advertiser, seeds in result.allocation.items():
+            if not seeds:
+                continue
+            payment = probabilistic_instance.cost_of_set(advertiser, seeds) + oracle.revenue(
+                advertiser, seeds
+            )
+            limit = (1.0 + params.rho) * probabilistic_instance.budget(advertiser)
+            # Allow a small slack for residual estimation error on the tiny sample.
+            assert payment <= limit * 1.15
+
+    def test_revenue_close_to_optimum_on_tiny_instance(self, probabilistic_instance):
+        result = rm_without_oracle(
+            probabilistic_instance, quick_params(initial_rr_sets=2048, max_rr_sets=8192)
+        )
+        oracle = ExactOracle(probabilistic_instance)
+        true_revenue = oracle.total_revenue(result.allocation)
+        optimum = brute_force_optimum(probabilistic_instance, oracle)
+        lam = approximation_ratio(probabilistic_instance.num_advertisers, 0.1)
+        assert true_revenue >= (lam - 0.1) * optimum
+
+    def test_partition_constraint(self, topic_instance):
+        result = rm_without_oracle(topic_instance, quick_params())
+        nodes = [node for _, seeds in result.allocation.items() for node in seeds]
+        assert len(nodes) == len(set(nodes))
+
+    def test_doubling_stops_at_cap(self, probabilistic_instance):
+        params = quick_params(epsilon=1e-6, initial_rr_sets=64, max_rr_sets=256)
+        result = rm_without_oracle(probabilistic_instance, params)
+        assert result.metadata["rr_sets"] <= 256 * 2
+
+    def test_reproducible_with_seed(self, probabilistic_instance):
+        first = rm_without_oracle(probabilistic_instance, quick_params(seed=11))
+        second = rm_without_oracle(probabilistic_instance, quick_params(seed=11))
+        assert first.allocation.as_dict() == second.allocation.as_dict()
+
+    def test_subsim_generator_path(self, probabilistic_instance):
+        result = rm_without_oracle(probabilistic_instance, quick_params(use_subsim=True))
+        assert result.revenue >= 0.0
+
+    def test_validation_ratio_check_path(self, probabilistic_instance):
+        params = quick_params(validation_ratio_check=True, validation_ratio=1.0)
+        result = rm_without_oracle(probabilistic_instance, params)
+        assert result.metadata["rr_sets"] >= 256
+
+    def test_theoretical_thetas_reported(self, probabilistic_instance):
+        result = rm_without_oracle(probabilistic_instance, quick_params())
+        assert result.metadata["theta_max_theoretical"] > 0
+        assert result.metadata["theta_zero_theoretical"] > 0
+
+    def test_single_advertiser_instance(self, single_advertiser_instance):
+        result = rm_without_oracle(single_advertiser_instance, quick_params())
+        assert result.metadata["lambda"] == pytest.approx(1 / 3)
+        assert result.allocation.num_advertisers == 1
+
+
+class TestOneBatch:
+    def test_basic_run(self, probabilistic_instance):
+        result = one_batch_rm(probabilistic_instance, num_rr_sets=512, params=quick_params())
+        assert result.algorithm == "OneBatchRM"
+        assert result.metadata["rr_sets"] == 512
+
+    def test_invalid_rr_count(self, probabilistic_instance):
+        with pytest.raises(SolverError):
+            one_batch_rm(probabilistic_instance, num_rr_sets=0)
+
+    def test_more_samples_do_not_hurt_much(self, probabilistic_instance):
+        oracle = ExactOracle(probabilistic_instance)
+        small = one_batch_rm(probabilistic_instance, 64, quick_params(seed=5))
+        large = one_batch_rm(probabilistic_instance, 2048, quick_params(seed=5))
+        revenue_small = oracle.total_revenue(small.allocation)
+        revenue_large = oracle.total_revenue(large.allocation)
+        assert revenue_large >= revenue_small * 0.8

@@ -1,0 +1,125 @@
+"""Tests for ThresholdGreedy (Algorithm 2) and Fill (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.oracle import ExactOracle
+from repro.core.threshold_greedy import fill, threshold_greedy
+from repro.exceptions import SolverError
+
+
+@pytest.fixture
+def oracle(probabilistic_instance):
+    return ExactOracle(probabilistic_instance)
+
+
+class TestThresholdGreedy:
+    def test_zero_threshold_selects_greedily(self, probabilistic_instance, oracle):
+        allocation, depleted = threshold_greedy(probabilistic_instance, oracle, gamma=0.0)
+        assert allocation.total_seed_count() > 0
+        assert 0 <= depleted <= probabilistic_instance.num_advertisers
+
+    def test_huge_threshold_selects_nothing_before_fill(self, probabilistic_instance, oracle):
+        allocation, depleted = threshold_greedy(
+            probabilistic_instance, oracle, gamma=1e9, run_fill=False
+        )
+        assert allocation.total_seed_count() == 0
+        assert depleted == 0
+
+    def test_fill_spends_leftover_budget(self, probabilistic_instance, oracle):
+        bare, _ = threshold_greedy(probabilistic_instance, oracle, gamma=1e9, run_fill=False)
+        filled, _ = threshold_greedy(probabilistic_instance, oracle, gamma=1e9, run_fill=True)
+        assert filled.total_seed_count() >= bare.total_seed_count()
+
+    def test_budget_feasibility_of_output(self, probabilistic_instance, oracle):
+        allocation, _ = threshold_greedy(probabilistic_instance, oracle, gamma=0.5)
+        for advertiser, seeds in allocation.items():
+            if not seeds:
+                continue
+            spend = probabilistic_instance.cost_of_set(advertiser, seeds) + oracle.revenue(
+                advertiser, seeds
+            )
+            # ThresholdGreedy keeps either a feasible S_i or a single stopple
+            # node D_i (whose own payment can exceed the budget only through
+            # its revenue, never through an accumulated set).
+            if len(seeds) > 1:
+                assert spend <= probabilistic_instance.budget(advertiser) + 1e-9
+
+    def test_partition_constraint(self, probabilistic_instance, oracle):
+        allocation, _ = threshold_greedy(probabilistic_instance, oracle, gamma=0.0)
+        seen = set()
+        for _, seeds in allocation.items():
+            assert not (seen & seeds)
+            seen |= seeds
+
+    def test_respects_budget_override(self, probabilistic_instance, oracle):
+        tight = np.array([2.0, 2.0])
+        allocation, _ = threshold_greedy(probabilistic_instance, oracle, 0.0, budgets=tight)
+        for advertiser, seeds in allocation.items():
+            assert len(seeds) <= 2
+
+    def test_candidate_restriction(self, probabilistic_instance, oracle):
+        allocation, _ = threshold_greedy(
+            probabilistic_instance, oracle, gamma=0.0, candidates=[0, 1]
+        )
+        assert allocation.assigned_nodes() <= {0, 1}
+
+    def test_negative_gamma_rejected(self, probabilistic_instance, oracle):
+        with pytest.raises(SolverError):
+            threshold_greedy(probabilistic_instance, oracle, gamma=-1.0)
+
+    def test_wrong_budget_shape_rejected(self, probabilistic_instance, oracle):
+        with pytest.raises(SolverError):
+            threshold_greedy(probabilistic_instance, oracle, 0.0, budgets=np.array([1.0]))
+
+    def test_depleted_count_matches_budget_pressure(self, probabilistic_instance, oracle):
+        """With tiny budgets every advertiser should deplete; with huge ones none."""
+        _, depleted_tiny = threshold_greedy(
+            probabilistic_instance, oracle, 0.0, budgets=np.array([3.5, 5.2])
+        )
+        _, depleted_huge = threshold_greedy(
+            probabilistic_instance, oracle, 0.0, budgets=np.array([1e6, 1e6])
+        )
+        assert depleted_tiny >= 1
+        assert depleted_huge == 0
+
+    def test_monotone_in_gamma_for_threshold_rule(self, topic_instance):
+        """A larger γ can only restrict the set of elements eligible pre-Fill."""
+        oracle = ExactOracle(topic_instance)
+        low, _ = threshold_greedy(topic_instance, oracle, gamma=0.0, run_fill=False)
+        high, _ = threshold_greedy(topic_instance, oracle, gamma=50.0, run_fill=False)
+        assert high.total_seed_count() <= low.total_seed_count()
+
+
+class TestFill:
+    def test_fill_only_adds_nodes(self, probabilistic_instance, oracle):
+        start = Allocation.from_dict(2, {0: [0]})
+        result = fill(probabilistic_instance, oracle, start)
+        assert start.seeds(0) <= result.seeds(0)
+
+    def test_fill_does_not_mutate_input(self, probabilistic_instance, oracle):
+        start = Allocation.from_dict(2, {0: [0]})
+        fill(probabilistic_instance, oracle, start)
+        assert start.total_seed_count() == 1
+
+    def test_fill_keeps_budget_feasible(self, probabilistic_instance, oracle):
+        result = fill(probabilistic_instance, oracle, Allocation(2))
+        for advertiser, seeds in result.items():
+            if seeds:
+                spend = probabilistic_instance.cost_of_set(advertiser, seeds) + oracle.revenue(
+                    advertiser, seeds
+                )
+                assert spend <= probabilistic_instance.budget(advertiser) + 1e-9
+
+    def test_fill_respects_partition(self, probabilistic_instance, oracle):
+        result = fill(probabilistic_instance, oracle, Allocation(2))
+        owners = {}
+        for advertiser, seeds in result.items():
+            for node in seeds:
+                assert node not in owners
+                owners[node] = advertiser
+
+    def test_fill_with_wrong_budget_shape(self, probabilistic_instance, oracle):
+        with pytest.raises(SolverError):
+            fill(probabilistic_instance, oracle, Allocation(2), budgets=np.array([1.0]))

@@ -1,0 +1,167 @@
+"""Tests for the synthetic datasets and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    build_dataset,
+    build_instance,
+    sample_advertisers,
+)
+from repro.datasets.synthetic import (
+    dblp_like,
+    flixster_like,
+    lastfm_like,
+    livejournal_like,
+    synthetic_tic_probabilities,
+)
+from repro.diffusion.learning import positive_probability_fraction
+from repro.diffusion.models import TopicAwareICModel, WeightedCascadeModel
+from repro.exceptions import DatasetError
+from repro.graph.generators import power_law_configuration_digraph
+
+
+class TestSyntheticNetworks:
+    def test_lastfm_like_structure(self):
+        network = lastfm_like(scale=0.2, seed=1)
+        assert network.name == "lastfm_like"
+        assert network.directed
+        assert isinstance(network.propagation_model, TopicAwareICModel)
+        assert network.num_topics == 10
+        assert network.num_nodes >= 50
+
+    def test_flixster_like_structure(self):
+        network = flixster_like(scale=0.1, seed=1)
+        assert isinstance(network.propagation_model, TopicAwareICModel)
+        assert network.num_nodes >= 100
+
+    def test_dblp_like_is_weighted_cascade_and_symmetric(self):
+        network = dblp_like(scale=0.05, seed=1)
+        assert isinstance(network.propagation_model, WeightedCascadeModel)
+        edges = set(network.graph.edges())
+        assert all((v, u) in edges for u, v in edges)
+
+    def test_livejournal_like_structure(self):
+        network = livejournal_like(scale=0.05, seed=1)
+        assert isinstance(network.propagation_model, WeightedCascadeModel)
+        assert network.directed
+
+    def test_relative_size_ordering(self):
+        sizes = [
+            lastfm_like(scale=0.3, seed=1).num_nodes,
+            flixster_like(scale=0.3, seed=1).num_nodes,
+            dblp_like(scale=0.3, seed=1).num_nodes,
+            livejournal_like(scale=0.3, seed=1).num_nodes,
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_reproducible_networks(self):
+        a = lastfm_like(scale=0.2, seed=5)
+        b = lastfm_like(scale=0.2, seed=5)
+        assert a.graph == b.graph
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            lastfm_like(scale=0.0)
+
+
+class TestSyntheticTICProbabilities:
+    def test_shape_and_range(self):
+        graph = power_law_configuration_digraph(120, seed=2)
+        matrix = synthetic_tic_probabilities(graph, num_topics=4, seed=2)
+        assert matrix.shape == (4, graph.num_edges)
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+    def test_positive_fraction_respected(self):
+        graph = power_law_configuration_digraph(150, seed=2)
+        sparse = synthetic_tic_probabilities(graph, 3, positive_fraction=0.5, seed=2)
+        dense = synthetic_tic_probabilities(graph, 3, positive_fraction=0.99, seed=2)
+        assert positive_probability_fraction(sparse) < positive_probability_fraction(dense)
+
+    def test_invalid_parameters(self):
+        graph = power_law_configuration_digraph(50, seed=2)
+        with pytest.raises(DatasetError):
+            synthetic_tic_probabilities(graph, 0)
+        with pytest.raises(DatasetError):
+            synthetic_tic_probabilities(graph, 2, positive_fraction=0.0)
+
+
+class TestSampleAdvertisers:
+    def test_count_and_positivity(self):
+        advertisers = sample_advertisers(8, num_nodes=500, num_topics=5, seed=3)
+        assert len(advertisers) == 8
+        assert all(adv.budget > 0 and adv.cpe > 0 for adv in advertisers)
+
+    def test_budgets_track_network_size(self):
+        small = sample_advertisers(5, num_nodes=100, num_topics=1, seed=3)
+        large = sample_advertisers(5, num_nodes=10000, num_topics=1, seed=3)
+        assert np.mean([a.budget for a in large]) > np.mean([a.budget for a in small])
+
+    def test_uniform_budget_fraction(self):
+        advertisers = sample_advertisers(
+            4, num_nodes=1000, num_topics=1, uniform_budget_fraction=0.2, seed=3
+        )
+        expected = {0.2 * 1000 * adv.cpe for adv in advertisers}
+        assert {adv.budget for adv in advertisers} == expected
+
+    def test_topic_mixes_only_with_multiple_topics(self):
+        with_topics = sample_advertisers(3, 100, num_topics=5, seed=1)
+        without_topics = sample_advertisers(3, 100, num_topics=1, seed=1)
+        assert all(adv.topic_mix is not None for adv in with_topics)
+        assert all(adv.topic_mix is None for adv in without_topics)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            sample_advertisers(0, 10, 1)
+        with pytest.raises(DatasetError):
+            sample_advertisers(2, 10, 1, demand_range=(0.5, 0.1))
+
+
+class TestBuildDataset:
+    def test_builds_consistent_instance(self):
+        data = build_dataset(
+            "lastfm_like", num_advertisers=4, scale=0.2, seed=2, singleton_rr_sets=200
+        )
+        instance = data.instance
+        assert instance.num_advertisers == 4
+        assert instance.num_nodes == data.network.num_nodes
+        assert data.singleton_spreads.shape == (instance.num_nodes,)
+        assert (instance.cost_matrix() > 0).all()
+
+    def test_costs_follow_incentive_model(self):
+        linear = build_dataset(
+            "lastfm_like", num_advertisers=2, incentive="linear", alpha=0.1, scale=0.2,
+            seed=2, singleton_rr_sets=200,
+        )
+        superlinear = build_dataset(
+            "lastfm_like", num_advertisers=2, incentive="superlinear", alpha=0.1, scale=0.2,
+            seed=2, singleton_rr_sets=200,
+        )
+        # Same network/spreads (same seed): superlinear costs dominate linear
+        # wherever the singleton spread exceeds 1.
+        mask = linear.singleton_spreads > 1.5
+        assert (
+            superlinear.instance.cost_matrix()[0][mask]
+            >= linear.instance.cost_matrix()[0][mask] - 1e-9
+        ).all()
+
+    def test_every_registered_dataset_builds(self):
+        for name in DATASET_BUILDERS:
+            instance = build_instance(
+                name, num_advertisers=2, scale=0.05, seed=1, singleton_rr_sets=100
+            )
+            assert instance.num_advertisers == 2
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            build_dataset("imaginary")
+
+    def test_custom_advertisers_respected(self):
+        from repro.advertising.advertiser import Advertiser
+
+        custom = [Advertiser(budget=50.0, cpe=1.0), Advertiser(budget=60.0, cpe=2.0)]
+        data = build_dataset(
+            "dblp_like", advertisers=custom, scale=0.05, seed=2, singleton_rr_sets=100
+        )
+        assert data.instance.budgets().tolist() == [50.0, 60.0]

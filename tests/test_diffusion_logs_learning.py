@@ -1,0 +1,112 @@
+"""Tests for action-log generation and topic-aware probability learning."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.action_logs import ActionEvent, ActionLog, cascades_touching_edge, generate_action_log
+from repro.diffusion.learning import learn_topic_edge_probabilities, positive_probability_fraction
+from repro.exceptions import DiffusionError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import preferential_attachment_digraph
+
+
+@pytest.fixture
+def log_graph():
+    return preferential_attachment_digraph(60, out_degree=3, seed=2)
+
+
+@pytest.fixture
+def ground_truth(log_graph):
+    rng = np.random.default_rng(4)
+    matrix = rng.uniform(0.2, 0.6, size=(2, log_graph.num_edges))
+    return matrix
+
+
+class TestActionLog:
+    def test_generation_produces_events(self, log_graph, ground_truth):
+        log = generate_action_log(log_graph, ground_truth, num_items=20, seed=5)
+        assert len(log) > 0
+        assert log.num_items == 20
+
+    def test_item_topics_in_range(self, log_graph, ground_truth):
+        log = generate_action_log(log_graph, ground_truth, num_items=10, seed=5)
+        assert set(log.item_topics.values()) <= {0, 1}
+
+    def test_events_for_item_sorted_by_time(self, log_graph, ground_truth):
+        log = generate_action_log(log_graph, ground_truth, num_items=5, seed=5)
+        for item in range(5):
+            events = log.events_for_item(item)
+            times = [event.timestamp for event in events]
+            assert times == sorted(times)
+
+    def test_seed_events_have_time_zero(self, log_graph, ground_truth):
+        log = generate_action_log(log_graph, ground_truth, num_items=5, seeds_per_item=2, seed=5)
+        for item in range(5):
+            events = log.events_for_item(item)
+            assert sum(1 for event in events if event.timestamp == 0) >= 1
+
+    def test_users_method(self):
+        log = ActionLog(events=[ActionEvent(1, 0, 0), ActionEvent(2, 0, 1)], item_topics={0: 0})
+        assert log.users() == {1, 2}
+
+    def test_invalid_parameters(self, log_graph, ground_truth):
+        with pytest.raises(DiffusionError):
+            generate_action_log(log_graph, ground_truth, num_items=0)
+        with pytest.raises(DiffusionError):
+            generate_action_log(log_graph, np.zeros((2, 3)), num_items=1)
+
+    def test_cascades_touching_edge_counts(self):
+        log = ActionLog(
+            events=[ActionEvent(0, 0, 0), ActionEvent(1, 0, 1), ActionEvent(1, 1, 0)],
+            item_topics={0: 0, 1: 0},
+        )
+        assert cascades_touching_edge(log, 0, 1) == 1
+
+
+class TestLearning:
+    def test_learned_matrix_shape_and_range(self, log_graph, ground_truth):
+        log = generate_action_log(log_graph, ground_truth, num_items=40, seed=6)
+        learned = learn_topic_edge_probabilities(log_graph, log, num_topics=2)
+        assert learned.shape == (2, log_graph.num_edges)
+        assert (learned >= 0).all() and (learned <= 1).all()
+
+    def test_no_events_gives_zero_matrix(self, log_graph):
+        empty = ActionLog()
+        learned = learn_topic_edge_probabilities(log_graph, empty, num_topics=3)
+        assert not learned.any()
+
+    def test_learning_recovers_signal(self, log_graph):
+        """Edges with high ground-truth probability should learn higher values."""
+        rng = np.random.default_rng(8)
+        matrix = np.zeros((1, log_graph.num_edges))
+        strong = rng.choice(log_graph.num_edges, size=log_graph.num_edges // 4, replace=False)
+        matrix[0, strong] = 0.9
+        log = generate_action_log(log_graph, matrix, num_items=120, seeds_per_item=5, seed=9)
+        learned = learn_topic_edge_probabilities(log_graph, log, num_topics=1)
+        weak = np.setdiff1d(np.arange(log_graph.num_edges), strong)
+        strong_mean = learned[0, strong].mean()
+        weak_mean = learned[0, weak].mean() if weak.size else 0.0
+        assert strong_mean > weak_mean
+
+    def test_invalid_topic_annotation_rejected(self, log_graph):
+        log = ActionLog(events=[], item_topics={0: 99})
+        with pytest.raises(DiffusionError):
+            learn_topic_edge_probabilities(log_graph, log, num_topics=2)
+
+    def test_invalid_parameters(self, log_graph):
+        log = ActionLog()
+        with pytest.raises(DiffusionError):
+            learn_topic_edge_probabilities(log_graph, log, num_topics=0)
+        with pytest.raises(DiffusionError):
+            learn_topic_edge_probabilities(log_graph, log, num_topics=1, propagation_window=0)
+        with pytest.raises(DiffusionError):
+            learn_topic_edge_probabilities(log_graph, log, num_topics=1, smoothing=-1)
+
+
+class TestPositiveFraction:
+    def test_empty_matrix(self):
+        assert positive_probability_fraction(np.zeros((0, 0))) == 0.0
+
+    def test_half_positive(self):
+        matrix = np.array([[0.0, 0.5], [0.2, 0.0]])
+        assert positive_probability_fraction(matrix) == pytest.approx(0.5)

@@ -1,0 +1,114 @@
+"""Tests for the propagation models."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import (
+    IndependentCascadeModel,
+    TopicAwareICModel,
+    TrivalencyModel,
+    WeightedCascadeModel,
+)
+from repro.diffusion.topics import TopicDistribution
+from repro.exceptions import DiffusionError
+from repro.graph.builders import from_edge_list
+
+
+class TestIndependentCascade:
+    def test_scalar_probability_broadcast(self, diamond_graph):
+        model = IndependentCascadeModel(diamond_graph, probability=0.3)
+        probs = model.edge_probabilities()
+        assert probs.shape == (diamond_graph.num_edges,)
+        assert np.allclose(probs, 0.3)
+
+    def test_array_probability(self, path_graph):
+        custom = np.array([0.1, 0.2, 0.3])
+        model = IndependentCascadeModel(path_graph, probability=custom)
+        assert np.allclose(model.edge_probabilities(), custom)
+
+    def test_topic_mix_ignored(self, path_graph):
+        model = IndependentCascadeModel(path_graph, probability=0.5)
+        assert np.allclose(model.edge_probabilities([0.2, 0.8]), 0.5)
+
+    def test_invalid_scalar(self, path_graph):
+        with pytest.raises(DiffusionError):
+            IndependentCascadeModel(path_graph, probability=1.5)
+
+    def test_invalid_array_shape(self, path_graph):
+        with pytest.raises(DiffusionError):
+            IndependentCascadeModel(path_graph, probability=np.array([0.1]))
+
+    def test_num_topics_is_one(self, path_graph):
+        assert IndependentCascadeModel(path_graph).num_topics == 1
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_in_degree(self):
+        graph = from_edge_list([(0, 2), (1, 2), (0, 1)])
+        model = WeightedCascadeModel(graph)
+        probs = model.edge_probabilities()
+        targets = graph.targets
+        for edge_id, target in enumerate(targets):
+            assert probs[edge_id] == pytest.approx(1.0 / graph.in_degree(int(target)))
+
+    def test_probabilities_in_unit_interval(self, diamond_graph):
+        probs = WeightedCascadeModel(diamond_graph).edge_probabilities()
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+
+class TestTrivalency:
+    def test_values_from_given_set(self, diamond_graph):
+        model = TrivalencyModel(diamond_graph, values=(0.1, 0.01), seed=1)
+        assert set(np.unique(model.edge_probabilities())).issubset({0.1, 0.01})
+
+    def test_invalid_values(self, diamond_graph):
+        with pytest.raises(DiffusionError):
+            TrivalencyModel(diamond_graph, values=(1.5,))
+
+
+class TestTopicAwareIC:
+    def test_mixing_matches_manual_computation(self, path_graph):
+        matrix = np.array([[0.2, 0.4, 0.6], [0.8, 0.0, 0.2]])
+        model = TopicAwareICModel(path_graph, matrix)
+        mix = TopicDistribution([0.25, 0.75])
+        expected = 0.25 * matrix[0] + 0.75 * matrix[1]
+        assert np.allclose(model.edge_probabilities(mix), expected)
+
+    def test_none_mix_defaults_to_uniform(self, path_graph):
+        matrix = np.array([[0.2, 0.4, 0.6], [0.8, 0.0, 0.2]])
+        model = TopicAwareICModel(path_graph, matrix)
+        assert np.allclose(model.edge_probabilities(None), matrix.mean(axis=0))
+
+    def test_pure_topic_mix_selects_row(self, path_graph):
+        matrix = np.array([[0.2, 0.4, 0.6], [0.8, 0.0, 0.2]])
+        model = TopicAwareICModel(path_graph, matrix)
+        assert np.allclose(model.edge_probabilities([1.0, 0.0]), matrix[0])
+
+    def test_num_topics(self, path_graph):
+        matrix = np.zeros((5, path_graph.num_edges))
+        assert TopicAwareICModel(path_graph, matrix).num_topics == 5
+
+    def test_invalid_matrix_shape(self, path_graph):
+        with pytest.raises(DiffusionError):
+            TopicAwareICModel(path_graph, np.zeros((2, 99)))
+
+    def test_invalid_probabilities(self, path_graph):
+        with pytest.raises(DiffusionError):
+            TopicAwareICModel(path_graph, np.full((1, path_graph.num_edges), 1.2))
+
+    def test_wrong_mix_length_rejected(self, path_graph):
+        matrix = np.zeros((2, path_graph.num_edges))
+        model = TopicAwareICModel(path_graph, matrix)
+        with pytest.raises(DiffusionError):
+            model.edge_probabilities([1.0])
+
+    def test_non_normalised_mix_rejected(self, path_graph):
+        matrix = np.zeros((2, path_graph.num_edges))
+        model = TopicAwareICModel(path_graph, matrix)
+        with pytest.raises(DiffusionError):
+            model.edge_probabilities([0.7, 0.7])
+
+    def test_result_clipped_to_unit_interval(self, path_graph):
+        matrix = np.full((2, path_graph.num_edges), 1.0)
+        model = TopicAwareICModel(path_graph, matrix)
+        assert (model.edge_probabilities([0.5, 0.5]) <= 1.0).all()

@@ -1,0 +1,130 @@
+"""Tests for cascade simulation, Monte-Carlo spread and exact spread."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.simulation import (
+    exact_spread,
+    monte_carlo_spread,
+    reachable_from,
+    simulate_cascade,
+    singleton_spreads_monte_carlo,
+)
+from repro.exceptions import DiffusionError
+from repro.graph.builders import from_edge_list
+
+
+class TestSimulateCascade:
+    def test_deterministic_graph_activates_all_reachable(self, path_graph):
+        probs = np.ones(path_graph.num_edges)
+        activated = simulate_cascade(path_graph, probs, [0], rng=0)
+        assert activated == {0, 1, 2, 3}
+
+    def test_zero_probability_activates_only_seeds(self, path_graph):
+        probs = np.zeros(path_graph.num_edges)
+        assert simulate_cascade(path_graph, probs, [0, 2], rng=0) == {0, 2}
+
+    def test_empty_seed_set(self, path_graph):
+        probs = np.ones(path_graph.num_edges)
+        assert simulate_cascade(path_graph, probs, [], rng=0) == set()
+
+    def test_invalid_seed_raises(self, path_graph):
+        with pytest.raises(DiffusionError):
+            simulate_cascade(path_graph, np.ones(path_graph.num_edges), [99])
+
+    def test_wrong_probability_length_raises(self, path_graph):
+        with pytest.raises(DiffusionError):
+            simulate_cascade(path_graph, np.ones(2), [0])
+
+    def test_activated_contains_seeds(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.5)
+        activated = simulate_cascade(diamond_graph, probs, [1], rng=3)
+        assert 1 in activated
+
+
+class TestMonteCarloSpread:
+    def test_deterministic_spread(self, path_graph):
+        probs = np.ones(path_graph.num_edges)
+        assert monte_carlo_spread(path_graph, probs, [0], 50, rng=0) == pytest.approx(4.0)
+
+    def test_empty_seeds_spread_zero(self, path_graph):
+        assert monte_carlo_spread(path_graph, np.ones(path_graph.num_edges), [], 10) == 0.0
+
+    def test_spread_at_least_seed_count(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.3)
+        spread = monte_carlo_spread(diamond_graph, probs, [0, 3], 100, rng=1)
+        assert spread >= 2.0
+
+    def test_matches_exact_on_small_graph(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.5)
+        exact = exact_spread(diamond_graph, probs, [0])
+        estimate = monte_carlo_spread(diamond_graph, probs, [0], 4000, rng=7)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_invalid_simulation_count(self, path_graph):
+        with pytest.raises(DiffusionError):
+            monte_carlo_spread(path_graph, np.ones(path_graph.num_edges), [0], 0)
+
+
+class TestExactSpread:
+    def test_path_graph_closed_form(self, path_graph):
+        # sigma({0}) = 1 + p + p^2 + p^3 on a 4-node path.
+        p = 0.5
+        probs = np.full(path_graph.num_edges, p)
+        expected = 1 + p + p ** 2 + p ** 3
+        assert exact_spread(path_graph, probs, [0]) == pytest.approx(expected)
+
+    def test_diamond_closed_form(self, diamond_graph):
+        # sigma({0}) = 1 + 2p + (1 - (1-p^2)^2) for the diamond.
+        p = 0.5
+        probs = np.full(diamond_graph.num_edges, p)
+        expected = 1 + 2 * p + (1 - (1 - p ** 2) ** 2)
+        assert exact_spread(diamond_graph, probs, [0]) == pytest.approx(expected)
+
+    def test_all_seeds_spread_is_n(self, diamond_graph):
+        probs = np.zeros(diamond_graph.num_edges)
+        assert exact_spread(diamond_graph, probs, [0, 1, 2, 3]) == pytest.approx(4.0)
+
+    def test_monotone_in_seed_set(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.4)
+        small = exact_spread(diamond_graph, probs, [1])
+        large = exact_spread(diamond_graph, probs, [1, 2])
+        assert large >= small
+
+    def test_submodular_marginals(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.4)
+        def sigma(seeds):
+            return exact_spread(diamond_graph, probs, seeds)
+        gain_small = sigma([1, 0]) - sigma([1])
+        gain_large = sigma([1, 2, 0]) - sigma([1, 2])
+        assert gain_large <= gain_small + 1e-9
+
+    def test_too_many_edges_rejected(self):
+        graph = from_edge_list([(i, i + 1) for i in range(25)])
+        with pytest.raises(DiffusionError):
+            exact_spread(graph, np.full(graph.num_edges, 0.5), [0])
+
+    def test_empty_seed_set(self, path_graph):
+        assert exact_spread(path_graph, np.ones(path_graph.num_edges), []) == 0.0
+
+
+class TestReachableFrom:
+    def test_respects_live_edge_mask(self, path_graph):
+        live = np.array([True, False, True])
+        assert reachable_from(path_graph, [0], live) == {0, 1}
+
+    def test_all_live(self, path_graph):
+        live = np.ones(path_graph.num_edges, dtype=bool)
+        assert reachable_from(path_graph, [0], live) == {0, 1, 2, 3}
+
+
+class TestSingletonSpreads:
+    def test_all_nodes_have_spread_at_least_one(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.3)
+        spreads = singleton_spreads_monte_carlo(diamond_graph, probs, 50, rng=1)
+        assert (spreads >= 1.0).all()
+
+    def test_source_node_has_largest_spread(self, star_graph):
+        probs = np.ones(star_graph.num_edges)
+        spreads = singleton_spreads_monte_carlo(star_graph, probs, 30, rng=1)
+        assert spreads[0] == spreads.max()

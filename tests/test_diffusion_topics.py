@@ -1,0 +1,92 @@
+"""Tests for topic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.topics import TopicDistribution, random_topics, skewed_topics, uniform_topics
+from repro.exceptions import DiffusionError
+
+
+class TestTopicDistribution:
+    def test_normalises_weights(self):
+        dist = TopicDistribution([2, 2, 4])
+        assert np.allclose(dist.weights, [0.25, 0.25, 0.5])
+
+    def test_num_topics_and_len(self):
+        dist = TopicDistribution([1, 1])
+        assert dist.num_topics == 2
+        assert len(dist) == 2
+
+    def test_probability_lookup(self):
+        dist = TopicDistribution([1, 3])
+        assert dist.probability(1) == pytest.approx(0.75)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(DiffusionError):
+            TopicDistribution([1, 1]).probability(5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(DiffusionError):
+            TopicDistribution([1, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(DiffusionError):
+            TopicDistribution([0, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DiffusionError):
+            TopicDistribution([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DiffusionError):
+            TopicDistribution([float("nan"), 1.0])
+
+    def test_sample_respects_support(self):
+        dist = TopicDistribution([0, 1, 0])
+        samples = {dist.sample(np.random.default_rng(i)) for i in range(10)}
+        assert samples == {1}
+
+    def test_entropy_uniform_is_log_l(self):
+        dist = uniform_topics(4)
+        assert dist.entropy() == pytest.approx(np.log(4))
+
+    def test_entropy_point_mass_is_zero(self):
+        dist = TopicDistribution([1, 0, 0])
+        assert dist.entropy() == pytest.approx(0.0)
+
+    def test_equality(self):
+        assert TopicDistribution([1, 1]) == TopicDistribution([5, 5])
+
+    def test_weights_are_read_only(self):
+        dist = TopicDistribution([1, 2])
+        with pytest.raises(ValueError):
+            dist.weights[0] = 0.9
+
+
+class TestConstructors:
+    def test_uniform(self):
+        assert np.allclose(uniform_topics(5).weights, 0.2)
+
+    def test_uniform_rejects_zero_topics(self):
+        with pytest.raises(DiffusionError):
+            uniform_topics(0)
+
+    def test_random_is_valid_distribution(self):
+        dist = random_topics(6, concentration=0.5, seed=1)
+        assert dist.num_topics == 6
+        assert dist.weights.sum() == pytest.approx(1.0)
+
+    def test_random_reproducible(self):
+        assert random_topics(4, seed=3) == random_topics(4, seed=3)
+
+    def test_skewed_places_dominance(self):
+        dist = skewed_topics(5, dominant_topic=2, dominance=0.8)
+        assert dist.probability(2) == pytest.approx(0.8)
+
+    def test_skewed_single_topic(self):
+        dist = skewed_topics(1, dominant_topic=0)
+        assert dist.probability(0) == pytest.approx(1.0)
+
+    def test_skewed_invalid_dominant(self):
+        with pytest.raises(DiffusionError):
+            skewed_topics(3, dominant_topic=5)

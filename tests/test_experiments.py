@@ -1,0 +1,179 @@
+"""Tests for the experiment harness: metrics, runner, report and figure sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.oracle import ExactOracle
+from repro.core.sampling_solver import SamplingParameters
+from repro.baselines.ti_common import TIParameters
+from repro.exceptions import ExperimentError
+from repro.experiments import figures
+from repro.experiments.metrics import (
+    budget_usage,
+    evaluate_allocation,
+    independent_evaluator,
+    rate_of_return,
+)
+from repro.experiments.report import format_series, format_table, rows_to_csv, summarise_comparison
+from repro.experiments.runner import compare_algorithms, run_algorithm
+
+
+class TestMetrics:
+    def test_independent_evaluator_agrees_with_exact(self, probabilistic_instance):
+        evaluator = independent_evaluator(probabilistic_instance, num_rr_sets=20000, seed=1)
+        exact = ExactOracle(probabilistic_instance)
+        allocation = Allocation.from_dict(2, {0: [0], 1: [3]})
+        estimated = evaluator.total_revenue(allocation)
+        assert estimated == pytest.approx(exact.total_revenue(allocation), rel=0.1)
+
+    def test_evaluate_allocation_fields(self, probabilistic_instance):
+        allocation = Allocation.from_dict(2, {0: [0], 1: [3]})
+        result = evaluate_allocation(probabilistic_instance, allocation, num_rr_sets=2000, seed=1)
+        assert result.total_seeds == 2
+        expected_cost = probabilistic_instance.cost(0, 0) + probabilistic_instance.cost(1, 3)
+        assert result.seeding_cost == pytest.approx(expected_cost)
+        assert 0.0 <= result.rate_of_return <= 1.0
+        assert result.budget_usage > 0.0
+        assert set(result.as_row()) >= {"revenue", "seeding_cost", "budget_usage"}
+
+    def test_budget_usage_formula(self, probabilistic_instance):
+        value = budget_usage(probabilistic_instance, revenue=5.0, seeding_cost=3.0)
+        assert value == pytest.approx(8.0 / probabilistic_instance.budgets().sum())
+
+    def test_rate_of_return_formula(self):
+        assert rate_of_return(8.0, 2.0) == pytest.approx(0.8)
+        assert rate_of_return(0.0, 0.0) == 0.0
+
+    def test_invalid_rr_sets(self, probabilistic_instance):
+        with pytest.raises(ExperimentError):
+            independent_evaluator(probabilistic_instance, num_rr_sets=0)
+
+
+class TestRunner:
+    @pytest.fixture
+    def evaluator(self, probabilistic_instance):
+        return independent_evaluator(probabilistic_instance, num_rr_sets=3000, seed=1)
+
+    def test_run_rma(self, probabilistic_instance, evaluator):
+        run = run_algorithm(
+            "RMA",
+            probabilistic_instance,
+            evaluator=evaluator,
+            sampling_params=SamplingParameters(initial_rr_sets=128, max_rr_sets=512, seed=1),
+        )
+        assert run.algorithm == "RMA"
+        assert run.running_time_seconds > 0
+        assert "revenue" in run.as_row()
+
+    def test_run_ti_baselines(self, probabilistic_instance, evaluator):
+        ti_params = TIParameters(epsilon=0.3, pilot_size=32, max_rr_sets_per_advertiser=128, seed=1)
+        for name in ("TI-CARM", "TI-CSRM"):
+            run = run_algorithm(name, probabilistic_instance, evaluator=evaluator, ti_params=ti_params)
+            assert run.algorithm == name
+
+    def test_run_oracle_algorithms(self, probabilistic_instance, evaluator):
+        oracle = ExactOracle(probabilistic_instance)
+        for name in ("RM_with_Oracle", "CA-Greedy", "CS-Greedy"):
+            run = run_algorithm(name, probabilistic_instance, evaluator=evaluator, oracle=oracle)
+            assert run.evaluation.revenue >= 0.0
+
+    def test_oracle_algorithm_requires_oracle(self, probabilistic_instance, evaluator):
+        with pytest.raises(ExperimentError):
+            run_algorithm("CA-Greedy", probabilistic_instance, evaluator=evaluator)
+
+    def test_unknown_algorithm(self, probabilistic_instance, evaluator):
+        with pytest.raises(ExperimentError):
+            run_algorithm("Mystery", probabilistic_instance, evaluator=evaluator)
+
+    def test_compare_algorithms(self, probabilistic_instance, evaluator):
+        runs = compare_algorithms(
+            ["OneBatchRM", "TI-CSRM"],
+            probabilistic_instance,
+            evaluator=evaluator,
+            sampling_params=SamplingParameters(initial_rr_sets=128, max_rr_sets=256, seed=1),
+            ti_params=TIParameters(epsilon=0.3, pilot_size=32, max_rr_sets_per_advertiser=128, seed=1),
+            one_batch_rr_sets=256,
+        )
+        assert [run.algorithm for run in runs] == ["OneBatchRM", "TI-CSRM"]
+
+
+class TestReport:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"alg": "RMA", "revenue": 1234.5}, {"alg": "TI-CSRM", "revenue": 98.7}]
+        text = format_table(rows, title="Figure 1")
+        assert "Figure 1" in text
+        assert "RMA" in text and "TI-CSRM" in text
+        assert "1,234" in text or "1234" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series("alpha", [0.1, 0.2], {"RMA": [10.0, 9.0], "TI": [8.0, 7.0]})
+        assert "alpha" in text and "RMA" in text
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "3,4" in csv_text
+
+    def test_summarise_comparison(self):
+        rows = [
+            {"algorithm": "RMA", "revenue": 10.0},
+            {"algorithm": "RMA", "revenue": 20.0},
+            {"algorithm": "TI", "revenue": 5.0},
+        ]
+        summary = summarise_comparison(rows, "revenue")
+        assert summary["RMA"] == pytest.approx(15.0)
+        assert summary["TI"] == pytest.approx(5.0)
+
+
+class TestFigureSweeps:
+    """Smoke tests for the figure definitions at very small scale."""
+
+    def test_table1_rows(self):
+        rows = figures.table1_datasets(scale=0.05, seed=1, datasets=["lastfm_like"])
+        assert rows[0]["dataset"] == "lastfm_like"
+        assert rows[0]["nodes"] > 0
+
+    def test_table2_rows(self):
+        rows = figures.table2_budgets(datasets=("lastfm_like",), num_advertisers=3, scale=0.05)
+        assert rows[0]["budget_min"] <= rows[0]["budget_mean"] <= rows[0]["budget_max"]
+
+    def test_alpha_sweep_shape(self):
+        rows = figures.alpha_sweep(
+            "lastfm_like",
+            alphas=(0.1,),
+            incentives=("linear",),
+            algorithms=("OneBatchRM", "TI-CSRM"),
+            num_advertisers=2,
+            scale=0.1,
+            evaluation_rr_sets=800,
+            seed=1,
+            sampling_overrides={"initial_rr_sets": 128, "max_rr_sets": 256},
+            ti_overrides={"pilot_size": 32, "max_rr_sets_per_advertiser": 128, "epsilon": 0.3},
+        )
+        assert len(rows) == 2
+        assert {row["algorithm"] for row in rows} == {"OneBatchRM", "TI-CSRM"}
+        for row in rows:
+            assert row["revenue"] >= 0.0
+            assert row["running_time_seconds"] > 0.0
+
+    def test_tau_sweep_rows(self):
+        rows = figures.tau_sweep(
+            "lastfm_like",
+            taus=(0.1, 0.4),
+            num_advertisers=2,
+            scale=0.1,
+            evaluation_rr_sets=600,
+            seed=1,
+        )
+        assert [row["tau"] for row in rows] == [0.1, 0.4]
+
+    def test_prepare_base_reuse(self):
+        base = figures.prepare_base("lastfm_like", num_advertisers=2, scale=0.1, seed=1,
+                                    singleton_rr_sets=100)
+        instance_a = base.instance_for("linear", 0.1)
+        instance_b = base.instance_for("linear", 0.5)
+        assert (instance_b.cost_matrix() >= instance_a.cost_matrix() - 1e-12).all()

@@ -1,0 +1,111 @@
+"""Tiny-scale smoke tests for the remaining figure sweep functions.
+
+The benchmark suite exercises these sweeps at their full (quick) size; the
+tests here run them at the smallest possible size so a broken sweep is
+caught by ``pytest tests/`` without waiting for the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def tiny_base():
+    return figures.prepare_base(
+        "lastfm_like", num_advertisers=2, scale=0.1, seed=3, singleton_rr_sets=100
+    )
+
+
+TINY_SAMPLING = {"initial_rr_sets": 64, "max_rr_sets": 128}
+TINY_TI = {"pilot_size": 32, "max_rr_sets_per_advertiser": 64, "epsilon": 0.3}
+
+
+def test_epsilon_sweep_smoke(tiny_base):
+    rows = figures.epsilon_sweep(
+        "lastfm_like",
+        epsilons=(0.1, 0.3),
+        algorithms=("OneBatchRM", "TI-CSRM"),
+        num_advertisers=2,
+        evaluation_rr_sets=500,
+        seed=3,
+        base=tiny_base,
+    )
+    assert len(rows) == 4
+    assert all("memory_proxy_bytes" in row for row in rows)
+
+
+def test_budget_sweep_smoke():
+    rows = figures.budget_sweep(
+        "dblp_like",
+        budget_fractions=(0.1, 0.2),
+        algorithms=("OneBatchRM",),
+        num_advertisers=2,
+        scale=0.05,
+        evaluation_rr_sets=400,
+        seed=3,
+    )
+    assert [row["budget_fraction"] for row in rows] == [0.1, 0.2]
+    assert all(row["revenue"] >= 0 for row in rows)
+
+
+def test_advertiser_count_sweep_smoke():
+    rows = figures.advertiser_count_sweep(
+        "dblp_like",
+        advertiser_counts=(1, 2),
+        algorithms=("OneBatchRM",),
+        scale=0.05,
+        evaluation_rr_sets=400,
+        seed=3,
+    )
+    assert [row["num_advertisers"] for row in rows] == [1, 2]
+
+
+def test_holistic_demand_sweep_smoke():
+    rows = figures.holistic_demand_sweep(
+        "lastfm_like",
+        total_demands=(1.0, 1.5),
+        algorithms=("OneBatchRM",),
+        num_advertisers=2,
+        scale=0.1,
+        evaluation_rr_sets=400,
+        seed=3,
+    )
+    assert len(rows) == 2
+    # Every advertiser in the holistic scenario has cpe = 1, so the revenue
+    # can never exceed the number of nodes times h.
+    assert all(row["revenue"] >= 0 for row in rows)
+
+
+def test_rho_sweep_smoke(tiny_base):
+    rows = figures.rho_sweep(
+        "lastfm_like",
+        rhos=(0.1, 1.0),
+        num_advertisers=2,
+        evaluation_rr_sets=400,
+        seed=3,
+        base=tiny_base,
+    )
+    assert [row["rho"] for row in rows] == [0.1, 1.0]
+
+
+def test_subsim_sweep_smoke(tiny_base):
+    rows = figures.subsim_sweep(
+        "lastfm_like",
+        alphas=(0.1,),
+        algorithms=("OneBatchRM",),
+        num_advertisers=2,
+        evaluation_rr_sets=400,
+        seed=3,
+        base=tiny_base,
+    )
+    assert rows[0]["generator"] == "SUBSIM"
+
+
+def test_unknown_dataset_rejected():
+    from repro.exceptions import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        figures.prepare_base("unknown_dataset")

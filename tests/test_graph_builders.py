@@ -1,0 +1,75 @@
+"""Tests for graph builders and conversions."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builders import from_edge_array, from_edge_list, from_networkx, to_networkx
+
+
+class TestFromEdgeList:
+    def test_infers_num_nodes(self):
+        graph = from_edge_list([(0, 3)])
+        assert graph.num_nodes == 4
+
+    def test_explicit_num_nodes(self):
+        graph = from_edge_list([(0, 1)], num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_num_nodes_too_small_raises(self):
+        with pytest.raises(GraphError):
+            from_edge_list([(0, 5)], num_nodes=3)
+
+    def test_undirected_adds_both_directions(self):
+        graph = from_edge_list([(0, 1)], undirected=True)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_empty_edge_list(self):
+        graph = from_edge_list([])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+
+class TestFromEdgeArray:
+    def test_matches_edge_list_builder(self):
+        a = from_edge_array([0, 1], [1, 2])
+        b = from_edge_list([(0, 1), (1, 2)])
+        assert a == b
+
+    def test_undirected(self):
+        graph = from_edge_array([0], [1], undirected=True)
+        assert graph.num_edges == 2
+
+
+class TestNetworkxConversion:
+    def test_directed_roundtrip(self):
+        nx_graph = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        graph = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        back = to_networkx(graph)
+        assert set(back.edges()) == set(nx_graph.edges())
+
+    def test_undirected_graph_becomes_bidirectional(self):
+        nx_graph = nx.Graph([(0, 1)])
+        graph = from_networkx(nx_graph)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_non_integer_labels_rejected(self):
+        nx_graph = nx.DiGraph([("a", "b")])
+        with pytest.raises(GraphError):
+            from_networkx(nx_graph)
+
+    def test_self_loops_dropped(self):
+        nx_graph = nx.DiGraph([(0, 0), (0, 1)])
+        graph = from_networkx(nx_graph)
+        assert graph.num_edges == 1
+
+    def test_isolated_nodes_preserved(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(5))
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph)
+        assert graph.num_nodes == 5

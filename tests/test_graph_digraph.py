@@ -1,0 +1,142 @@
+"""Tests for the CSR directed graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.digraph import CSRDiGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, path_graph):
+        assert path_graph.num_nodes == 4
+        assert path_graph.num_edges == 3
+
+    def test_empty_graph(self):
+        graph = CSRDiGraph(3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_zero_node_graph(self):
+        graph = CSRDiGraph(0, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert graph.num_nodes == 0
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError):
+            CSRDiGraph(2, np.array([0]), np.array([0]))
+
+    def test_rejects_out_of_range_endpoints(self):
+        with pytest.raises(GraphError):
+            CSRDiGraph(2, np.array([0]), np.array([5]))
+
+    def test_rejects_negative_endpoints(self):
+        with pytest.raises(GraphError):
+            CSRDiGraph(2, np.array([-1]), np.array([1]))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(GraphError):
+            CSRDiGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_deduplicates_parallel_edges(self):
+        graph = from_edge_list([(0, 1), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_rejects_negative_num_nodes(self):
+        with pytest.raises(GraphError):
+            CSRDiGraph(-1, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, star_graph):
+        assert set(star_graph.out_neighbors(0).tolist()) == {1, 2, 3, 4}
+        assert star_graph.out_neighbors(1).size == 0
+
+    def test_in_neighbors(self, star_graph):
+        assert star_graph.in_neighbors(1).tolist() == [0]
+        assert star_graph.in_neighbors(0).size == 0
+
+    def test_degrees(self, star_graph):
+        assert star_graph.out_degree(0) == 4
+        assert star_graph.in_degree(0) == 0
+        assert star_graph.in_degree(3) == 1
+
+    def test_degree_arrays_match_scalar_access(self, diamond_graph):
+        out_degrees = diamond_graph.out_degrees()
+        in_degrees = diamond_graph.in_degrees()
+        for node in diamond_graph.nodes():
+            assert out_degrees[node] == diamond_graph.out_degree(node)
+            assert in_degrees[node] == diamond_graph.in_degree(node)
+
+    def test_edge_ids_align_with_canonical_order(self, diamond_graph):
+        sources = diamond_graph.sources
+        targets = diamond_graph.targets
+        for node in diamond_graph.nodes():
+            for neighbor, edge_id in zip(
+                diamond_graph.out_neighbors(node), diamond_graph.out_edge_ids(node)
+            ):
+                assert sources[edge_id] == node
+                assert targets[edge_id] == neighbor
+            for neighbor, edge_id in zip(
+                diamond_graph.in_neighbors(node), diamond_graph.in_edge_ids(node)
+            ):
+                assert targets[edge_id] == node
+                assert sources[edge_id] == neighbor
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert not path_graph.has_edge(1, 0)
+
+    def test_node_out_of_range_raises(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.out_neighbors(99)
+
+
+class TestTransformations:
+    def test_reverse_swaps_directions(self, path_graph):
+        reverse = path_graph.reverse()
+        assert reverse.has_edge(1, 0)
+        assert not reverse.has_edge(0, 1)
+        assert reverse.num_edges == path_graph.num_edges
+
+    def test_double_reverse_is_identity(self, diamond_graph):
+        assert diamond_graph.reverse().reverse() == diamond_graph
+
+    def test_subgraph_keeps_internal_edges(self, diamond_graph):
+        sub = diamond_graph.subgraph([0, 1, 3])
+        assert sub.num_nodes == 3
+        # relabel: 0->0, 1->1, 3->2 ; edges kept: (0,1), (1,3)
+        assert sub.num_edges == 2
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+
+    def test_subgraph_invalid_node_raises(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.subgraph([0, 99])
+
+    def test_equality(self, path_graph):
+        same = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        assert path_graph == same
+
+    def test_repr_mentions_sizes(self, path_graph):
+        assert "num_nodes=4" in repr(path_graph)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+        max_size=60,
+    )
+)
+def test_csr_roundtrip_preserves_edge_set(edges):
+    """Building a CSR graph preserves exactly the de-duplicated edge set."""
+    graph = from_edge_list(edges, num_nodes=16)
+    expected = {(u, v) for u, v in edges}
+    actual = set(graph.edges())
+    assert actual == expected
+    # In/out degree sums both equal the number of edges.
+    assert int(graph.out_degrees().sum()) == len(expected)
+    assert int(graph.in_degrees().sum()) == len(expected)

@@ -1,0 +1,101 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    erdos_renyi_digraph,
+    power_law_configuration_digraph,
+    preferential_attachment_digraph,
+    small_world_digraph,
+)
+
+
+class TestErdosRenyi:
+    def test_zero_probability_gives_no_edges(self):
+        graph = erdos_renyi_digraph(50, 0.0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_digraph(100, 0.05, seed=1)
+        expected = 100 * 99 * 0.05
+        assert 0.4 * expected < graph.num_edges < 1.6 * expected
+
+    def test_reproducible(self):
+        a = erdos_renyi_digraph(40, 0.1, seed=5)
+        b = erdos_renyi_digraph(40, 0.1, seed=5)
+        assert a == b
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_digraph(10, 1.5)
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_digraph(30, 0.2, seed=2)
+        assert all(u != v for u, v in graph.edges())
+
+
+class TestPreferentialAttachment:
+    def test_sizes(self):
+        graph = preferential_attachment_digraph(200, out_degree=4, seed=3)
+        assert graph.num_nodes == 200
+        assert graph.num_edges > 200
+
+    def test_heavy_tailed_in_degrees(self):
+        graph = preferential_attachment_digraph(400, out_degree=4, seed=3, reciprocity=0.0)
+        in_degrees = graph.in_degrees()
+        # A hub should accumulate far more than the mean in-degree.
+        assert in_degrees.max() > 5 * in_degrees.mean()
+
+    def test_reciprocity_increases_mutual_edges(self):
+        low = preferential_attachment_digraph(150, 3, seed=1, reciprocity=0.0)
+        high = preferential_attachment_digraph(150, 3, seed=1, reciprocity=0.9)
+        def mutual(graph):
+            edges = set(graph.edges())
+            return sum(1 for u, v in edges if (v, u) in edges)
+        assert mutual(high) > mutual(low)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_digraph(0, 3)
+        with pytest.raises(GraphError):
+            preferential_attachment_digraph(10, 0)
+
+
+class TestSmallWorld:
+    def test_all_nodes_have_edges(self):
+        graph = small_world_digraph(100, nearest_neighbors=4, rewire_probability=0.1, seed=2)
+        degrees = graph.out_degrees() + graph.in_degrees()
+        assert (degrees > 0).all()
+
+    def test_no_rewiring_gives_ring_lattice(self):
+        graph = small_world_digraph(20, nearest_neighbors=2, rewire_probability=0.0, seed=2)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(19, 0)
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(GraphError):
+            small_world_digraph(10, nearest_neighbors=10, rewire_probability=0.1)
+
+
+class TestPowerLawConfiguration:
+    def test_sizes_and_mean_degree(self):
+        graph = power_law_configuration_digraph(500, mean_degree=8.0, seed=4)
+        assert graph.num_nodes == 500
+        mean_degree = graph.num_edges / 500
+        assert 4.0 < mean_degree < 12.0
+
+    def test_in_degree_skew(self):
+        graph = power_law_configuration_digraph(800, mean_degree=10.0, seed=4)
+        in_degrees = graph.in_degrees()
+        assert in_degrees.max() > 8 * max(1.0, float(np.median(in_degrees)))
+
+    def test_reproducible(self):
+        a = power_law_configuration_digraph(100, seed=9)
+        b = power_law_configuration_digraph(100, seed=9)
+        assert a == b
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_configuration_digraph(10, exponent=0.5)

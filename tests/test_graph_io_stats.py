@@ -1,0 +1,85 @@
+"""Tests for edge-list IO and graph statistics."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import preferential_attachment_digraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import compute_stats
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path, diamond_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(diamond_graph, path, header="diamond")
+        loaded = read_edge_list(path)
+        assert loaded == diamond_graph
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_self_loops_skipped_on_read(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_undirected_read(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, undirected=True)
+        assert graph.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_non_integer_endpoint_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestStats:
+    def test_basic_counts(self, diamond_graph):
+        stats = compute_stats(diamond_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+
+    def test_reciprocity_of_mutual_pair(self):
+        graph = from_edge_list([(0, 1), (1, 0), (1, 2)])
+        stats = compute_stats(graph)
+        assert stats.reciprocity == pytest.approx(2 / 3)
+
+    def test_isolated_fraction(self):
+        graph = from_edge_list([(0, 1)], num_nodes=4)
+        stats = compute_stats(graph)
+        assert stats.fraction_isolated == pytest.approx(0.5)
+
+    def test_wcc_fraction_connected_graph(self, path_graph):
+        stats = compute_stats(path_graph)
+        assert stats.largest_wcc_fraction == pytest.approx(1.0)
+
+    def test_wcc_fraction_two_components(self):
+        graph = from_edge_list([(0, 1), (2, 3), (3, 4)])
+        stats = compute_stats(graph)
+        assert stats.largest_wcc_fraction == pytest.approx(3 / 5)
+
+    def test_as_row_keys(self, diamond_graph):
+        row = compute_stats(diamond_graph).as_row()
+        assert {"nodes", "edges", "mean_out_degree", "reciprocity"} <= set(row)
+
+    def test_stats_on_generated_graph(self):
+        graph = preferential_attachment_digraph(120, 3, seed=2)
+        stats = compute_stats(graph)
+        assert stats.largest_wcc_fraction > 0.9
+        assert stats.mean_out_degree > 1.0

@@ -1,0 +1,127 @@
+"""Tests for the seed incentive models and singleton-spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemDefinitionError
+from repro.incentives.models import (
+    ConstantIncentiveModel,
+    DegreeIncentiveModel,
+    LinearIncentiveModel,
+    QuasiLinearIncentiveModel,
+    SuperLinearIncentiveModel,
+    incentive_model_by_name,
+)
+from repro.incentives.singleton import estimate_singleton_spreads
+from repro.diffusion.simulation import exact_spread
+
+
+class TestLinearModel:
+    def test_cost_is_alpha_times_spread(self):
+        model = LinearIncentiveModel(alpha=0.2)
+        assert model.cost_of(10.0) == pytest.approx(2.0)
+
+    def test_vectorised(self):
+        model = LinearIncentiveModel(alpha=0.5)
+        costs = model.costs(np.array([1.0, 4.0, 10.0]))
+        assert np.allclose(costs, [0.5, 2.0, 5.0])
+
+    def test_costs_scale_with_alpha(self):
+        spreads = np.array([2.0, 5.0])
+        low = LinearIncentiveModel(alpha=0.1).costs(spreads)
+        high = LinearIncentiveModel(alpha=0.5).costs(spreads)
+        assert (high > low).all()
+
+
+class TestQuasiLinearModel:
+    def test_formula(self):
+        model = QuasiLinearIncentiveModel(alpha=0.3)
+        spread = 5.0
+        assert model.cost_of(spread) == pytest.approx(0.3 * spread * np.log(spread))
+
+    def test_spread_of_one_clamped_to_min_cost(self):
+        model = QuasiLinearIncentiveModel(alpha=0.3, min_cost=0.01)
+        assert model.cost_of(1.0) == pytest.approx(0.01)
+
+    def test_spread_below_one_does_not_go_negative(self):
+        model = QuasiLinearIncentiveModel(alpha=0.3)
+        assert model.cost_of(0.5) > 0.0
+
+
+class TestSuperLinearModel:
+    def test_formula(self):
+        model = SuperLinearIncentiveModel(alpha=0.1)
+        assert model.cost_of(4.0) == pytest.approx(1.6)
+
+    def test_grows_faster_than_linear(self):
+        spreads = np.array([2.0, 10.0, 50.0])
+        linear = LinearIncentiveModel(alpha=0.1).costs(spreads)
+        superlinear = SuperLinearIncentiveModel(alpha=0.1).costs(spreads)
+        ratio = superlinear / linear
+        assert (np.diff(ratio) > 0).all()
+
+
+class TestOtherModels:
+    def test_constant(self):
+        model = ConstantIncentiveModel(alpha=3.0)
+        assert np.allclose(model.costs(np.array([1.0, 100.0])), 3.0)
+
+    def test_degree(self):
+        model = DegreeIncentiveModel(alpha=2.0)
+        assert model.cost_of(4.0) == pytest.approx(10.0)
+
+
+class TestValidationAndRegistry:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LinearIncentiveModel(alpha=0.0)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            LinearIncentiveModel().costs(np.array([-1.0]))
+
+    def test_non_vector_rejected(self):
+        with pytest.raises(ProblemDefinitionError):
+            LinearIncentiveModel().costs(np.zeros((2, 2)))
+
+    def test_min_cost_clamp(self):
+        model = LinearIncentiveModel(alpha=0.1, min_cost=5.0)
+        assert model.cost_of(1.0) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("linear", LinearIncentiveModel),
+            ("quasilinear", QuasiLinearIncentiveModel),
+            ("superlinear", SuperLinearIncentiveModel),
+            ("constant", ConstantIncentiveModel),
+            ("degree", DegreeIncentiveModel),
+        ],
+    )
+    def test_registry_lookup(self, name, cls):
+        assert isinstance(incentive_model_by_name(name), cls)
+
+    def test_registry_case_insensitive(self):
+        assert isinstance(incentive_model_by_name("LINEAR"), LinearIncentiveModel)
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(ProblemDefinitionError):
+            incentive_model_by_name("unknown")
+
+
+class TestSingletonSpreads:
+    def test_estimates_close_to_exact(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.5)
+        estimates = estimate_singleton_spreads(diamond_graph, probs, num_rr_sets=8000, rng=2)
+        for node in range(diamond_graph.num_nodes):
+            truth = exact_spread(diamond_graph, probs, [node])
+            assert estimates[node] == pytest.approx(truth, rel=0.15)
+
+    def test_minimum_of_one(self, diamond_graph):
+        probs = np.zeros(diamond_graph.num_edges)
+        estimates = estimate_singleton_spreads(diamond_graph, probs, num_rr_sets=200, rng=2)
+        assert (estimates >= 1.0).all()
+
+    def test_invalid_pool_size(self, diamond_graph):
+        with pytest.raises(Exception):
+            estimate_singleton_spreads(diamond_graph, np.zeros(diamond_graph.num_edges), 0)

@@ -1,0 +1,98 @@
+"""Tests for the plain influence-maximization substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence_maximization import (
+    greedy_max_coverage,
+    influence_maximization,
+    spread_of_seeds,
+)
+from repro.diffusion.models import WeightedCascadeModel
+from repro.diffusion.simulation import exact_spread
+from repro.exceptions import SolverError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import preferential_attachment_digraph
+
+
+class TestGreedyMaxCoverage:
+    def test_selects_best_single_node(self):
+        rr_sets = [np.array([0, 1]), np.array([1, 2]), np.array([1]), np.array([3])]
+        selected, covered = greedy_max_coverage(rr_sets, num_nodes=4, seed_count=1)
+        assert selected == [1]
+        assert covered == 3
+
+    def test_three_seeds_cover_everything(self):
+        rr_sets = [np.array([0]), np.array([1]), np.array([0, 1]), np.array([2])]
+        selected, covered = greedy_max_coverage(rr_sets, num_nodes=3, seed_count=3)
+        assert covered == len(rr_sets)
+        assert set(selected) == {0, 1, 2}
+
+    def test_stops_when_no_gain_left(self):
+        rr_sets = [np.array([0]), np.array([0])]
+        selected, covered = greedy_max_coverage(rr_sets, num_nodes=5, seed_count=4)
+        assert selected == [0]
+        assert covered == 2
+
+    def test_coverage_monotone_in_seed_count(self):
+        rng = np.random.default_rng(1)
+        rr_sets = [rng.choice(20, size=rng.integers(1, 5), replace=False) for _ in range(50)]
+        coverages = [
+            greedy_max_coverage(rr_sets, num_nodes=20, seed_count=k)[1] for k in range(1, 6)
+        ]
+        assert all(a <= b for a, b in zip(coverages, coverages[1:]))
+
+    def test_greedy_achieves_63_percent_of_best_single_swap(self):
+        """Sanity proxy for the (1 - 1/e) guarantee on random instances."""
+        rng = np.random.default_rng(2)
+        rr_sets = [rng.choice(15, size=rng.integers(1, 4), replace=False) for _ in range(80)]
+        _, greedy_cov = greedy_max_coverage(rr_sets, num_nodes=15, seed_count=3)
+        # Exhaustive optimum over all 3-subsets of 15 nodes.
+        import itertools
+
+        best = 0
+        for subset in itertools.combinations(range(15), 3):
+            covered = sum(1 for rr in rr_sets if set(subset) & set(np.asarray(rr).tolist()))
+            best = max(best, covered)
+        assert greedy_cov >= (1 - 1 / np.e) * best - 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            greedy_max_coverage([], 5, 1)
+        with pytest.raises(SolverError):
+            greedy_max_coverage([np.array([0])], 5, 0)
+
+
+class TestInfluenceMaximization:
+    def test_picks_the_hub_on_a_star(self, star_graph):
+        probs = np.ones(star_graph.num_edges)
+        seeds, spread = influence_maximization(star_graph, probs, seed_count=1,
+                                               num_rr_sets=2000, rng=1)
+        assert seeds == [0]
+        assert spread == pytest.approx(5.0, rel=0.1)
+
+    def test_spread_estimate_close_to_exact(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.5)
+        seeds, spread = influence_maximization(diamond_graph, probs, seed_count=1,
+                                               num_rr_sets=8000, rng=2)
+        truth = exact_spread(diamond_graph, probs, seeds)
+        assert spread == pytest.approx(truth, rel=0.1)
+
+    def test_more_seeds_more_spread(self):
+        graph = preferential_attachment_digraph(120, out_degree=3, seed=3)
+        probs = WeightedCascadeModel(graph).edge_probabilities()
+        _, spread_one = influence_maximization(graph, probs, 1, num_rr_sets=2000, rng=3)
+        _, spread_five = influence_maximization(graph, probs, 5, num_rr_sets=2000, rng=3)
+        assert spread_five >= spread_one
+
+    def test_spread_of_seeds_independent_pool(self, diamond_graph):
+        probs = np.full(diamond_graph.num_edges, 0.5)
+        value = spread_of_seeds(diamond_graph, probs, [0], num_rr_sets=6000, rng=4)
+        truth = exact_spread(diamond_graph, probs, [0])
+        assert value == pytest.approx(truth, rel=0.1)
+
+    def test_invalid_rr_count(self, diamond_graph):
+        with pytest.raises(SolverError):
+            influence_maximization(
+                diamond_graph, np.full(diamond_graph.num_edges, 0.5), 1, num_rr_sets=0
+            )

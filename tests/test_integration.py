@@ -1,0 +1,150 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These mirror the paper's workflow at miniature scale: build a dataset,
+run RMA and the baselines, evaluate with an independent estimator, and check
+the qualitative relationships the paper reports (RMA competitive or better,
+budgets respected, SUBSIM equivalent in quality).
+"""
+
+import numpy as np
+import pytest
+
+from repro.advertising.oracle import ExactOracle
+from repro.baselines.ti_common import TIParameters
+from repro.core.oracle_solver import rm_with_oracle
+from repro.core.sampling_solver import SamplingParameters, rm_without_oracle
+from repro.datasets.registry import build_dataset
+from repro.experiments.metrics import evaluate_allocation, independent_evaluator
+from repro.experiments.runner import compare_algorithms
+
+
+@pytest.fixture(scope="module")
+def lastfm_dataset():
+    return build_dataset(
+        "lastfm_like", num_advertisers=4, scale=0.25, seed=13, singleton_rr_sets=300
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_evaluator(lastfm_dataset):
+    return independent_evaluator(lastfm_dataset.instance, num_rr_sets=6000, seed=99)
+
+
+class TestEndToEnd:
+    def test_full_comparison_pipeline(self, lastfm_dataset, shared_evaluator):
+        instance = lastfm_dataset.instance
+        runs = compare_algorithms(
+            ["RMA", "TI-CSRM", "TI-CARM"],
+            instance,
+            evaluator=shared_evaluator,
+            sampling_params=SamplingParameters(initial_rr_sets=512, max_rr_sets=2048, seed=5),
+            ti_params=TIParameters(
+                epsilon=0.15, pilot_size=128, max_rr_sets_per_advertiser=512, seed=5
+            ),
+        )
+        by_name = {run.algorithm: run for run in runs}
+        assert set(by_name) == {"RMA", "TI-CSRM", "TI-CARM"}
+        # Every algorithm produced a non-trivial allocation.
+        for run in runs:
+            assert run.evaluation.revenue > 0.0
+        # The paper's headline: RMA matches or beats the baselines on revenue.
+        assert by_name["RMA"].evaluation.revenue >= 0.9 * max(
+            by_name["TI-CSRM"].evaluation.revenue, by_name["TI-CARM"].evaluation.revenue
+        )
+
+    def test_rma_budget_respected_under_independent_evaluation(
+        self, lastfm_dataset, shared_evaluator
+    ):
+        instance = lastfm_dataset.instance
+        params = SamplingParameters(initial_rr_sets=1024, max_rr_sets=2048, rho=0.1, seed=3)
+        result = rm_without_oracle(instance, params)
+        evaluation = evaluate_allocation(
+            instance, result.allocation, evaluator=shared_evaluator
+        )
+        for advertiser, seeds in result.allocation.items():
+            revenue = evaluation.per_advertiser_revenue[advertiser]
+            cost = evaluation.per_advertiser_cost[advertiser]
+            limit = (1.0 + params.rho) * instance.budget(advertiser)
+            # Allow estimation slack: the guarantee is w.h.p. and the evaluator
+            # is an independent finite sample.
+            assert revenue + cost <= limit * 1.25
+
+    def test_rate_of_return_favors_rma_over_ti(self, lastfm_dataset, shared_evaluator):
+        """Figure 6(b): RMA's rate of return is at least comparable to TI-CSRM's."""
+        instance = lastfm_dataset.instance
+        runs = compare_algorithms(
+            ["RMA", "TI-CSRM"],
+            instance,
+            evaluator=shared_evaluator,
+            sampling_params=SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=8),
+            ti_params=TIParameters(
+                epsilon=0.15, pilot_size=128, max_rr_sets_per_advertiser=512, seed=8
+            ),
+        )
+        by_name = {run.algorithm: run for run in runs}
+        assert (
+            by_name["RMA"].evaluation.rate_of_return
+            >= by_name["TI-CSRM"].evaluation.rate_of_return * 0.85
+        )
+
+    def test_subsim_and_standard_generators_agree(self, lastfm_dataset, shared_evaluator):
+        """Figure 10: SUBSIM acceleration must not change solution quality much."""
+        instance = lastfm_dataset.instance
+        standard = rm_without_oracle(
+            instance, SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=21)
+        )
+        subsim = rm_without_oracle(
+            instance,
+            SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=21, use_subsim=True),
+        )
+        revenue_standard = evaluate_allocation(
+            instance, standard.allocation, evaluator=shared_evaluator
+        ).revenue
+        revenue_subsim = evaluate_allocation(
+            instance, subsim.allocation, evaluator=shared_evaluator
+        ).revenue
+        assert revenue_subsim == pytest.approx(revenue_standard, rel=0.25)
+
+    def test_superlinear_costs_hurt_ti_carm_most(self, shared_evaluator):
+        """Figure 1 (bottom): under superlinear pricing TI-CARM collapses."""
+        data = build_dataset(
+            "lastfm_like",
+            num_advertisers=4,
+            incentive="superlinear",
+            alpha=0.3,
+            scale=0.25,
+            seed=13,
+            singleton_rr_sets=300,
+        )
+        instance = data.instance
+        evaluator = independent_evaluator(instance, num_rr_sets=4000, seed=17)
+        runs = compare_algorithms(
+            ["RMA", "TI-CARM"],
+            instance,
+            evaluator=evaluator,
+            sampling_params=SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=5),
+            ti_params=TIParameters(
+                epsilon=0.15, pilot_size=128, max_rr_sets_per_advertiser=512, seed=5
+            ),
+        )
+        by_name = {run.algorithm: run for run in runs}
+        assert by_name["RMA"].evaluation.revenue >= by_name["TI-CARM"].evaluation.revenue
+
+    def test_oracle_and_sampling_solvers_agree_on_small_instance(self, probabilistic_instance):
+        """RM_with_Oracle on the exact oracle vs RMA: same ballpark revenue."""
+        exact = ExactOracle(probabilistic_instance)
+        oracle_result = rm_with_oracle(probabilistic_instance, exact, tau=0.1)
+        sampling_result = rm_without_oracle(
+            probabilistic_instance,
+            SamplingParameters(initial_rr_sets=2048, max_rr_sets=4096, seed=2, rho=0.1),
+        )
+        sampled_revenue_true = exact.total_revenue(sampling_result.allocation)
+        assert sampled_revenue_true >= 0.6 * oracle_result.revenue
+
+    def test_dataset_reuse_is_deterministic(self):
+        first = build_dataset("dblp_like", num_advertisers=3, scale=0.08, seed=4,
+                              singleton_rr_sets=150)
+        second = build_dataset("dblp_like", num_advertisers=3, scale=0.08, seed=4,
+                               singleton_rr_sets=150)
+        assert first.instance.budgets().tolist() == second.instance.budgets().tolist()
+        assert np.allclose(first.instance.cost_matrix(), second.instance.cost_matrix())

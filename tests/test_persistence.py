@@ -1,0 +1,85 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.persistence import (
+    load_rows_csv,
+    load_rows_json,
+    merge_result_files,
+    save_rows_csv,
+    save_rows_json,
+)
+
+SAMPLE_ROWS = [
+    {"algorithm": "RMA", "alpha": 0.1, "revenue": 123.4, "feasible": True},
+    {"algorithm": "TI-CSRM", "alpha": 0.1, "revenue": 98.7, "feasible": False},
+]
+
+
+class TestJsonRoundtrip:
+    def test_rows_roundtrip(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows_json(SAMPLE_ROWS, path, metadata={"dataset": "lastfm_like"})
+        rows, metadata = load_rows_json(path)
+        assert rows == SAMPLE_ROWS
+        assert metadata == {"dataset": "lastfm_like"}
+
+    def test_default_metadata_empty(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows_json(SAMPLE_ROWS, path)
+        _, metadata = load_rows_json(path)
+        assert metadata == {}
+
+    def test_invalid_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ExperimentError):
+            load_rows_json(path)
+
+    def test_merge_result_files(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_rows_json(SAMPLE_ROWS[:1], first)
+        save_rows_json(SAMPLE_ROWS[1:], second)
+        merged = merge_result_files([first, second])
+        assert merged == SAMPLE_ROWS
+
+
+class TestCsvRoundtrip:
+    def test_rows_roundtrip_with_coercion(self, tmp_path):
+        path = tmp_path / "results.csv"
+        save_rows_csv(SAMPLE_ROWS, path)
+        rows = load_rows_csv(path)
+        assert rows[0]["algorithm"] == "RMA"
+        assert rows[0]["alpha"] == pytest.approx(0.1)
+        assert rows[0]["revenue"] == pytest.approx(123.4)
+        assert rows[0]["feasible"] is True
+        assert rows[1]["feasible"] is False
+
+    def test_union_of_columns(self, tmp_path):
+        path = tmp_path / "results.csv"
+        save_rows_csv([{"a": 1}, {"b": 2}], path)
+        rows = load_rows_csv(path)
+        assert rows[0]["a"] == 1 and rows[0]["b"] == ""
+        assert rows[1]["b"] == 2
+
+    def test_integer_values_stay_integers(self, tmp_path):
+        path = tmp_path / "results.csv"
+        save_rows_csv([{"seeds": 17}], path)
+        assert load_rows_csv(path)[0]["seeds"] == 17
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            save_rows_csv([], tmp_path / "empty.csv")
+
+    def test_saves_benchmark_style_rows(self, tmp_path):
+        """Rows produced by the figure sweeps persist and reload cleanly."""
+        from repro.experiments.figures import table2_budgets
+
+        rows = table2_budgets(datasets=("lastfm_like",), num_advertisers=3, scale=0.05, seed=1)
+        path = tmp_path / "table2.csv"
+        save_rows_csv(rows, path)
+        loaded = load_rows_csv(path)
+        assert loaded[0]["dataset"] == "lastfm_like"
+        assert loaded[0]["budget_mean"] == pytest.approx(rows[0]["budget_mean"])

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+These cover the mathematical properties the paper's analysis rests on:
+monotonicity and submodularity of the estimated revenue function, budget
+feasibility and disjointness of every solver output, and unbiasedness-style
+consistency of the RR-set estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RRSetOracle
+from repro.core.greedy import marginal_rate
+from repro.core.oracle_solver import rm_with_oracle
+from repro.core.sampling_solver import SamplingParameters, rm_without_oracle
+from repro.diffusion.models import IndependentCascadeModel
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.builders import from_edge_list
+from repro.incentives.models import (
+    LinearIncentiveModel,
+    QuasiLinearIncentiveModel,
+    SuperLinearIncentiveModel,
+)
+from repro.rrsets.uniform import UniformRRSampler
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+edge_strategy = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _build_instance(edges, probability, num_advertisers, budget, seed):
+    graph = from_edge_list(edges, num_nodes=8)
+    model = IndependentCascadeModel(graph, probability=probability)
+    advertisers = [
+        Advertiser(budget=budget, cpe=1.0 + 0.5 * index) for index in range(num_advertisers)
+    ]
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.5, 2.0, size=(num_advertisers, 8))
+    return RMInstance(graph, model, advertisers, costs)
+
+
+def _rr_oracle(instance, count, seed):
+    sampler = UniformRRSampler(
+        instance.graph, instance.all_edge_probabilities(), instance.cpes(), seed=seed
+    )
+    return RRSetOracle(sampler.generate_collection(count), instance.gamma)
+
+
+# --------------------------------------------------------------------------- #
+# revenue-function properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    probability=st.floats(0.05, 0.95),
+    seed=st.integers(0, 1000),
+    base=st.sets(st.integers(0, 7), max_size=3),
+    extra=st.sets(st.integers(0, 7), min_size=1, max_size=3),
+    node=st.integers(0, 7),
+)
+def test_estimated_revenue_is_monotone_and_submodular(edges, probability, seed, base, extra, node):
+    """π̃_i(·, R) must be monotone and have diminishing marginal returns."""
+    instance = _build_instance(edges, probability, 2, budget=20.0, seed=seed)
+    oracle = _rr_oracle(instance, 200, seed)
+    small = frozenset(base)
+    large = frozenset(base | extra)
+    # Monotone.
+    assert oracle.revenue(0, large) >= oracle.revenue(0, small) - 1e-9
+    # Submodular: marginal gain of `node` shrinks as the set grows.
+    gain_small = oracle.marginal_revenue(0, node, small - {node})
+    gain_large = oracle.marginal_revenue(0, node, large - {node})
+    assert gain_large <= gain_small + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gain=st.floats(0.0, 1e6),
+    cost=st.floats(1e-3, 1e6),
+)
+def test_marginal_rate_bounded_in_unit_interval(gain, cost):
+    rate = marginal_rate(gain, cost)
+    assert 0.0 <= rate < 1.0
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    probability=st.floats(0.1, 0.9),
+    seed=st.integers(0, 500),
+    num_advertisers=st.integers(1, 3),
+    budget=st.floats(3.0, 15.0),
+)
+def test_oracle_solver_output_is_feasible_partition(edges, probability, seed, num_advertisers, budget):
+    """RM_with_Oracle output: disjoint seed sets, budget-feasible multi-node sets."""
+    instance = _build_instance(edges, probability, num_advertisers, budget, seed)
+    oracle = _rr_oracle(instance, 150, seed)
+    result = rm_with_oracle(instance, oracle, tau=0.2)
+    seen = set()
+    for advertiser, seeds in result.allocation.items():
+        assert not (seen & seeds)
+        seen |= seeds
+        if len(seeds) > 1:
+            spend = instance.cost_of_set(advertiser, seeds) + oracle.revenue(advertiser, seeds)
+            assert spend <= instance.budget(advertiser) + 1e-6
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    probability=st.floats(0.1, 0.9),
+    seed=st.integers(0, 200),
+    rho=st.floats(0.1, 0.8),
+)
+def test_rma_respects_relaxed_budget_in_sampling_space(edges, probability, seed, rho):
+    """RMA's own estimate of each advertiser's payment stays within (1+ϱ)·B_i."""
+    instance = _build_instance(edges, probability, 2, budget=12.0, seed=seed)
+    params = SamplingParameters(
+        initial_rr_sets=128, max_rr_sets=256, rho=rho, seed=seed, epsilon=0.2
+    )
+    result = rm_without_oracle(instance, params)
+    for advertiser, seeds in result.allocation.items():
+        estimated = result.per_advertiser_revenue.get(advertiser, 0.0)
+        payment = instance.cost_of_set(advertiser, seeds) + estimated
+        assert payment <= (1.0 + rho / 2.0) * instance.budget(advertiser) + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# allocation and incentive properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(
+    assignments=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 4)), max_size=40
+    )
+)
+def test_allocation_partition_invariant(assignments):
+    """However nodes are assigned, each node has at most one owner."""
+    allocation = Allocation(5)
+    owners = {}
+    for node, advertiser in assignments:
+        if node in owners and owners[node] != advertiser:
+            with pytest.raises(ProblemDefinitionError):
+                allocation.assign(node, advertiser)
+        else:
+            allocation.assign(node, advertiser)
+            owners[node] = advertiser
+    assert allocation.total_seed_count() == len(owners)
+    for node, advertiser in owners.items():
+        assert allocation.owner_of(node) == advertiser
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spreads=st.lists(st.floats(1.0, 500.0), min_size=1, max_size=30),
+    alpha=st.floats(0.01, 2.0),
+)
+def test_incentive_models_ordering(spreads, alpha):
+    """Costs are positive, monotone in alpha, and superlinear >= linear >= 0."""
+    spreads = np.asarray(spreads)
+    linear = LinearIncentiveModel(alpha=alpha).costs(spreads)
+    quasi = QuasiLinearIncentiveModel(alpha=alpha).costs(spreads)
+    superlinear = SuperLinearIncentiveModel(alpha=alpha).costs(spreads)
+    assert (linear > 0).all() and (quasi > 0).all() and (superlinear > 0).all()
+    assert (superlinear >= linear - 1e-9).all()
+    # Quasilinear sits between linear and superlinear for spreads >= e.
+    mask = spreads >= np.e
+    assert (quasi[mask] >= linear[mask] - 1e-9).all()
+    assert (quasi[mask] <= superlinear[mask] + 1e-9).all()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    probability=st.floats(0.1, 0.9),
+    seed=st.integers(0, 300),
+    seeds_a=st.sets(st.integers(0, 7), max_size=4),
+    seeds_b=st.sets(st.integers(0, 7), max_size=4),
+)
+def test_rr_estimates_are_additive_across_advertisers(edges, probability, seed, seeds_a, seeds_b):
+    """Total revenue estimate equals the sum of per-advertiser estimates."""
+    instance = _build_instance(edges, probability, 2, budget=10.0, seed=seed)
+    oracle = _rr_oracle(instance, 150, seed)
+    allocation = {0: seeds_a, 1: seeds_b - seeds_a}
+    total = oracle.total_revenue(allocation)
+    parts = oracle.revenue(0, allocation[0]) + oracle.revenue(1, allocation[1])
+    assert total == pytest.approx(parts)

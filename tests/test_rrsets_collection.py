@@ -1,0 +1,119 @@
+"""Tests for RRCollection and CoverageState."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.rrsets.collection import CoverageState, RRCollection
+
+
+@pytest.fixture
+def collection():
+    """A small hand-built collection over 5 nodes and 2 advertisers."""
+    coll = RRCollection(num_nodes=5, num_advertisers=2)
+    coll.add([0, 1], advertiser=0)
+    coll.add([1, 2], advertiser=0)
+    coll.add([3], advertiser=1)
+    coll.add([2, 3, 4], advertiser=1)
+    return coll
+
+
+class TestRRCollection:
+    def test_len_and_total_size(self, collection):
+        assert len(collection) == 4
+        assert collection.total_size == 8
+
+    def test_tags(self, collection):
+        assert collection.tags().tolist() == [0, 0, 1, 1]
+        assert collection.tag(2) == 1
+
+    def test_count_per_advertiser(self, collection):
+        assert collection.count_per_advertiser().tolist() == [2, 2]
+
+    def test_sets_containing(self, collection):
+        assert collection.sets_containing(0, 1) == [0, 1]
+        assert collection.sets_containing(1, 3) == [2, 3]
+        assert collection.sets_containing(0, 3) == []
+
+    def test_coverage_count(self, collection):
+        assert collection.coverage_count(0, [1]) == 2
+        assert collection.coverage_count(0, [0, 2]) == 2
+        assert collection.coverage_count(1, [4]) == 1
+        assert collection.coverage_count(1, []) == 0
+
+    def test_rr_set_members_are_unique_and_sorted(self):
+        coll = RRCollection(4, 1)
+        coll.add([2, 2, 0], advertiser=0)
+        assert coll.rr_set(0).tolist() == [0, 2]
+
+    def test_invalid_tag_rejected(self):
+        coll = RRCollection(4, 1)
+        with pytest.raises(SamplingError):
+            coll.add([0], advertiser=5)
+
+    def test_invalid_node_rejected(self):
+        coll = RRCollection(4, 1)
+        with pytest.raises(SamplingError):
+            coll.add([9], advertiser=0)
+
+    def test_empty_rr_set_rejected(self):
+        coll = RRCollection(4, 1)
+        with pytest.raises(SamplingError):
+            coll.add([], advertiser=0)
+
+    def test_extend(self):
+        coll = RRCollection(4, 2)
+        coll.extend([([0], 0), ([1, 2], 1)])
+        assert len(coll) == 2
+
+    def test_memory_proxy_positive(self, collection):
+        assert collection.memory_proxy_bytes() > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(SamplingError):
+            RRCollection(0, 1)
+        with pytest.raises(SamplingError):
+            RRCollection(5, 0)
+
+
+class TestCoverageState:
+    def test_initial_marginals_match_membership(self, collection):
+        state = CoverageState(collection)
+        assert state.marginal_coverage(0, 1) == 2
+        assert state.marginal_coverage(1, 3) == 2
+        assert state.marginal_coverage(0, 4) == 0
+
+    def test_add_seed_covers_sets(self, collection):
+        state = CoverageState(collection)
+        newly = state.add_seed(0, 1)
+        assert newly == 2
+        assert state.covered_count == 2
+        assert state.covered_count_for(0) == 2
+        assert state.is_covered(0) and state.is_covered(1)
+
+    def test_marginals_decrease_after_seed(self, collection):
+        state = CoverageState(collection)
+        state.add_seed(0, 1)
+        # Node 2 appeared in RR-set 1 (advertiser 0), now covered.
+        assert state.marginal_coverage(0, 2) == 0
+        # Advertiser 1 marginals untouched.
+        assert state.marginal_coverage(1, 2) == 1
+
+    def test_adding_same_seed_twice_adds_nothing(self, collection):
+        state = CoverageState(collection)
+        state.add_seed(0, 1)
+        assert state.add_seed(0, 1) == 0
+
+    def test_copy_is_independent(self, collection):
+        state = CoverageState(collection)
+        clone = state.copy()
+        state.add_seed(0, 1)
+        assert clone.covered_count == 0
+        assert clone.marginal_coverage(0, 1) == 2
+
+    def test_covered_count_never_exceeds_collection_size(self, collection):
+        state = CoverageState(collection)
+        for node in range(5):
+            for advertiser in range(2):
+                state.add_seed(advertiser, node)
+        assert state.covered_count == len(collection)

@@ -1,0 +1,108 @@
+"""Tests for RR-set generation (standard and SUBSIM)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import WeightedCascadeModel
+from repro.diffusion.simulation import exact_spread
+from repro.exceptions import SamplingError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import preferential_attachment_digraph
+from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
+
+
+class TestRRSetGenerator:
+    def test_rr_set_contains_root(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        rr_set = generator.generate(rng=1, root=3)
+        assert 3 in rr_set.tolist()
+
+    def test_deterministic_edges_give_full_ancestry(self, path_graph):
+        generator = RRSetGenerator(path_graph, np.ones(path_graph.num_edges))
+        rr_set = generator.generate(rng=1, root=3)
+        assert set(rr_set.tolist()) == {0, 1, 2, 3}
+
+    def test_zero_probability_gives_singleton(self, path_graph):
+        generator = RRSetGenerator(path_graph, np.zeros(path_graph.num_edges))
+        rr_set = generator.generate(rng=1, root=3)
+        assert rr_set.tolist() == [3]
+
+    def test_generate_many_count(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        assert len(generator.generate_many(25, rng=2)) == 25
+
+    def test_invalid_probability_shape(self, diamond_graph):
+        with pytest.raises(SamplingError):
+            RRSetGenerator(diamond_graph, np.ones(1))
+
+    def test_invalid_probability_range(self, diamond_graph):
+        with pytest.raises(SamplingError):
+            RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 1.5))
+
+    def test_invalid_root(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.zeros(diamond_graph.num_edges))
+        with pytest.raises(SamplingError):
+            generator.generate(root=10)
+
+    def test_empty_graph_rejected(self):
+        graph = from_edge_list([], num_nodes=0)
+        with pytest.raises(SamplingError):
+            RRSetGenerator(graph, np.empty(0)).generate()
+
+    def test_edges_examined_counter_grows(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.ones(diamond_graph.num_edges))
+        before = generator.edges_examined
+        generator.generate(rng=1, root=3)
+        assert generator.edges_examined > before
+
+    def test_spread_estimate_unbiased(self, diamond_graph):
+        """n * Pr[seed hits RR-set] must approximate the exact spread."""
+        probability = 0.5
+        probs = np.full(diamond_graph.num_edges, probability)
+        generator = RRSetGenerator(diamond_graph, probs)
+        rr_sets = generator.generate_many(6000, rng=3)
+        seeds = {0}
+        hits = sum(1 for rr in rr_sets if seeds & set(rr.tolist()))
+        estimate = diamond_graph.num_nodes * hits / len(rr_sets)
+        truth = exact_spread(diamond_graph, probs, seeds)
+        assert estimate == pytest.approx(truth, rel=0.1)
+
+
+class TestSubsimGenerator:
+    def test_matches_distribution_of_standard_generator(self):
+        """SUBSIM sampling must estimate the same spread as the standard generator."""
+        graph = preferential_attachment_digraph(80, out_degree=3, seed=1)
+        model = WeightedCascadeModel(graph)
+        probs = model.edge_probabilities()
+        standard = RRSetGenerator(graph, probs)
+        subsim = SubsimRRGenerator(graph, probs)
+        seeds = {0, 1, 2}
+        def estimate(generator, seed):
+            rr_sets = generator.generate_many(3000, rng=seed)
+            hits = sum(1 for rr in rr_sets if seeds & set(rr.tolist()))
+            return graph.num_nodes * hits / len(rr_sets)
+        assert estimate(subsim, 5) == pytest.approx(estimate(standard, 6), rel=0.15)
+
+    def test_uniform_probability_one_keeps_all_in_edges(self, path_graph):
+        generator = SubsimRRGenerator(path_graph, np.ones(path_graph.num_edges))
+        rr_set = generator.generate(rng=1, root=3)
+        assert set(rr_set.tolist()) == {0, 1, 2, 3}
+
+    def test_uniform_probability_zero_gives_singleton(self, path_graph):
+        generator = SubsimRRGenerator(path_graph, np.zeros(path_graph.num_edges))
+        assert generator.generate(rng=1, root=2).tolist() == [2]
+
+    def test_heterogeneous_probabilities_fall_back(self, diamond_graph):
+        probs = np.linspace(0.1, 0.9, diamond_graph.num_edges)
+        generator = SubsimRRGenerator(diamond_graph, probs)
+        rr_set = generator.generate(rng=1, root=3)
+        assert 3 in rr_set.tolist()
+
+    def test_examines_fewer_edges_than_standard_on_sparse_probabilities(self):
+        graph = preferential_attachment_digraph(150, out_degree=5, seed=2)
+        probs = np.full(graph.num_edges, 0.02)
+        standard = RRSetGenerator(graph, probs)
+        subsim = SubsimRRGenerator(graph, probs)
+        standard.generate_many(300, rng=3)
+        subsim.generate_many(300, rng=3)
+        assert subsim.edges_examined < standard.edges_examined

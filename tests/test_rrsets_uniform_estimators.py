@@ -1,0 +1,136 @@
+"""Tests for the uniform advertiser sampler and the revenue estimators."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.simulation import exact_spread
+from repro.exceptions import SamplingError
+from repro.rrsets.estimators import (
+    coverage_counts_by_node,
+    empirical_coverage_fraction,
+    estimate_advertiser_revenue,
+    estimate_marginal_revenue,
+    estimate_spread,
+    estimate_total_revenue,
+    per_advertiser_estimates,
+)
+from repro.rrsets.generator import RRSetGenerator
+from repro.rrsets.uniform import PerAdvertiserRRSampler, UniformRRSampler
+from repro.rrsets.collection import RRCollection
+
+
+@pytest.fixture
+def two_ad_sampler(diamond_graph):
+    probabilities = [
+        np.full(diamond_graph.num_edges, 0.5),
+        np.full(diamond_graph.num_edges, 0.2),
+    ]
+    return UniformRRSampler(diamond_graph, probabilities, cpes=[1.0, 3.0], seed=2)
+
+
+class TestUniformSampler:
+    def test_gamma(self, two_ad_sampler):
+        assert two_ad_sampler.gamma == pytest.approx(4.0)
+
+    def test_advertiser_frequencies_proportional_to_cpe(self, two_ad_sampler):
+        draws = [two_ad_sampler.sample_advertiser() for _ in range(4000)]
+        fraction_ad1 = sum(draws) / len(draws)
+        assert fraction_ad1 == pytest.approx(0.75, abs=0.05)
+
+    def test_generate_collection_size_and_tags(self, two_ad_sampler, diamond_graph):
+        collection = two_ad_sampler.generate_collection(200)
+        assert len(collection) == 200
+        assert collection.num_nodes == diamond_graph.num_nodes
+        assert set(collection.tags().tolist()) <= {0, 1}
+
+    def test_generate_into_existing_collection(self, two_ad_sampler):
+        collection = two_ad_sampler.generate_collection(50)
+        two_ad_sampler.generate_collection(30, into=collection)
+        assert len(collection) == 80
+
+    def test_mismatched_inputs_rejected(self, diamond_graph):
+        with pytest.raises(SamplingError):
+            UniformRRSampler(diamond_graph, [np.zeros(diamond_graph.num_edges)], cpes=[1.0, 2.0])
+
+    def test_non_positive_cpe_rejected(self, diamond_graph):
+        with pytest.raises(SamplingError):
+            UniformRRSampler(
+                diamond_graph, [np.zeros(diamond_graph.num_edges)], cpes=[0.0]
+            )
+
+    def test_negative_count_rejected(self, two_ad_sampler):
+        with pytest.raises(SamplingError):
+            two_ad_sampler.generate_collection(-1)
+
+
+class TestPerAdvertiserSampler:
+    def test_pools_per_advertiser(self, diamond_graph):
+        sampler = PerAdvertiserRRSampler(
+            diamond_graph,
+            [np.full(diamond_graph.num_edges, 0.5), np.full(diamond_graph.num_edges, 0.5)],
+            seed=1,
+        )
+        collection = sampler.generate_collection(40)
+        assert len(collection) == 80
+        assert collection.count_per_advertiser().tolist() == [40, 40]
+
+    def test_generate_pool_bounds(self, diamond_graph):
+        sampler = PerAdvertiserRRSampler(
+            diamond_graph, [np.full(diamond_graph.num_edges, 0.5)], seed=1
+        )
+        with pytest.raises(SamplingError):
+            sampler.generate_pool(5, 10)
+
+
+class TestEstimators:
+    def test_total_revenue_unbiasedness(self, diamond_graph, two_ad_sampler):
+        """π̃ must match cpe-weighted exact spreads on the tiny diamond graph."""
+        collection = two_ad_sampler.generate_collection(20000)
+        allocation = {0: {0}, 1: {3}}
+        estimate = estimate_total_revenue(collection, allocation, gamma=4.0)
+        truth = 1.0 * exact_spread(
+            diamond_graph, np.full(diamond_graph.num_edges, 0.5), {0}
+        ) + 3.0 * exact_spread(diamond_graph, np.full(diamond_graph.num_edges, 0.2), {3})
+        assert estimate == pytest.approx(truth, rel=0.08)
+
+    def test_per_advertiser_revenue_sums_to_total(self, two_ad_sampler):
+        collection = two_ad_sampler.generate_collection(500)
+        allocation = {0: {0, 1}, 1: {2}}
+        total = estimate_total_revenue(collection, allocation, gamma=4.0)
+        parts = per_advertiser_estimates(collection, allocation, gamma=4.0)
+        assert sum(parts.values()) == pytest.approx(total)
+
+    def test_marginal_revenue_consistency(self, two_ad_sampler):
+        collection = two_ad_sampler.generate_collection(800)
+        base = estimate_advertiser_revenue(collection, 0, {1}, gamma=4.0)
+        with_node = estimate_advertiser_revenue(collection, 0, {1, 0}, gamma=4.0)
+        marginal = estimate_marginal_revenue(collection, 0, 0, {1}, gamma=4.0)
+        assert marginal == pytest.approx(with_node - base)
+
+    def test_empty_collection_rejected(self):
+        empty = RRCollection(3, 1)
+        with pytest.raises(SamplingError):
+            estimate_total_revenue(empty, {0: {0}}, gamma=1.0)
+
+    def test_estimate_spread_simple_pool(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        rr_sets = generator.generate_many(5000, rng=4)
+        estimate = estimate_spread(rr_sets, {0}, diamond_graph.num_nodes)
+        truth = exact_spread(diamond_graph, np.full(diamond_graph.num_edges, 0.5), {0})
+        assert estimate == pytest.approx(truth, rel=0.1)
+
+    def test_estimate_spread_empty_seed_set(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        rr_sets = generator.generate_many(10, rng=4)
+        assert estimate_spread(rr_sets, set(), diamond_graph.num_nodes) == 0.0
+
+    def test_coverage_counts_by_node(self, diamond_graph):
+        rr_sets = [np.array([0, 1]), np.array([1, 2])]
+        counts = coverage_counts_by_node(rr_sets, diamond_graph.num_nodes)
+        assert counts.tolist() == [1, 2, 1, 0]
+
+    def test_empirical_coverage_fraction_bounds(self, two_ad_sampler):
+        collection = two_ad_sampler.generate_collection(300)
+        fraction = empirical_coverage_fraction(collection, {0: {0, 1, 2, 3}, 1: {0, 1, 2, 3}})
+        assert 0.0 <= fraction <= 1.0
+        assert fraction == pytest.approx(1.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, random_subset, spawn_rngs
+
+
+class TestAsRng:
+    def test_returns_generator_for_int_seed(self):
+        assert isinstance(as_rng(42), np.random.Generator)
+
+    def test_returns_generator_for_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_passes_through_existing_generator(self):
+        generator = np.random.default_rng(1)
+        assert as_rng(generator) is generator
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(7).random(5)
+        b = as_rng(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(7).random(5)
+        b = as_rng(8).random(5)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnRngs:
+    def test_spawns_requested_count(self):
+        assert len(spawn_rngs(3, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(3, 2)
+        assert not np.allclose(children[0].random(5), children[1].random(5))
+
+    def test_reproducible_for_same_seed(self):
+        first = [g.random(3) for g in spawn_rngs(5, 2)]
+        second = [g.random(3) for g in spawn_rngs(5, 2)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_zero_children_allowed(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(2), 3)
+        assert len(children) == 3
+
+
+class TestRandomSubset:
+    def test_probability_one_keeps_all(self):
+        assert random_subset(range(10), 1.0, as_rng(0)) == list(range(10))
+
+    def test_probability_zero_keeps_none(self):
+        assert random_subset(range(10), 0.0, as_rng(0)) == []
+
+    def test_intermediate_probability_keeps_subset(self):
+        kept = random_subset(range(1000), 0.5, as_rng(0))
+        assert 300 < len(kept) < 700

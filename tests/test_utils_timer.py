@@ -1,0 +1,61 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_section_accumulates(self):
+        timer = Timer()
+        with timer.section("work"):
+            time.sleep(0.005)
+        assert timer.sections["work"] > 0
+
+    def test_multiple_sections(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        with timer.section("b"):
+            pass
+        assert set(timer.sections) == {"a", "b"}
+
+    def test_same_section_sums(self):
+        timer = Timer()
+        with timer.section("a"):
+            time.sleep(0.002)
+        first = timer.sections["a"]
+        with timer.section("a"):
+            time.sleep(0.002)
+        assert timer.sections["a"] > first
+
+    def test_total_is_sum(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        with timer.section("b"):
+            pass
+        assert abs(timer.total() - sum(timer.sections.values())) < 1e-12
+
+    def test_reset_clears(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        timer.reset()
+        assert timer.sections == {}
+
+    def test_section_records_on_exception(self):
+        timer = Timer()
+        try:
+            with timer.section("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "fails" in timer.sections
+
+
+class TestTimed:
+    def test_records_elapsed_seconds(self):
+        with timed() as record:
+            time.sleep(0.003)
+        assert record["seconds"] >= 0.002

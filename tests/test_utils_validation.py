@@ -1,0 +1,70 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_open_interval,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.inf)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValueError):
+            check_positive("x", "hello")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 3) == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckInOpenInterval:
+    def test_accepts_interior_point(self):
+        assert check_in_open_interval("tau", 0.5, 0, 1) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 2.0])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValueError):
+            check_in_open_interval("tau", value, 0, 1)
