@@ -20,7 +20,7 @@ mirroring the structure of the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -61,8 +61,9 @@ class RevenueOracle(ABC):
 
     def total_revenue(self, allocation: Allocation | Mapping[int, Iterable[int]]) -> float:
         """Total revenue ``π(S⃗) = Σ_i π_i(S_i)``."""
-        items = allocation.items() if not isinstance(allocation, Allocation) else allocation.items()
-        return sum(self.revenue(advertiser, seeds) for advertiser, seeds in items)
+        return sum(
+            self.revenue(advertiser, seeds) for advertiser, seeds in allocation.items()
+        )
 
 
 class MonteCarloOracle(RevenueOracle):
@@ -153,10 +154,10 @@ class ExactOracle(RevenueOracle):
 class RRSetOracle(RevenueOracle):
     """Sampling-space revenue function ``π̃_i(·, R)`` over a tagged RR collection.
 
-    The oracle memoises the set of covered RR-set indices per queried seed
-    set and reuses the memo of any subset it has already seen minus/plus one
-    element, which makes the greedy algorithms' incremental query pattern
-    cheap.
+    The oracle memoises the covered RR-set indices per queried seed set as a
+    **sorted int64 array** and reuses the memo of any subset it has already
+    seen minus/plus one element (merging with ``np.union1d``), which makes
+    the greedy algorithms' incremental query pattern cheap.
     """
 
     def __init__(self, collection: RRCollection, gamma: float):
@@ -167,7 +168,12 @@ class RRSetOracle(RevenueOracle):
         self._collection = collection
         self._gamma = gamma
         self._scale = collection.num_nodes * gamma / len(collection)
-        self._covered_cache: Dict[Tuple[int, FrozenSet[int]], FrozenSet[int]] = {}
+        self._empty_covered = np.empty(0, dtype=np.int64)
+        self._covered_cache: Dict[Tuple[int, FrozenSet[int]], np.ndarray] = {}
+        # One boolean covered-mask per advertiser for the current seed set of
+        # the greedy loop: marginal queries against an unchanged seed set are
+        # one fancy-index count instead of a set merge.
+        self._mask_cache: Dict[int, Tuple[FrozenSet[int], np.ndarray]] = {}
 
     @property
     def num_advertisers(self) -> int:
@@ -188,9 +194,10 @@ class RRSetOracle(RevenueOracle):
         """``nΓ / |R|`` — revenue contributed by each covered RR-set."""
         return self._scale
 
-    def _covered_indices(self, advertiser: int, seed_set: FrozenSet[int]) -> FrozenSet[int]:
+    def _covered_indices(self, advertiser: int, seed_set: FrozenSet[int]) -> np.ndarray:
+        """Sorted int64 array of RR-set indices covered by ``seed_set``."""
         if not seed_set:
-            return frozenset()
+            return self._empty_covered
         key = (advertiser, seed_set)
         cached = self._covered_cache.get(key)
         if cached is not None:
@@ -203,32 +210,41 @@ class RRSetOracle(RevenueOracle):
                 best_subset = candidate
                 break
         if best_subset is not None:
-            covered: Set[int] = set(self._covered_cache[(advertiser, best_subset)])
+            covered = self._covered_cache[(advertiser, best_subset)]
             extra_nodes = seed_set - best_subset
         else:
-            covered = set()
+            covered = self._empty_covered
             extra_nodes = seed_set
         for node in extra_nodes:
-            covered.update(self._collection.sets_containing(advertiser, int(node)))
-        frozen = frozenset(covered)
-        self._covered_cache[key] = frozen
-        return frozen
+            covered = np.union1d(
+                covered, self._collection.sets_containing_array(advertiser, int(node))
+            )
+        self._covered_cache[key] = covered
+        return covered
 
     def revenue(self, advertiser: int, seeds: Iterable[int]) -> float:
         seed_set = frozenset(int(s) for s in seeds)
         if not 0 <= advertiser < self.num_advertisers:
             raise SolverError(f"advertiser {advertiser} out of range")
-        return self._scale * len(self._covered_indices(advertiser, seed_set))
+        return self._scale * self._covered_indices(advertiser, seed_set).size
 
     def marginal_revenue(self, advertiser: int, node: int, seeds: Iterable[int]) -> float:
         seed_set = frozenset(int(s) for s in seeds)
         node = int(node)
         if node in seed_set:
             return 0.0
+        containing = self._collection.sets_containing_array(advertiser, node)
+        if containing.size == 0:
+            return 0.0
         covered = self._covered_indices(advertiser, seed_set)
-        additional = [
-            index
-            for index in self._collection.sets_containing(advertiser, node)
-            if index not in covered
-        ]
-        return self._scale * len(additional)
+        if covered.size == 0:
+            return self._scale * containing.size
+        cached = self._mask_cache.get(advertiser)
+        if cached is None or cached[0] != seed_set:
+            mask = np.zeros(len(self._collection), dtype=bool)
+            mask[covered] = True
+            self._mask_cache[advertiser] = (seed_set, mask)
+        else:
+            mask = cached[1]
+        already = np.count_nonzero(mask[containing])
+        return self._scale * (containing.size - already)

@@ -233,6 +233,7 @@ def rm_without_oracle(
 
         metadata = {
             "rr_sets": len(collection_one),
+            "rr_sets_per_advertiser": collection_one.count_per_advertiser().tolist(),
             "iterations": iterations,
             "beta": beta,
             "lambda": lam,
@@ -316,6 +317,7 @@ def one_batch_rm(
         search=inner.search,
         metadata={
             "rr_sets": len(collection),
+            "rr_sets_per_advertiser": collection.count_per_advertiser().tolist(),
             "rho": params.rho,
             "tau": params.tau,
             "edges_examined": sampler.edges_examined(),

@@ -21,9 +21,9 @@ import numpy as np
 
 from repro.advertising.allocation import Allocation
 from repro.advertising.instance import RMInstance
-from repro.advertising.oracle import RevenueOracle
+from repro.advertising.oracle import RevenueOracle, RRSetOracle
 from repro.core.greedy import greedy_single_advertiser, marginal_rate
-from repro.exceptions import SolverError
+from repro.exceptions import ProblemDefinitionError, SolverError
 from repro.utils.lazy_heap import LazyMarginalHeap
 
 Element = Tuple[int, int]  # (node, advertiser)
@@ -75,13 +75,39 @@ def _candidate_elements(
     budgets: np.ndarray,
     candidates: Optional[Iterable[int]],
 ) -> list[Element]:
-    """The initial set ``M`` of singleton-feasible (node, advertiser) pairs."""
+    """The initial set ``M`` of singleton-feasible (node, advertiser) pairs.
+
+    For an :class:`~repro.advertising.oracle.RRSetOracle` all ``h·n``
+    singleton revenues come from one pass over the collection's membership
+    counts (``scale · #{R tagged i : u ∈ R}``), so the feasibility filter is
+    a vectorised comparison instead of ``h·n`` oracle queries.  The element
+    order (advertiser-major, candidate order) matches the scalar path — the
+    lazy heap breaks ties by insertion order, so ordering is behaviour.
+    """
     nodes = (
         [int(node) for node in candidates]
         if candidates is not None
         else list(range(instance.num_nodes))
     )
     elements: list[Element] = []
+    if isinstance(oracle, RRSetOracle) and oracle.num_advertisers >= instance.num_advertisers:
+        node_array = np.asarray(nodes, dtype=np.int64)
+        if node_array.size and (
+            node_array.min() < 0 or node_array.max() >= instance.num_nodes
+        ):
+            bad = node_array[(node_array < 0) | (node_array >= instance.num_nodes)][0]
+            raise ProblemDefinitionError(f"node {bad} out of range")
+        singleton_revenue = oracle.scale * oracle.collection.membership_counts()
+        costs = instance.cost_matrix()
+        for advertiser in range(instance.num_advertisers):
+            feasible = (
+                costs[advertiser, node_array] + singleton_revenue[advertiser, node_array]
+                <= budgets[advertiser]
+            )
+            elements.extend(
+                (node, advertiser) for node in node_array[feasible].tolist()
+            )
+        return elements
     for advertiser in range(instance.num_advertisers):
         for node in nodes:
             singleton_revenue = oracle.revenue(advertiser, {node})

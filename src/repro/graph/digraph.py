@@ -198,6 +198,18 @@ class CSRDiGraph:
         view.setflags(write=False)
         return view
 
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The in-adjacency as one ``(offsets, sources, edge_ids)`` triple.
+
+        Hot-path accessor for the RR-set engine: one call hands out all three
+        aligned arrays (read-only views) instead of three property lookups.
+        """
+        return self.in_offsets, self.in_sources, self.in_edge_id_array
+
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The out-adjacency as one ``(offsets, targets, edge_ids)`` triple."""
+        return self.out_offsets, self.out_target_array, self.out_edge_id_array
+
     def has_edge(self, source: int, target: int) -> bool:
         """Return True if the directed edge ``source -> target`` exists."""
         self._check_node(source)

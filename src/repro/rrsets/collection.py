@@ -11,18 +11,35 @@ collection:
   ``nΓ/|R|`` times the number of *uncovered* RR-sets tagged ``i`` that
   contain ``u``.
 
-:class:`CoverageState` maintains those marginal counts incrementally so that
-each greedy pass over the collection costs ``O(Σ |R_k|)`` amortised.
+Storage layout
+--------------
+:class:`RRCollection` keeps the append-only list API but backs all queries
+with a frozen CSR view built lazily on first query and invalidated by
+``add``:
+
+* ``member_array`` / ``set_offsets`` — every RR-set's members concatenated,
+  with CSR offsets (RR-set ``k`` is ``member_array[set_offsets[k]:set_offsets[k+1]]``);
+* ``tag_array`` — the advertiser tag of every RR-set;
+* an inverted index from ``(advertiser, node)`` to the RR-sets containing
+  the node under that tag, built in **one** stable ``np.argsort`` over the
+  flattened keys ``tag·n + node`` and queried with two ``np.searchsorted``
+  calls — replacing the seed implementation's per-node dict appends.
+
+:class:`CoverageState` maintains the greedy marginal counts on a flat
+``(h·n,)`` int64 array (conceptually the ``(h, n)`` marginal matrix) plus a
+boolean covered mask, so ``add_seed`` is a handful of fancy-indexing
+operations and construction is a single ``np.bincount`` pass.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import SamplingError
+
+_EMPTY_INDEX = np.empty(0, dtype=np.int64)
 
 
 class RRCollection:
@@ -46,9 +63,15 @@ class RRCollection:
         self._num_advertisers = num_advertisers
         self._sets: List[np.ndarray] = []
         self._tags: List[int] = []
-        # (advertiser, node) -> list of RR-set indices containing node with that tag
-        self._membership: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         self._total_size = 0
+        # Lazily built CSR view + inverted index (invalidated by add()).
+        self._csr_size = -1  # number of sets the cached CSR covers; -1 = none
+        self._member_array = _EMPTY_INDEX
+        self._set_offsets = np.zeros(1, dtype=np.int64)
+        self._tag_array = _EMPTY_INDEX
+        self._inverted_sets = _EMPTY_INDEX
+        self._key_offsets = np.zeros(1, dtype=np.int64)  # allocated in _ensure_csr
+        self._membership_counts: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -57,23 +80,60 @@ class RRCollection:
         """Append one RR-set tagged with ``advertiser``; returns its index."""
         if not 0 <= advertiser < self._num_advertisers:
             raise SamplingError(f"advertiser tag {advertiser} out of range")
-        members = np.unique(np.asarray(rr_set, dtype=np.int64))
+        members = np.asarray(rr_set, dtype=np.int64)
+        if members.ndim == 1 and members.size and np.all(members[1:] > members[:-1]):
+            members = members.copy()  # detach from the caller's buffer
+        else:
+            members = np.unique(members)
         if members.size == 0:
             raise SamplingError("an RR-set always contains at least its root")
-        if members.min() < 0 or members.max() >= self._num_nodes:
+        if members[0] < 0 or members[-1] >= self._num_nodes:
             raise SamplingError("RR-set contains invalid node ids")
         index = len(self._sets)
         self._sets.append(members)
         self._tags.append(int(advertiser))
         self._total_size += int(members.size)
-        for node in members.tolist():
-            self._membership[(int(advertiser), node)].append(index)
         return index
 
     def extend(self, rr_sets: Iterable[Tuple[Sequence[int], int]]) -> None:
         """Append many ``(rr_set, advertiser)`` pairs."""
         for rr_set, advertiser in rr_sets:
             self.add(rr_set, advertiser)
+
+    def _ensure_csr(self) -> None:
+        """(Re)build the frozen CSR view and inverted index if stale."""
+        count = len(self._sets)
+        if self._csr_size == count:
+            return
+        sizes = np.fromiter((s.size for s in self._sets), dtype=np.int64, count=count)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        flat = (
+            np.concatenate(self._sets) if count else _EMPTY_INDEX
+        ).astype(np.int64, copy=False)
+        tags = np.asarray(self._tags, dtype=np.int64)
+        keys = np.repeat(tags, sizes) * self._num_nodes + flat
+        # Stable sort keeps RR-set indices ascending within each key, matching
+        # the append order of the seed implementation's per-node lists.
+        order = np.argsort(keys, kind="stable")
+        self._member_array = flat
+        self._set_offsets = offsets
+        self._tag_array = tags
+        self._inverted_sets = np.repeat(np.arange(count, dtype=np.int64), sizes)[order]
+        # Keys are dense ints in [0, h·n), so one bincount yields both the
+        # membership-count matrix and the per-key slice offsets — queries
+        # become plain indexing, no per-query searchsorted.
+        counts = np.bincount(keys, minlength=self._num_advertisers * self._num_nodes)
+        self._membership_counts = counts.reshape(self._num_advertisers, self._num_nodes)
+        key_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=key_offsets[1:])
+        self._key_offsets = key_offsets
+        # The query API hands out views of these arrays; freeze them so an
+        # in-place caller mutation cannot corrupt the shared index.
+        for array in (self._member_array, self._set_offsets, self._tag_array,
+                      self._inverted_sets, self._membership_counts):
+            array.setflags(write=False)
+        self._csr_size = count
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -97,7 +157,7 @@ class RRCollection:
         return self._total_size
 
     def rr_set(self, index: int) -> np.ndarray:
-        """The node members of RR-set ``index``."""
+        """The node members of RR-set ``index`` (sorted, unique)."""
         return self._sets[index]
 
     def tag(self, index: int) -> int:
@@ -110,21 +170,72 @@ class RRCollection:
 
     def count_per_advertiser(self) -> np.ndarray:
         """Number of RR-sets tagged with each advertiser."""
-        counts = np.zeros(self._num_advertisers, dtype=np.int64)
-        for tag in self._tags:
-            counts[tag] += 1
-        return counts
+        return np.bincount(
+            np.asarray(self._tags, dtype=np.int64), minlength=self._num_advertisers
+        )
+
+    # -- CSR view ------------------------------------------------------- #
+    @property
+    def member_array(self) -> np.ndarray:
+        """All RR-set members concatenated (CSR values; triggers a lazy build)."""
+        self._ensure_csr()
+        return self._member_array
+
+    @property
+    def set_offsets(self) -> np.ndarray:
+        """CSR offsets into :attr:`member_array`, length ``len(self) + 1``."""
+        self._ensure_csr()
+        return self._set_offsets
+
+    @property
+    def tag_array(self) -> np.ndarray:
+        """Advertiser tag per RR-set as an int64 array (CSR view)."""
+        self._ensure_csr()
+        return self._tag_array
+
+    def set_sizes(self) -> np.ndarray:
+        """Cardinality of every RR-set."""
+        return np.diff(self.set_offsets)
+
+    def membership_counts(self) -> np.ndarray:
+        """The ``(h, n)`` matrix counting RR-sets tagged ``i`` containing ``u``.
+
+        Equals the initial marginal matrix of :class:`CoverageState`; computed
+        by one ``np.bincount`` during the CSR build and cached until the next
+        ``add``.
+        """
+        self._ensure_csr()
+        return self._membership_counts
+
+    def sets_containing_array(self, advertiser: int, node: int) -> np.ndarray:
+        """Indices of RR-sets tagged ``advertiser`` containing ``node`` (sorted array).
+
+        Returns a read-only slice of the inverted index — no copies on the
+        greedy hot path.
+        """
+        if not (0 <= node < self._num_nodes and 0 <= advertiser < self._num_advertisers):
+            return _EMPTY_INDEX
+        if self._csr_size != len(self._sets):
+            self._ensure_csr()
+        key = advertiser * self._num_nodes + node
+        offsets = self._key_offsets
+        return self._inverted_sets[offsets[key]: offsets[key + 1]]
 
     def sets_containing(self, advertiser: int, node: int) -> List[int]:
         """Indices of RR-sets tagged ``advertiser`` that contain ``node``."""
-        return list(self._membership.get((advertiser, node), ()))
+        return self.sets_containing_array(advertiser, int(node)).tolist()
 
     def coverage_count(self, advertiser: int, nodes: Iterable[int]) -> int:
         """Number of RR-sets tagged ``advertiser`` intersecting ``nodes``."""
-        covered: set[int] = set()
-        for node in nodes:
-            covered.update(self._membership.get((advertiser, int(node)), ()))
-        return len(covered)
+        slices = [
+            self.sets_containing_array(advertiser, int(node)) for node in nodes
+        ]
+        slices = [s for s in slices if s.size]
+        if not slices:
+            return 0
+        if len(slices) == 1:
+            return int(slices[0].size)  # already unique per (tag, node)
+        return int(np.unique(np.concatenate(slices)).size)
 
     def memory_proxy_bytes(self) -> int:
         """Approximate memory footprint of the stored RR-sets, in bytes."""
@@ -138,17 +249,16 @@ class CoverageState:
     tagged with that advertiser contain the node and are not yet covered by
     the current allocation.  Adding a node to an advertiser's seed set marks
     the relevant RR-sets covered and decrements the counts of every other
-    node they contain — the textbook maximum-coverage update.
+    node they contain — the textbook maximum-coverage update, done with
+    ``np.subtract.at`` on the flat marginal matrix instead of per-int dict
+    updates.
     """
 
     def __init__(self, collection: RRCollection):
         self._collection = collection
+        self._num_nodes = collection.num_nodes
         self._covered = np.zeros(len(collection), dtype=bool)
-        self._marginal: Dict[Tuple[int, int], int] = defaultdict(int)
-        for index in range(len(collection)):
-            tag = collection.tag(index)
-            for node in collection.rr_set(index).tolist():
-                self._marginal[(tag, node)] += 1
+        self._marginal = collection.membership_counts().ravel().astype(np.int64)
         self._covered_count = 0
         self._covered_per_advertiser = np.zeros(collection.num_advertisers, dtype=np.int64)
 
@@ -168,7 +278,15 @@ class CoverageState:
 
     def marginal_coverage(self, advertiser: int, node: int) -> int:
         """Uncovered RR-sets tagged ``advertiser`` that contain ``node``."""
-        return self._marginal.get((advertiser, int(node)), 0)
+        return int(self._marginal[advertiser * self._num_nodes + int(node)])
+
+    def marginal_matrix(self) -> np.ndarray:
+        """The full ``(h, n)`` marginal-coverage matrix (read-only view)."""
+        view = self._marginal.reshape(
+            self._collection.num_advertisers, self._num_nodes
+        ).view()
+        view.setflags(write=False)
+        return view
 
     def is_covered(self, index: int) -> bool:
         """Whether RR-set ``index`` is already covered."""
@@ -176,18 +294,25 @@ class CoverageState:
 
     def add_seed(self, advertiser: int, node: int) -> int:
         """Assign ``node`` to ``advertiser`` and return the newly covered count."""
-        newly_covered = 0
-        for index in self._collection.sets_containing(advertiser, int(node)):
-            if self._covered[index]:
-                continue
-            self._covered[index] = True
-            newly_covered += 1
-            tag = self._collection.tag(index)
-            for member in self._collection.rr_set(index).tolist():
-                key = (tag, member)
-                current = self._marginal.get(key, 0)
-                if current > 0:
-                    self._marginal[key] = current - 1
+        collection = self._collection
+        containing = collection.sets_containing_array(advertiser, int(node))
+        if containing.size == 0:
+            return 0
+        fresh = containing[~self._covered[containing]]
+        newly_covered = int(fresh.size)
+        if newly_covered == 0:
+            return 0
+        self._covered[fresh] = True
+        # Gather the members of every newly covered RR-set from the CSR view
+        # and decrement their (tag, member) marginals in one scatter-add.
+        offsets = collection.set_offsets
+        sizes = offsets[fresh + 1] - offsets[fresh]
+        total = int(sizes.sum())
+        ends = np.cumsum(sizes)
+        gather = np.repeat(offsets[fresh] - (ends - sizes), sizes) + np.arange(total)
+        members = collection.member_array[gather]
+        tags = np.repeat(collection.tag_array[fresh], sizes)
+        np.subtract.at(self._marginal, tags * self._num_nodes + members, 1)
         self._covered_count += newly_covered
         self._covered_per_advertiser[advertiser] += newly_covered
         return newly_covered
@@ -196,9 +321,9 @@ class CoverageState:
         """Deep copy of the state (used when a solver explores alternatives)."""
         clone = CoverageState.__new__(CoverageState)
         clone._collection = self._collection
+        clone._num_nodes = self._num_nodes
         clone._covered = self._covered.copy()
-        clone._marginal = dict(self._marginal)
-        # defaultdict semantics are not needed on the copy path; .get covers misses
+        clone._marginal = self._marginal.copy()
         clone._covered_count = self._covered_count
         clone._covered_per_advertiser = self._covered_per_advertiser.copy()
         return clone

@@ -56,15 +56,15 @@ def estimate_marginal_revenue(
 ) -> float:
     """Estimate ``π_i(u | S_i)`` — marginal revenue of adding ``node``."""
     current = set(int(s) for s in current_seeds)
-    already = set()
-    for seed in current:
-        already.update(collection.sets_containing(advertiser, seed))
-    additional = [
-        index
-        for index in collection.sets_containing(advertiser, int(node))
-        if index not in already
-    ]
-    return _scale(collection, gamma) * len(additional)
+    containing = collection.sets_containing_array(advertiser, int(node))
+    if current and containing.size:
+        already = np.concatenate(
+            [collection.sets_containing_array(advertiser, seed) for seed in current]
+        )
+        additional = np.count_nonzero(~np.isin(containing, already))
+    else:
+        additional = containing.size
+    return _scale(collection, gamma) * additional
 
 
 def estimate_spread(
@@ -81,11 +81,16 @@ def estimate_spread(
     seed_set = set(int(s) for s in seeds)
     if not seed_set:
         return 0.0
-    hits = 0
-    for rr_set in rr_sets:
-        members = rr_set.tolist() if isinstance(rr_set, np.ndarray) else rr_set
-        if any(member in seed_set for member in members):
-            hits += 1
+    in_range = [seed for seed in seed_set if 0 <= seed < num_nodes]
+    if not in_range:
+        return 0.0
+    is_seed = np.zeros(num_nodes, dtype=bool)
+    is_seed[in_range] = True
+    hits = sum(
+        1
+        for rr_set in rr_sets
+        if is_seed[np.asarray(rr_set, dtype=np.int64)].any()
+    )
     return num_nodes * hits / len(rr_sets)
 
 
@@ -93,11 +98,12 @@ def coverage_counts_by_node(
     rr_sets: Sequence[np.ndarray], num_nodes: int
 ) -> np.ndarray:
     """Number of RR-sets containing each node (singleton coverage counts)."""
-    counts = np.zeros(num_nodes, dtype=np.int64)
-    for rr_set in rr_sets:
-        members = np.asarray(rr_set, dtype=np.int64)
-        counts[members] += 1
-    return counts
+    if not rr_sets:
+        return np.zeros(num_nodes, dtype=np.int64)
+    # np.unique per set keeps the "once per RR-set" semantics for callers
+    # passing member lists with duplicates.
+    flat = np.concatenate([np.unique(np.asarray(rr_set, dtype=np.int64)) for rr_set in rr_sets])
+    return np.bincount(flat, minlength=num_nodes)
 
 
 def empirical_coverage_fraction(

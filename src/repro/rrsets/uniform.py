@@ -97,15 +97,23 @@ class UniformRRSampler:
         return rr_set, advertiser
 
     def generate_collection(self, count: int, into: Optional[RRCollection] = None) -> RRCollection:
-        """Generate ``count`` RR-sets, optionally appending to an existing collection."""
+        """Generate ``count`` RR-sets, optionally appending to an existing collection.
+
+        The advertiser draw and the RR-set draw stay interleaved per set (the
+        estimator's distribution requires it and it keeps the RNG stream
+        bit-compatible with the reference engine); the per-set setup cost is
+        amortised by resolving the hot references once for the whole batch.
+        """
         if count < 0:
             raise SamplingError("count must be non-negative")
         collection = into if into is not None else RRCollection(
             self._graph.num_nodes, self.num_advertisers
         )
+        generate_one = self.generate_one
+        add = collection.add
         for _ in range(count):
-            rr_set, advertiser = self.generate_one()
-            collection.add(rr_set, advertiser)
+            rr_set, advertiser = generate_one()
+            add(rr_set, advertiser)
         return collection
 
 
