@@ -78,14 +78,27 @@ class MonteCarloOracle(RevenueOracle):
     seed:
         RNG seed; queries are deterministic for a fixed seed because the
         oracle derives one child stream per cached query.
+    use_batched_mc:
+        Estimate spreads with the batched level-synchronous engine
+        (:mod:`repro.diffusion.engine`) instead of the sequential seed path.
+        Off by default: the sequential path reproduces the seed tree's RNG
+        stream exactly (like ``SamplingParameters.use_subsim``), the batched
+        path is statistically equivalent and much faster.
     """
 
-    def __init__(self, instance: RMInstance, num_simulations: int = 500, seed: RandomSource = None):
+    def __init__(
+        self,
+        instance: RMInstance,
+        num_simulations: int = 500,
+        seed: RandomSource = None,
+        use_batched_mc: bool = False,
+    ):
         if num_simulations <= 0:
             raise SolverError("num_simulations must be positive")
         self._instance = instance
         self._num_simulations = num_simulations
         self._rng = as_rng(seed)
+        self._use_batched_mc = bool(use_batched_mc)
         self._cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
 
     @property
@@ -110,6 +123,7 @@ class MonteCarloOracle(RevenueOracle):
                 seed_set,
                 num_simulations=self._num_simulations,
                 rng=self._rng,
+                use_batched=self._use_batched_mc,
             )
             cached = self._instance.cpe(advertiser) * spread
             self._cache[key] = cached

@@ -12,7 +12,9 @@ from repro.diffusion.simulation import (
     simulate_cascade,
     monte_carlo_spread,
     exact_spread,
+    singleton_spreads_monte_carlo,
 )
+from repro.diffusion.engine import simulate_cascades_batch
 from repro.diffusion.action_logs import ActionLog, ActionEvent, generate_action_log
 from repro.diffusion.learning import learn_topic_edge_probabilities
 
@@ -27,8 +29,10 @@ __all__ = [
     "TrivalencyModel",
     "TopicAwareICModel",
     "simulate_cascade",
+    "simulate_cascades_batch",
     "monte_carlo_spread",
     "exact_spread",
+    "singleton_spreads_monte_carlo",
     "ActionLog",
     "ActionEvent",
     "generate_action_log",

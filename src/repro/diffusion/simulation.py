@@ -1,9 +1,21 @@
 """Cascade simulation: single runs, Monte-Carlo spread, exact spread.
 
 ``monte_carlo_spread`` is the reference estimator used by the Monte-Carlo
-revenue oracle and by tests that validate the RR-set estimators.
-``exact_spread`` enumerates live-edge worlds and is only feasible on graphs
-with a handful of edges; it anchors correctness tests of everything else.
+revenue oracle and by tests that validate the RR-set estimators.  Its default
+path draws randomness in exactly the same order as the seed implementation
+(preserved verbatim in :mod:`repro.diffusion.legacy`), so fixed-seed results
+are reproducible across releases; passing ``use_batched=True`` routes the
+estimate through the level-synchronous batched engine in
+:mod:`repro.diffusion.engine`, which is ~an order of magnitude faster and
+statistically equivalent (``tests/test_mc_engine_equivalence.py`` pins both
+claims).
+
+``exact_spread`` enumerates live-edge worlds and anchors correctness tests of
+everything else.  The enumeration is restricted to the edges reachable from
+the seed set — edges no cascade from ``seeds`` can ever traverse contribute a
+marginal factor of 1 and are skipped — so graphs with many edges but small
+forward closures stay feasible (the seed semantics over *all* edges are kept
+in :func:`repro.diffusion.legacy.legacy_exact_spread`).
 """
 
 from __future__ import annotations
@@ -37,6 +49,10 @@ def simulate_cascade(
     The cascade follows the Independent Cascade dynamics: every newly
     activated node gets a single chance to activate each currently inactive
     out-neighbour, succeeding independently with the edge's probability.
+
+    This is the seed-compatible path: the draw order (one uniform block per
+    dequeued node, FIFO frontier) matches :mod:`repro.diffusion.legacy`
+    bit-for-bit under a fixed seed.
     """
     generator = as_rng(rng)
     probabilities = np.asarray(edge_probabilities, dtype=np.float64)
@@ -66,8 +82,33 @@ def monte_carlo_spread(
     seeds: Iterable[int],
     num_simulations: int = 1000,
     rng: RandomSource = None,
+    use_batched: bool = False,
+    batch_size: Optional[int] = None,
 ) -> float:
-    """Estimate the expected spread ``σ(seeds)`` by Monte-Carlo simulation."""
+    """Estimate the expected spread ``σ(seeds)`` by Monte-Carlo simulation.
+
+    Parameters
+    ----------
+    use_batched:
+        Route the estimate through the batched level-synchronous engine
+        (:mod:`repro.diffusion.engine`).  Off by default: the sequential path
+        reproduces the seed tree's RNG stream exactly, the batched path is
+        statistically equivalent but draws in a different order.
+    batch_size:
+        Cascades per batch for the batched path (ignored otherwise);
+        ``None`` picks a size that keeps the activation bitmap small.
+    """
+    if use_batched:
+        from repro.diffusion import engine
+
+        return engine.monte_carlo_spread(
+            graph,
+            edge_probabilities,
+            seeds,
+            num_simulations=num_simulations,
+            rng=rng,
+            batch_size=batch_size,
+        )
     if num_simulations <= 0:
         raise DiffusionError("num_simulations must be positive")
     seed_list = list(seeds)
@@ -103,37 +144,63 @@ def reachable_from(
     return visited
 
 
+def _reachable_edge_ids(graph: CSRDiGraph, seed_array: np.ndarray) -> np.ndarray:
+    """Canonical ids of the edges whose source lies in the forward closure of
+    ``seed_array`` (over *all* edges) — the only edges whose live/dead state
+    can influence which nodes a cascade from the seeds reaches."""
+    if graph.num_edges == 0 or seed_array.size == 0:
+        return np.empty(0, dtype=np.int64)
+    closure = reachable_from(
+        graph, seed_array, np.ones(graph.num_edges, dtype=bool)
+    )
+    in_closure = np.zeros(graph.num_nodes, dtype=bool)
+    in_closure[np.fromiter(closure, dtype=np.int64, count=len(closure))] = True
+    return np.flatnonzero(in_closure[graph.sources]).astype(np.int64)
+
+
 def exact_spread(
     graph: CSRDiGraph,
     edge_probabilities: np.ndarray,
     seeds: Iterable[int],
     max_edges: int = 20,
 ) -> float:
-    """Exact expected spread by enumerating all live-edge possible worlds.
+    """Exact expected spread by enumerating live-edge possible worlds.
 
-    Only feasible when the graph has at most ``max_edges`` edges (the sum runs
-    over ``2^m`` worlds); used to validate estimators in tests.
+    The sum runs over ``2^r`` worlds where ``r`` is the number of edges
+    reachable from the seed set: an edge whose source no cascade from
+    ``seeds`` can ever activate is never traversed, so marginalising over its
+    state multiplies every term by ``p + (1-p) = 1``.  ``max_edges`` bounds
+    ``r`` (the seed implementation bounded the total edge count; it is kept
+    in :func:`repro.diffusion.legacy.legacy_exact_spread` and the two
+    enumerations are pinned equal in tests).
     """
     probabilities = np.asarray(edge_probabilities, dtype=np.float64)
     if probabilities.shape != (graph.num_edges,):
         raise DiffusionError("edge_probabilities must have one entry per edge")
-    if graph.num_edges > max_edges:
-        raise DiffusionError(
-            f"exact_spread is limited to {max_edges} edges, graph has {graph.num_edges}"
-        )
     seed_list = list(seeds)
     if not seed_list:
         return 0.0
+    seed_array = _as_seed_array(seed_list, graph.num_nodes)
+    relevant = _reachable_edge_ids(graph, seed_array)
+    if relevant.size > max_edges:
+        raise DiffusionError(
+            f"exact_spread is limited to {max_edges} reachable edges, "
+            f"{relevant.size} of the graph's {graph.num_edges} edges are "
+            "reachable from the seed set"
+        )
+    if relevant.size == 0:
+        return float(seed_array.size)
     expected = 0.0
-    num_edges = graph.num_edges
-    for world in product([False, True], repeat=num_edges):
-        live = np.array(world, dtype=bool)
-        world_probability = 1.0
-        for edge_id in range(num_edges):
-            p = probabilities[edge_id]
-            world_probability *= p if live[edge_id] else (1.0 - p)
+    live = np.zeros(graph.num_edges, dtype=bool)
+    relevant_probs = probabilities[relevant]
+    for world in product([False, True], repeat=int(relevant.size)):
+        world_mask = np.array(world, dtype=bool)
+        world_probability = float(
+            np.prod(np.where(world_mask, relevant_probs, 1.0 - relevant_probs))
+        )
         if world_probability == 0.0:
             continue
+        live[relevant] = world_mask
         expected += world_probability * len(reachable_from(graph, seed_list, live))
     return expected
 
@@ -144,12 +211,26 @@ def singleton_spreads_monte_carlo(
     num_simulations: int = 200,
     rng: RandomSource = None,
     nodes: Optional[Sequence[int]] = None,
+    use_batched: bool = False,
+    batch_size: Optional[int] = None,
 ) -> np.ndarray:
     """Monte-Carlo estimates of ``σ({v})`` for every node ``v``.
 
     Used by the seed-incentive cost models, which price a node by its
-    singleton influence spread (Section 5.1).
+    singleton influence spread (Section 5.1).  ``use_batched`` routes all
+    (node, simulation) cascades through the batched engine in one stream.
     """
+    if use_batched:
+        from repro.diffusion import engine
+
+        return engine.singleton_spreads_monte_carlo(
+            graph,
+            edge_probabilities,
+            num_simulations=num_simulations,
+            rng=rng,
+            nodes=nodes,
+            batch_size=batch_size,
+        )
     generator = as_rng(rng)
     node_list = list(nodes) if nodes is not None else list(range(graph.num_nodes))
     spreads = np.zeros(len(node_list), dtype=np.float64)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.advertising.instance import RMInstance
-from repro.advertising.oracle import RevenueOracle, RRSetOracle
+from repro.advertising.oracle import MonteCarloOracle, RevenueOracle, RRSetOracle
 from repro.baselines.ti_carm import ti_carm
 from repro.baselines.ti_common import TIParameters
 from repro.baselines.ti_csrm import ti_csrm
@@ -63,6 +63,8 @@ def run_algorithm(
     oracle: Optional[RevenueOracle] = None,
     one_batch_rr_sets: int = 2048,
     evaluation_rr_sets: int = 20000,
+    mc_oracle_simulations: Optional[int] = None,
+    use_batched_mc: bool = False,
     seed: RandomSource = None,
 ) -> AlgorithmRun:
     """Run one algorithm by name and evaluate its allocation independently.
@@ -72,11 +74,27 @@ def run_algorithm(
     algorithm:
         One of ``RMA``, ``OneBatchRM``, ``TI-CARM``, ``TI-CSRM`` (sampling
         setting) or ``RM_with_Oracle``, ``CA-Greedy``, ``CS-Greedy`` (oracle
-        setting; requires ``oracle``).
+        setting; requires ``oracle`` or ``mc_oracle_simulations``).
     evaluator:
         Shared independent evaluator; building one per call is expensive, so
         sweeps construct it once and pass it in.
+    mc_oracle_simulations:
+        When an oracle-setting algorithm is requested without an explicit
+        ``oracle``, build a :class:`MonteCarloOracle` with this many cascade
+        simulations per query instead of raising.
+    use_batched_mc:
+        Run the auto-built Monte-Carlo oracle on the batched cascade engine
+        (:mod:`repro.diffusion.engine`).  Default off so fixed-seed runs
+        reproduce the seed tree's RNG stream, mirroring
+        ``SamplingParameters.use_subsim``.
     """
+    if algorithm in ORACLE_ALGORITHMS and oracle is None and mc_oracle_simulations is not None:
+        oracle = MonteCarloOracle(
+            instance,
+            num_simulations=mc_oracle_simulations,
+            seed=seed,
+            use_batched_mc=use_batched_mc,
+        )
     started = time.perf_counter()
     if algorithm == "RMA":
         result = rm_without_oracle(instance, sampling_params)

@@ -20,7 +20,13 @@ from repro.advertising.oracle import RRSetOracle
 from repro.core.greedy import marginal_rate
 from repro.core.oracle_solver import rm_with_oracle
 from repro.core.sampling_solver import SamplingParameters, rm_without_oracle
+from repro.diffusion.engine import simulate_cascades_batch
 from repro.diffusion.models import IndependentCascadeModel
+from repro.diffusion.simulation import (
+    exact_spread,
+    reachable_from,
+    simulate_cascade,
+)
 from repro.exceptions import ProblemDefinitionError
 from repro.graph.builders import from_edge_list
 from repro.incentives.models import (
@@ -37,6 +43,13 @@ edge_strategy = st.lists(
     st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
     min_size=1,
     max_size=20,
+)
+
+# Small enough that 2^edges possible-world enumeration stays cheap.
+tiny_edge_strategy = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=8,
 )
 
 
@@ -134,6 +147,77 @@ def test_rma_respects_relaxed_budget_in_sampling_space(edges, probability, seed,
         estimated = result.per_advertiser_revenue.get(advertiser, 0.0)
         payment = instance.cost_of_set(advertiser, seeds) + estimated
         assert payment <= (1.0 + rho / 2.0) * instance.budget(advertiser) + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# cascade invariants (sequential and batched engines)
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    probability=st.floats(0.0, 1.0),
+    seed=st.integers(0, 1000),
+    seeds=st.sets(st.integers(0, 7), min_size=1, max_size=4),
+)
+def test_cascade_activation_sandwich_both_engines(edges, probability, seed, seeds):
+    """seeds ⊆ activated ⊆ reachable_from(seeds) for every cascade of either engine."""
+    graph = from_edge_list(edges, num_nodes=8)
+    probabilities = np.full(graph.num_edges, probability)
+    seed_list = sorted(seeds)
+    reachable = reachable_from(graph, seed_list, np.ones(graph.num_edges, dtype=bool))
+
+    activated = simulate_cascade(graph, probabilities, seed_list, rng=seed)
+    assert set(seed_list) <= activated <= reachable
+
+    bitmap = simulate_cascades_batch(
+        graph, probabilities, seed_list, num_cascades=5, rng=seed
+    )
+    reachable_mask = np.zeros(graph.num_nodes, dtype=bool)
+    reachable_mask[list(reachable)] = True
+    assert bitmap[:, seed_list].all()
+    assert not bitmap[:, ~reachable_mask].any()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=edge_strategy,
+    seed=st.integers(0, 1000),
+    seeds=st.sets(st.integers(0, 7), min_size=1, max_size=4),
+)
+def test_cascade_degenerate_probabilities_both_engines(edges, seed, seeds):
+    """p = 0 activates exactly the seeds; p = 1 activates exactly the closure."""
+    graph = from_edge_list(edges, num_nodes=8)
+    seed_list = sorted(seeds)
+    zeros = np.zeros(graph.num_edges)
+    ones = np.ones(graph.num_edges)
+
+    assert simulate_cascade(graph, zeros, seed_list, rng=seed) == set(seed_list)
+    closure = reachable_from(graph, seed_list, np.ones(graph.num_edges, dtype=bool))
+    assert simulate_cascade(graph, ones, seed_list, rng=seed) == closure
+
+    frozen = simulate_cascades_batch(graph, zeros, seed_list, num_cascades=4, rng=seed)
+    assert frozen.sum() == 4 * len(seed_list)
+    assert frozen[:, seed_list].all()
+    saturated = simulate_cascades_batch(graph, ones, seed_list, num_cascades=4, rng=seed)
+    closure_mask = np.zeros(graph.num_nodes, dtype=bool)
+    closure_mask[list(closure)] = True
+    assert np.array_equal(saturated, np.tile(closure_mask, (4, 1)))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=tiny_edge_strategy,
+    probability=st.floats(0.05, 0.95),
+    base=st.sets(st.integers(0, 7), min_size=1, max_size=3),
+    extra=st.sets(st.integers(0, 7), min_size=1, max_size=2),
+)
+def test_exact_spread_monotone_in_seed_set(edges, probability, base, extra):
+    """σ(S) ≤ σ(S ∪ T): expected spread is monotone (checked exactly)."""
+    graph = from_edge_list(edges, num_nodes=8)
+    probabilities = np.full(graph.num_edges, probability)
+    small = exact_spread(graph, probabilities, sorted(base), max_edges=8)
+    large = exact_spread(graph, probabilities, sorted(base | extra), max_edges=8)
+    assert large >= small - 1e-9
 
 
 # --------------------------------------------------------------------------- #

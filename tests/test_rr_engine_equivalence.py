@@ -193,6 +193,58 @@ def test_subsim_edges_examined_counts_only_touched_edges():
     assert legacy.edges_examined == total_successes + 25
 
 
+def test_subsim_edges_examined_hub_uniform_block_path():
+    """The overshoot fix must hold on the hub-node uniform-probability *block*
+    path too, not just the scalar geometric-skip path.
+
+    A dense uniform hub (64 in-edges, p = 0.9) yields far more than 8
+    successes per visit, so the generator takes the vectorised block gather
+    (``sources[start + positions]``) instead of the ≤8-success scalar loop
+    the star-graph test above exercises.  The counter must still report only
+    the touched (successful) edges, while the legacy engine over-counts the
+    final overshooting skip once per visit.
+    """
+    from repro.graph.builders import from_edge_list
+
+    hub = 0
+    num_leaves = 64
+    graph = from_edge_list(
+        [(leaf, hub) for leaf in range(1, num_leaves + 1)], num_nodes=num_leaves + 1
+    )
+    probabilities = np.full(graph.num_edges, 0.9)
+    generator = SubsimRRGenerator(graph, probabilities)
+    visits = 25
+    total_successes = 0
+    for seed in range(visits):
+        rr_set = generator.generate(rng=seed, root=hub)
+        successes = rr_set.size - 1
+        # Pin that every visit really took the block path (scalar cap is 8).
+        assert successes > 8
+        total_successes += successes
+    assert generator.edges_examined == total_successes
+    legacy = LegacySubsimRRGenerator(graph, probabilities)
+    for seed in range(visits):
+        legacy.generate(rng=seed, root=hub)
+    assert legacy.edges_examined == total_successes + visits
+
+
+def test_subsim_edges_examined_saturated_uniform_block():
+    """p = 1 uniform hub: the whole in-block is taken without geometric draws,
+    and both engines must count exactly the block's degree (no overshoot)."""
+    from repro.graph.builders import from_edge_list
+
+    hub = 0
+    graph = from_edge_list([(leaf, hub) for leaf in range(1, 33)], num_nodes=33)
+    probabilities = np.ones(graph.num_edges)
+    generator = SubsimRRGenerator(graph, probabilities)
+    rr_set = generator.generate(rng=0, root=hub)
+    assert rr_set.size == graph.num_nodes
+    assert generator.edges_examined == graph.num_edges
+    legacy = LegacySubsimRRGenerator(graph, probabilities)
+    legacy.generate(rng=0, root=hub)
+    assert legacy.edges_examined == graph.num_edges
+
+
 def test_generate_batch_matches_sequential_generate(graph):
     probabilities = _probabilities(WeightedCascadeModel, graph)
     batch = RRSetGenerator(graph, probabilities).generate_batch(50, rng=13)
