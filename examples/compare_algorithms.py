@@ -4,7 +4,12 @@ Reproduces a single cell of the paper's main comparison: the Flixster-like
 network under the linear seed-incentive model at one value of α, reporting
 revenue, seeding cost, seed count and running time per algorithm.
 
-Run with:  python examples/compare_algorithms.py
+Every solver opts into the fast engines (``use_subsim`` RR-set generation
+and ``use_batched_greedy`` vectorized seed selection) — both default to off
+for seed-stream compatibility, and the batched greedy engine returns
+bit-identical allocations either way.
+
+Run with:  PYTHONPATH=src python examples/compare_algorithms.py
 """
 
 from __future__ import annotations
@@ -34,10 +39,22 @@ def main() -> None:
     evaluator = independent_evaluator(instance, num_rr_sets=15000, seed=23)
 
     sampling_params = SamplingParameters(
-        epsilon=0.1, rho=rho, tau=0.1, initial_rr_sets=1024, max_rr_sets=8192, seed=11
+        epsilon=0.1,
+        rho=rho,
+        tau=0.1,
+        initial_rr_sets=1024,
+        max_rr_sets=8192,
+        seed=11,
+        use_subsim=True,
+        use_batched_greedy=True,
     )
     ti_params = TIParameters(
-        epsilon=0.1, pilot_size=256, max_rr_sets_per_advertiser=2048, seed=11
+        epsilon=0.1,
+        pilot_size=256,
+        max_rr_sets_per_advertiser=2048,
+        seed=11,
+        use_subsim=True,
+        use_batched_greedy=True,
     )
 
     rows = []

@@ -1,16 +1,27 @@
 """Quickstart: solve one revenue-maximization instance end to end.
 
-Builds a small synthetic Lastfm-like network, prepares ten advertisers with
+Builds a small synthetic Lastfm-like network, prepares advertisers with
 heterogeneous budgets and cpe values under the linear seed-incentive model,
 runs the paper's RMA solver, and evaluates the resulting allocation with an
 independent RR-set estimator.
 
-Run with:  python examples/quickstart.py
+The run opts into two of the library's fast engines (all off by default so
+fixed-seed runs reproduce the original RNG streams):
+
+* ``use_subsim=True`` — SUBSIM geometric-skipping RR-set generation;
+* ``use_batched_greedy=True`` — vectorized CELF seed selection against the
+  coverage marginal matrix (bit-identical allocations, just faster);
+
+and cross-checks the result with the third, ``use_batched_mc=True`` — the
+batched level-synchronous Monte-Carlo cascade engine.
+
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
 from repro import SamplingParameters, build_dataset, rm_without_oracle
+from repro.advertising.oracle import MonteCarloOracle
 from repro.experiments.metrics import evaluate_allocation
 
 
@@ -31,7 +42,9 @@ def main() -> None:
     for index, advertiser in enumerate(instance.advertisers):
         print(f"    ad-{index}: budget={advertiser.budget:8.1f}  cpe={advertiser.cpe:.1f}")
 
-    print("\nRunning RMA (RM_without_Oracle) ...")
+    print("\nRunning RMA (RM_without_Oracle) with the fast engines opted in ...")
+    print("  use_subsim=True         (SUBSIM RR-set generation)")
+    print("  use_batched_greedy=True (vectorized CELF seed selection)")
     params = SamplingParameters(
         epsilon=0.1,
         delta=0.01,
@@ -40,6 +53,8 @@ def main() -> None:
         initial_rr_sets=1024,
         max_rr_sets=8192,
         seed=42,
+        use_subsim=True,
+        use_batched_greedy=True,
     )
     result = rm_without_oracle(instance, params)
     print(f"  RR-sets used:        {result.metadata['rr_sets']}")
@@ -64,6 +79,14 @@ def main() -> None:
             f"seed cost={cost:7.1f}  budget={budget:8.1f}  "
             f"spend={(revenue + cost) / budget:6.1%}"
         )
+
+    print("\nCross-checking ad-0 with the batched Monte-Carlo engine (use_batched_mc=True) ...")
+    mc_oracle = MonteCarloOracle(instance, num_simulations=200, seed=13, use_batched_mc=True)
+    seeds_zero = result.allocation.seeds(0)
+    mc_revenue = mc_oracle.revenue(0, seeds_zero) if seeds_zero else 0.0
+    rr_revenue = evaluation.per_advertiser_revenue[0]
+    print(f"  RR-set estimate:      {rr_revenue:10.1f}")
+    print(f"  Monte-Carlo estimate: {mc_revenue:10.1f}")
 
 
 if __name__ == "__main__":

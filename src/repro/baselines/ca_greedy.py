@@ -18,6 +18,8 @@ import numpy as np
 from repro.advertising.allocation import Allocation
 from repro.advertising.instance import RMInstance
 from repro.advertising.oracle import RevenueOracle
+from repro.baselines.common import batched_budgeted_allocation, greedy_result
+from repro.core.batched_greedy import supports_batched_greedy
 from repro.core.result import SolverResult
 from repro.exceptions import SolverError
 from repro.utils.lazy_heap import LazyMarginalHeap
@@ -28,24 +30,36 @@ def ca_greedy(
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
+    use_batched_greedy: bool = False,
 ) -> SolverResult:
-    """Run CA-Greedy and return a :class:`SolverResult`."""
+    """Run CA-Greedy and return a :class:`SolverResult`.
+
+    ``use_batched_greedy`` opts the element heap into the batched coverage
+    engine (RR-set oracles only; other oracles keep the seed scalar path).
+    """
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
-    nodes = (
-        [int(node) for node in candidates]
-        if candidates is not None
-        else list(range(instance.num_nodes))
-    )
+
+    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+        allocation, closed = batched_budgeted_allocation(
+            instance, oracle, budget_array, candidates, rank_by_rate=False
+        )
+        return greedy_result(instance, oracle, allocation, closed, "CA-Greedy")
 
     allocation = Allocation(h)
     revenue = {i: 0.0 for i in range(h)}
     cost = {i: 0.0 for i in range(h)}
     closed = set()
+
+    nodes = (
+        [int(node) for node in candidates]
+        if candidates is not None
+        else list(range(instance.num_nodes))
+    )
 
     def evaluate(element):
         node, advertiser = element
@@ -77,16 +91,4 @@ def ca_greedy(
             # as its top-gain element no longer fits the budget.
             closed.add(advertiser)
 
-    total_revenue = oracle.total_revenue(allocation)
-    return SolverResult(
-        allocation=allocation,
-        revenue=total_revenue,
-        per_advertiser_revenue={
-            advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)
-            for advertiser, seeds in allocation.items()
-        },
-        seeding_cost=instance.total_seeding_cost(allocation),
-        algorithm="CA-Greedy",
-        depleted_budgets=len(closed),
-        metadata={"closed_advertisers": len(closed)},
-    )
+    return greedy_result(instance, oracle, allocation, closed, "CA-Greedy")

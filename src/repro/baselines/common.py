@@ -1,0 +1,90 @@
+"""Shared machinery of the CA-Greedy / CS-Greedy oracle baselines.
+
+Both baselines run the same budgeted allocation loop and package the same
+:class:`SolverResult`; they differ only in how elements are ranked (marginal
+gain vs. marginal rate).  The scalar loops stay in their own modules —
+mirroring the paper's presentation — but the batched-engine variant and the
+result builder live here so a fix lands once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RevenueOracle, RRSetOracle
+from repro.core.batched_greedy import CoverageGreedyEngine
+from repro.core.result import SolverResult
+from repro.utils.lazy_heap import BatchedLazyGreedy
+
+
+def greedy_result(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    allocation: Allocation,
+    closed: Set[int],
+    algorithm: str,
+) -> SolverResult:
+    """Package a finished CA/CS-Greedy allocation as a :class:`SolverResult`."""
+    total_revenue = oracle.total_revenue(allocation)
+    return SolverResult(
+        allocation=allocation,
+        revenue=total_revenue,
+        per_advertiser_revenue={
+            advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)
+            for advertiser, seeds in allocation.items()
+        },
+        seeding_cost=instance.total_seeding_cost(allocation),
+        algorithm=algorithm,
+        depleted_budgets=len(closed),
+        metadata={"closed_advertisers": len(closed)},
+    )
+
+
+def batched_budgeted_allocation(
+    instance: RMInstance,
+    oracle: RRSetOracle,
+    budgets: np.ndarray,
+    candidates: Optional[Iterable[int]],
+    rank_by_rate: bool,
+) -> Tuple[Allocation, Set[int]]:
+    """The CA/CS-Greedy allocation loop on the batched coverage engine.
+
+    ``rank_by_rate`` selects the CS-Greedy ranking (marginal rate) over the
+    CA-Greedy one (marginal gain); every other decision — singleton
+    feasibility, the assigned/closed filters, the budget accept test and the
+    advertiser-closing rule — is shared.  Decisions see the same floats as
+    the scalar loops, and the heap replays their tie-breaking exactly.
+    """
+    h = instance.num_advertisers
+    n = instance.num_nodes
+    engine = CoverageGreedyEngine(instance, oracle)
+    heap = BatchedLazyGreedy(engine.rates if rank_by_rate else engine.gains)
+    heap.push_array(engine.feasible_element_keys(budgets, candidates))
+
+    allocation = Allocation(h)
+    revenue = {i: 0.0 for i in range(h)}
+    cost = {i: 0.0 for i in range(h)}
+    closed: Set[int] = set()
+    while len(heap) and len(closed) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        key, _value = popped
+        advertiser, node = divmod(key, n)
+        if advertiser in closed or allocation.is_assigned(node):
+            continue
+        gain = engine.gain(advertiser, node)
+        node_cost = instance.cost(advertiser, node)
+        if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budgets[advertiser]:
+            allocation.assign(node, advertiser)
+            engine.add_seed(advertiser, node)
+            revenue[advertiser] += gain
+            cost[advertiser] += node_cost
+            heap.advance_round()
+        else:
+            closed.add(advertiser)
+    return allocation, closed

@@ -16,6 +16,8 @@ import numpy as np
 from repro.advertising.allocation import Allocation
 from repro.advertising.instance import RMInstance
 from repro.advertising.oracle import RevenueOracle
+from repro.baselines.common import batched_budgeted_allocation, greedy_result
+from repro.core.batched_greedy import supports_batched_greedy
 from repro.core.greedy import marginal_rate
 from repro.core.result import SolverResult
 from repro.exceptions import SolverError
@@ -27,24 +29,36 @@ def cs_greedy(
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
+    use_batched_greedy: bool = False,
 ) -> SolverResult:
-    """Run CS-Greedy and return a :class:`SolverResult`."""
+    """Run CS-Greedy and return a :class:`SolverResult`.
+
+    ``use_batched_greedy`` opts the element heap into the batched coverage
+    engine (RR-set oracles only; other oracles keep the seed scalar path).
+    """
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
-    nodes = (
-        [int(node) for node in candidates]
-        if candidates is not None
-        else list(range(instance.num_nodes))
-    )
+
+    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+        allocation, closed = batched_budgeted_allocation(
+            instance, oracle, budget_array, candidates, rank_by_rate=True
+        )
+        return greedy_result(instance, oracle, allocation, closed, "CS-Greedy")
 
     allocation = Allocation(h)
     revenue = {i: 0.0 for i in range(h)}
     cost = {i: 0.0 for i in range(h)}
     closed = set()
+
+    nodes = (
+        [int(node) for node in candidates]
+        if candidates is not None
+        else list(range(instance.num_nodes))
+    )
 
     def evaluate(element):
         node, advertiser = element
@@ -74,17 +88,4 @@ def cs_greedy(
             heap.advance_round()
         else:
             closed.add(advertiser)
-
-    total_revenue = oracle.total_revenue(allocation)
-    return SolverResult(
-        allocation=allocation,
-        revenue=total_revenue,
-        per_advertiser_revenue={
-            advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)
-            for advertiser, seeds in allocation.items()
-        },
-        seeding_cost=instance.total_seeding_cost(allocation),
-        algorithm="CS-Greedy",
-        depleted_budgets=len(closed),
-        metadata={"closed_advertisers": len(closed)},
-    )
+    return greedy_result(instance, oracle, allocation, closed, "CS-Greedy")

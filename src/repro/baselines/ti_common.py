@@ -32,8 +32,9 @@ from repro.baselines.tim import (
 from repro.core.greedy import marginal_rate
 from repro.core.result import SolverResult
 from repro.exceptions import SolverError
+from repro.rrsets.collection import CoverageState, RRCollection
 from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
-from repro.utils.lazy_heap import LazyMarginalHeap
+from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 from repro.utils.rng import RandomSource, as_rng
 
 
@@ -47,6 +48,14 @@ class TIParameters:
     the pure-Python reproduction stays tractable; the uncapped theoretical
     requirement is always reported in the result metadata (it is what the
     Figure 4 memory comparison uses).
+
+    ``use_batched_greedy`` runs the allocation loop on the batched coverage
+    engine: the per-advertiser pools are merged into one advertiser-tagged
+    :class:`~repro.rrsets.collection.RRCollection` and stale CELF candidates
+    are refreshed through vectorized gathers on its coverage marginal matrix.
+    Off by default (the per-element loop is the seed behaviour); the batched
+    loop sees the same floats and replays the same tie-breaking, so it
+    returns bit-identical allocations.
     """
 
     epsilon: float = 0.1
@@ -54,6 +63,7 @@ class TIParameters:
     pilot_size: int = 256
     max_rr_sets_per_advertiser: int = 4096
     use_subsim: bool = False
+    use_batched_greedy: bool = False
     seed: RandomSource = None
 
     def validate(self) -> None:
@@ -152,6 +162,80 @@ def _required_memory_proxy(
     return generated_bytes * (required_total / generated_total)
 
 
+def _run_allocation_batched(
+    instance: RMInstance,
+    pools: Dict[int, _AdvertiserPool],
+    penalties: Dict[int, float],
+    budgets: np.ndarray,
+    cost_sensitive: bool,
+) -> tuple[Allocation, set[int], Dict[int, float]]:
+    """The TI allocation loop on the batched coverage engine.
+
+    The per-advertiser pools are merged into one advertiser-tagged
+    collection, so a :class:`CoverageState` tracks every pool's uncovered
+    counts in its flat ``(h·n,)`` marginal matrix and a batch of stale
+    candidates is refreshed with one gather (``scale_flat · marginal[keys]``).
+    All comparisons see the same ``scale × count`` floats as the scalar loop.
+    """
+    h = instance.num_advertisers
+    n = instance.num_nodes
+    combined = RRCollection(n, h)
+    for advertiser in range(h):
+        for rr_set in pools[advertiser].rr_sets:
+            combined.add(rr_set, advertiser)
+    state = CoverageState(combined)
+    marginal_flat = state.marginal_matrix().ravel()
+    cost_flat = instance.cost_matrix().ravel()
+    scales = np.array([pools[i].scale for i in range(h)], dtype=np.float64)
+    scale_flat = np.repeat(scales, n)
+
+    def batch_values(keys: np.ndarray) -> np.ndarray:
+        gains = scale_flat[keys] * marginal_flat[keys]
+        if not cost_sensitive:
+            return gains
+        positive = gains > 0.0
+        rates = np.zeros(gains.shape, dtype=np.float64)
+        np.divide(gains, cost_flat[keys] + gains, out=rates, where=positive)
+        return rates
+
+    # Same singleton-feasibility filter and advertiser-major element order as
+    # the scalar loop: singleton revenue is scale × membership count.
+    membership_flat = combined.membership_counts().ravel()
+    all_keys = np.arange(h * n, dtype=np.int64)
+    feasible = cost_flat + scale_flat * membership_flat <= np.repeat(budgets, n)
+    heap = BatchedLazyGreedy(batch_values)
+    heap.push_array(all_keys[feasible])
+
+    allocation = Allocation(h)
+    cost = {i: 0.0 for i in range(h)}
+    closed: set[int] = set()
+    while len(heap) and len(closed) < h:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        key, value = popped
+        advertiser, node = divmod(key, n)
+        if advertiser in closed or allocation.is_assigned(node) or value <= 0.0:
+            continue
+        gain = scales[advertiser] * int(marginal_flat[key])
+        node_cost = instance.cost(advertiser, node)
+        revenue = scales[advertiser] * state.covered_count_for(advertiser)
+        projected_revenue = revenue + gain + penalties[advertiser]
+        if cost[advertiser] + node_cost + projected_revenue <= budgets[advertiser]:
+            allocation.assign(node, advertiser)
+            state.add_seed(advertiser, node)
+            cost[advertiser] += node_cost
+            heap.advance_round()
+        else:
+            closed.add(advertiser)
+
+    per_advertiser = {
+        advertiser: scales[advertiser] * state.covered_count_for(advertiser)
+        for advertiser in range(h)
+    }
+    return allocation, closed, per_advertiser
+
+
 def run_ti_baseline(
     instance: RMInstance,
     params: Optional[TIParameters],
@@ -166,9 +250,6 @@ def run_ti_baseline(
 
     h = instance.num_advertisers
     budgets = instance.budgets()
-    allocation = Allocation(h)
-    cost = {i: 0.0 for i in range(h)}
-    closed: set[int] = set()
 
     # Conservative upper-confidence penalty added to the revenue estimate when
     # checking budget feasibility (Hoeffding bound on the coverage fraction).
@@ -179,6 +260,28 @@ def run_ti_baseline(
         penalties[advertiser] = pool.cpe * instance.num_nodes * min(
             fraction_error, params.epsilon
         )
+
+    if params.use_batched_greedy:
+        allocation, closed, per_advertiser = _run_allocation_batched(
+            instance, pools, penalties, budgets, cost_sensitive
+        )
+        return SolverResult(
+            allocation=allocation,
+            revenue=sum(per_advertiser.values()),
+            per_advertiser_revenue=per_advertiser,
+            seeding_cost=instance.total_seeding_cost(allocation),
+            algorithm=algorithm_name,
+            depleted_budgets=len(closed),
+            metadata={
+                "epsilon": params.epsilon,
+                "delta": params.delta,
+                **diagnostics,
+            },
+        )
+
+    allocation = Allocation(h)
+    cost = {i: 0.0 for i in range(h)}
+    closed: set[int] = set()
 
     def evaluate(element):
         node, advertiser = element

@@ -90,6 +90,11 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-rr-sets", type=int, default=4096)
     parser.add_argument("--evaluation-rr-sets", type=int, default=10000)
     parser.add_argument("--subsim", action="store_true", help="use the SUBSIM RR-set generator")
+    parser.add_argument(
+        "--batched-greedy",
+        action="store_true",
+        help="use the batched lazy-greedy coverage engine (bit-identical allocations)",
+    )
 
 
 def _prepare(args: argparse.Namespace):
@@ -109,6 +114,7 @@ def _prepare(args: argparse.Namespace):
         initial_rr_sets=args.initial_rr_sets,
         max_rr_sets=args.max_rr_sets,
         use_subsim=args.subsim,
+        use_batched_greedy=args.batched_greedy,
         seed=args.seed,
     )
     ti = TIParameters(
@@ -116,6 +122,7 @@ def _prepare(args: argparse.Namespace):
         pilot_size=128,
         max_rr_sets_per_advertiser=max(256, args.max_rr_sets // max(args.advertisers, 1)),
         use_subsim=args.subsim,
+        use_batched_greedy=args.batched_greedy,
         seed=args.seed,
     )
     return data, sampling, ti

@@ -1,0 +1,226 @@
+"""Batched lazy-greedy coverage engine — vectorized element evaluation.
+
+Every greedy consumer in the repo (Algorithms 1-3, CA/CS-Greedy, the TI
+baselines' allocation loop) ranks ``(node, advertiser)`` elements by marginal
+gain or marginal rate.  With an :class:`~repro.advertising.oracle.RRSetOracle`
+those marginals are pure maximum-coverage counts, and
+:class:`~repro.rrsets.collection.CoverageState` already maintains the full
+``(h, n)`` marginal matrix incrementally.  The seed code path nevertheless
+routes every (re-)evaluation through a scalar Python callback —
+``oracle.marginal_revenue`` with its frozenset hashing and per-advertiser
+mask caches — which is the last large Python-loop hot path after the RR-set
+and Monte-Carlo engine rewrites.
+
+This module is the glue between those two layers:
+
+* **Element encoding** — an element ``(node, advertiser)`` is the int64 key
+  ``advertiser · n + node``, i.e. the *flat index* into both the raveled
+  ``(h, n)`` marginal matrix and the raveled ``(h, n)`` seeding-cost matrix.
+  Decoding is one ``divmod``; a batch of keys gathers marginals and costs
+  with plain fancy indexing, no per-element arithmetic.
+* :class:`CoverageGreedyEngine` — owns a fresh
+  :class:`~repro.rrsets.collection.CoverageState` over the oracle's
+  collection plus read-only flat views of the marginal and cost matrices,
+  and exposes the three vectorized evaluators the consumers need
+  (:meth:`gains`, :meth:`rates`, and the feasibility filter
+  :meth:`feasible_element_keys`).  ``add_seed`` forwards to the coverage
+  state, so a subsequent gather sees the updated marginals.
+
+Paired with :class:`~repro.utils.lazy_heap.BatchedLazyGreedy`, a greedy
+round becomes: pop the stale top, refresh it and the next batch of stale
+candidates with **one** gather ``scale · marginal[keys]`` (plus one
+vectorized rate transform for the rate-ranked consumers), and select the
+surviving top element.  Gains are computed as ``scale × integer-count``
+exactly like the scalar oracle path, so accept/reject decisions see
+bit-identical floats, and the batched heap replays the scalar heap's refresh
+schedule and tie-breaking exactly (see :mod:`repro.utils.lazy_heap`) — the
+batched consumers select *identical allocations*, just faster.
+
+The engine requires an :class:`RRSetOracle`; consumers fall back to the seed
+scalar path for Monte-Carlo / exact oracles, where a batch evaluation would
+still be one simulation per element.  Use :func:`supports_batched_greedy` to
+test eligibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import RevenueOracle, RRSetOracle
+from repro.exceptions import ProblemDefinitionError
+from repro.rrsets.collection import CoverageState
+
+#: default number of stale candidates refreshed per vectorized gather
+DEFAULT_BATCH_SIZE = 64
+
+
+def supports_batched_greedy(oracle: RevenueOracle, instance: RMInstance) -> bool:
+    """Whether the batched coverage engine can drive this oracle.
+
+    True only for an :class:`RRSetOracle` covering at least the instance's
+    advertisers; other oracles have no coverage matrix to gather from.
+    """
+    return (
+        isinstance(oracle, RRSetOracle)
+        and oracle.num_advertisers >= instance.num_advertisers
+    )
+
+
+class CoverageGreedyEngine:
+    """Vectorized marginal evaluation over an RR-set oracle's coverage state.
+
+    Parameters
+    ----------
+    instance:
+        Supplies the ``(h, n)`` seeding-cost matrix and budgets.
+    oracle:
+        The RR-set oracle whose collection backs the coverage state.  The
+        engine builds its own :class:`CoverageState`, so the oracle's caches
+        are left untouched and remain usable for final revenue queries.
+    """
+
+    def __init__(self, instance: RMInstance, oracle: RRSetOracle):
+        if not supports_batched_greedy(oracle, instance):
+            raise ProblemDefinitionError(
+                "CoverageGreedyEngine requires an RRSetOracle covering the instance"
+            )
+        self._instance = instance
+        self._oracle = oracle
+        self._num_nodes = instance.num_nodes
+        self._scale = oracle.scale
+        self._state = CoverageState(oracle.collection)
+        # Flat views sharing the underlying buffers: marginal updates made by
+        # add_seed are visible through _marginal_flat with no re-gather.
+        self._marginal_flat = self._state.marginal_matrix().ravel()
+        self._cost_flat = instance.cost_matrix().ravel()
+
+    # ------------------------------------------------------------------ #
+    # element encoding
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes ``n`` (the key-encoding stride)."""
+        return self._num_nodes
+
+    @property
+    def scale(self) -> float:
+        """``nΓ / |R|`` — revenue per covered RR-set (from the oracle)."""
+        return self._scale
+
+    @property
+    def state(self) -> CoverageState:
+        """The engine's private coverage state."""
+        return self._state
+
+    def encode(self, node: int, advertiser: int) -> int:
+        """Flat element key ``advertiser·n + node``."""
+        return advertiser * self._num_nodes + int(node)
+
+    def decode(self, key: int) -> Tuple[int, int]:
+        """Inverse of :meth:`encode` — returns ``(node, advertiser)``."""
+        advertiser, node = divmod(int(key), self._num_nodes)
+        return node, advertiser
+
+    # ------------------------------------------------------------------ #
+    # vectorized evaluators
+    # ------------------------------------------------------------------ #
+    def gains(self, keys: np.ndarray) -> np.ndarray:
+        """Marginal revenues ``π_i(u | S_i)`` for a batch of element keys."""
+        return self._scale * self._marginal_flat[keys]
+
+    def rates(self, keys: np.ndarray) -> np.ndarray:
+        """Marginal rates ``ζ = gain / (cost + gain)`` for a batch of keys.
+
+        Elementwise identical (IEEE-754) to the scalar
+        :func:`repro.core.greedy.marginal_rate` on the same gains/costs.
+        """
+        gains = self.gains(keys)
+        positive = gains > 0.0
+        rates = np.zeros(gains.shape, dtype=np.float64)
+        np.divide(
+            gains, self._cost_flat[keys] + gains, out=rates, where=positive
+        )
+        return rates
+
+    def node_gains(self, advertiser: int, nodes: np.ndarray) -> np.ndarray:
+        """Marginal revenues of ``nodes`` for a single advertiser."""
+        return self.gains(advertiser * self._num_nodes + nodes)
+
+    def node_rates(self, advertiser: int, nodes: np.ndarray) -> np.ndarray:
+        """Marginal rates of ``nodes`` for a single advertiser."""
+        return self.rates(advertiser * self._num_nodes + nodes)
+
+    def gain(self, advertiser: int, node: int) -> float:
+        """Scalar marginal revenue — same float the oracle path computes."""
+        return self._scale * int(
+            self._marginal_flat[advertiser * self._num_nodes + int(node)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # feasibility initialisation
+    # ------------------------------------------------------------------ #
+    def candidate_nodes(self, candidates: Optional[Iterable[int]]) -> np.ndarray:
+        """Candidate pool as an int64 array (defaults to all nodes), validated."""
+        if candidates is None:
+            return np.arange(self._num_nodes, dtype=np.int64)
+        nodes = np.asarray([int(node) for node in candidates], dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
+            bad = nodes[(nodes < 0) | (nodes >= self._num_nodes)][0]
+            raise ProblemDefinitionError(f"node {bad} out of range")
+        return nodes
+
+    def singleton_feasible_nodes(
+        self, advertiser: int, budget: float, candidates: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
+        """Nodes whose singleton cost + revenue fits ``budget`` (Line 1 of Alg. 1).
+
+        Singleton revenue is ``scale × membership count`` — the initial
+        marginal matrix — so the filter is one vectorized comparison.
+        """
+        nodes = self.candidate_nodes(candidates)
+        keys = advertiser * self._num_nodes + nodes
+        singleton = self._scale * self._oracle.collection.membership_counts().ravel()[keys]
+        mask = self._cost_flat[keys] + singleton <= budget
+        return nodes[mask]
+
+    def feasible_element_keys(
+        self,
+        budgets: np.ndarray,
+        candidates: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """All singleton-feasible element keys, advertiser-major.
+
+        Matches the element order of the scalar
+        ``threshold_greedy._candidate_elements`` path (advertiser-major,
+        candidate order within each advertiser), which is behaviour: the lazy
+        heaps break exact ties by insertion order.
+        """
+        nodes = self.candidate_nodes(candidates)
+        singleton_counts = self._oracle.collection.membership_counts().ravel()
+        chunks: List[np.ndarray] = []
+        for advertiser in range(self._instance.num_advertisers):
+            keys = advertiser * self._num_nodes + nodes
+            singleton = self._scale * singleton_counts[keys]
+            mask = self._cost_flat[keys] + singleton <= budgets[advertiser]
+            chunks.append(keys[mask])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------ #
+    # state updates
+    # ------------------------------------------------------------------ #
+    def add_seed(self, advertiser: int, node: int) -> int:
+        """Assign ``node`` to ``advertiser``; returns the newly covered count.
+
+        Only RR-sets tagged ``advertiser`` are covered (tags partition the
+        collection), so the other advertisers' marginal rows are untouched.
+        """
+        return self._state.add_seed(advertiser, int(node))
+
+    def revenue_for(self, advertiser: int) -> float:
+        """``scale × covered count`` for one advertiser's accumulated seeds."""
+        return self._scale * self._state.covered_count_for(advertiser)

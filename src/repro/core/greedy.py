@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.advertising.instance import RMInstance
 from repro.advertising.oracle import RevenueOracle
+from repro.core.batched_greedy import (
+    CoverageGreedyEngine,
+    supports_batched_greedy,
+)
 from repro.exceptions import SolverError
-from repro.utils.lazy_heap import LazyMarginalHeap
+from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 
 
 def marginal_rate(marginal_gain: float, cost: float) -> float:
@@ -38,6 +44,7 @@ def greedy_single_advertiser(
     advertiser: int,
     candidates: Optional[Iterable[int]] = None,
     budget: Optional[float] = None,
+    use_batched_greedy: bool = False,
 ) -> Tuple[Set[int], Set[int], Set[int]]:
     """Run ``Greedy(U, i)`` and return ``(S_i*, S_i, D_i)``.
 
@@ -54,6 +61,12 @@ def greedy_single_advertiser(
     budget:
         Budget override ``B_i`` (the sampling solver passes the relaxed
         ``(1 + ϱ/2)·B_i`` here).
+    use_batched_greedy:
+        Rank candidates with the batched coverage engine
+        (:mod:`repro.core.batched_greedy`) instead of per-element oracle
+        callbacks.  Opt-in, mirroring ``use_subsim`` / ``use_batched_mc``;
+        requires an :class:`~repro.advertising.oracle.RRSetOracle` (silently
+        falls back to the seed scalar path otherwise).
 
     Returns
     -------
@@ -66,6 +79,10 @@ def greedy_single_advertiser(
     budget_i = instance.budget(advertiser) if budget is None else float(budget)
     if budget_i <= 0:
         raise SolverError("budget must be positive")
+    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+        return _greedy_single_advertiser_batched(
+            instance, oracle, advertiser, candidates, budget_i
+        )
     candidate_pool = (
         set(int(node) for node in candidates)
         if candidates is not None
@@ -101,6 +118,66 @@ def greedy_single_advertiser(
         if cost_with_node + revenue_with_node <= budget_i:
             selected.add(node)
             current_revenue = revenue_with_node
+            heap.advance_round()
+        else:
+            stopple.add(node)
+
+    revenue_selected = oracle.revenue(advertiser, selected) if selected else 0.0
+    revenue_stopple = oracle.revenue(advertiser, stopple) if stopple else 0.0
+    best = selected if revenue_selected >= revenue_stopple else stopple
+    return set(best), selected, stopple
+
+
+def _greedy_single_advertiser_batched(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    advertiser: int,
+    candidates: Optional[Iterable[int]],
+    budget_i: float,
+) -> Tuple[Set[int], Set[int], Set[int]]:
+    """Algorithm 1 on the batched coverage engine (same contract, same loop).
+
+    Gains come from one gather against the coverage marginal matrix, so every
+    accept/reject comparison sees the same ``scale × count`` floats as the
+    scalar oracle path.  The feasibility filter is vectorized, but candidates
+    are inserted by iterating the same Python sets the scalar path builds —
+    the heaps break exact value ties by insertion order, so the iteration
+    order of ``feasible_candidates`` is behaviour.
+    """
+    engine = CoverageGreedyEngine(instance, oracle)
+    candidate_pool = (
+        set(int(node) for node in candidates)
+        if candidates is not None
+        else set(range(instance.num_nodes))
+    )
+    feasible = engine.singleton_feasible_nodes(
+        advertiser, budget_i, sorted(candidate_pool)
+    )
+    feasible_mask = np.zeros(instance.num_nodes, dtype=bool)
+    feasible_mask[feasible] = True
+    feasible_candidates = {node for node in candidate_pool if feasible_mask[node]}
+
+    selected: Set[int] = set()
+    stopple: Set[int] = set()
+    current_revenue = 0.0
+
+    heap = BatchedLazyGreedy(lambda nodes: engine.node_rates(advertiser, nodes))
+    heap.push_array(
+        np.fromiter(feasible_candidates, dtype=np.int64, count=len(feasible_candidates))
+    )
+
+    while len(heap) and not stopple:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        node, _rate = popped
+        gain = engine.gain(advertiser, node)
+        cost_with_node = instance.cost_of_set(advertiser, selected | {node})
+        revenue_with_node = current_revenue + gain
+        if cost_with_node + revenue_with_node <= budget_i:
+            selected.add(node)
+            current_revenue = revenue_with_node
+            engine.add_seed(advertiser, node)
             heap.advance_round()
         else:
             stopple.add(node)

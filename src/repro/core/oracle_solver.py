@@ -43,6 +43,7 @@ def rm_with_oracle(
     tau: float = 0.1,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
+    use_batched_greedy: bool = False,
 ) -> SolverResult:
     """Algorithm 5 — solve the RM problem given a revenue oracle.
 
@@ -55,6 +56,10 @@ def rm_with_oracle(
         relaxed budgets ``(1 + ϱ/2)·B_i`` through this parameter.
     candidates:
         Optional candidate node pool (defaults to all nodes).
+    use_batched_greedy:
+        Run every greedy inner loop on the batched coverage engine
+        (:mod:`repro.core.batched_greedy`).  Opt-in and effective only with
+        an RR-set oracle; other oracles keep the seed scalar path.
 
     Returns
     -------
@@ -70,7 +75,12 @@ def rm_with_oracle(
     if h == 1:
         budget = float(budgets[0]) if budgets is not None else None
         best, selected, stopple = greedy_single_advertiser(
-            instance, oracle, 0, candidates=candidates, budget=budget
+            instance,
+            oracle,
+            0,
+            candidates=candidates,
+            budget=budget,
+            use_batched_greedy=use_batched_greedy,
         )
         allocation = Allocation(1)
         for node in best:
@@ -91,7 +101,13 @@ def rm_with_oracle(
 
     b_min = 1 if h <= 3 else 2
     allocation, revenue, byproducts, diagnostics = search_threshold(
-        instance, oracle, tau=tau, b_min=b_min, budgets=budgets, candidates=candidates
+        instance,
+        oracle,
+        tau=tau,
+        b_min=b_min,
+        budgets=budgets,
+        candidates=candidates,
+        use_batched_greedy=use_batched_greedy,
     )
     per_advertiser = {
         advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)

@@ -83,6 +83,15 @@ class SamplingParameters:
         final round, the collections are enlarged once more before returning.
     use_subsim:
         Generate RR-sets with the SUBSIM geometric-skipping generator.
+    use_batched_greedy:
+        Run the greedy inner loops of ``RM_with_Oracle`` on the batched
+        coverage engine (:mod:`repro.core.batched_greedy`): stale CELF
+        candidates are re-evaluated in vectorized batches against the
+        coverage marginal matrix instead of per-element oracle callbacks.
+        Off by default, mirroring ``use_subsim`` — the scalar path is the
+        seed behaviour; the batched path selects **bit-identical
+        allocations** (it replays the scalar heap's refresh schedule and
+        tie-breaking exactly) and is much faster.
     """
 
     epsilon: float = 0.1
@@ -96,6 +105,7 @@ class SamplingParameters:
     validation_ratio: float = 0.8
     validation_growth_factor: float = 4.0
     use_subsim: bool = False
+    use_batched_greedy: bool = False
     seed: RandomSource = None
 
     def validate(self) -> None:
@@ -198,7 +208,11 @@ def rm_without_oracle(
         oracle_two = RRSetOracle(collection_two, gamma)
 
         inner = rm_with_oracle(
-            instance, oracle_one, tau=params.tau, budgets=relaxed_budgets
+            instance,
+            oracle_one,
+            tau=params.tau,
+            budgets=relaxed_budgets,
+            use_batched_greedy=params.use_batched_greedy,
         )
         allocation = inner.allocation
         revenue_r1 = inner.revenue
@@ -306,7 +320,13 @@ def one_batch_rm(
     collection = sampler.generate_collection(num_rr_sets)
     oracle = RRSetOracle(collection, instance.gamma)
     relaxed_budgets = instance.budgets() * (1.0 + params.rho / 2.0)
-    inner = rm_with_oracle(instance, oracle, tau=params.tau, budgets=relaxed_budgets)
+    inner = rm_with_oracle(
+        instance,
+        oracle,
+        tau=params.tau,
+        budgets=relaxed_budgets,
+        use_batched_greedy=params.use_batched_greedy,
+    )
     result = SolverResult(
         allocation=inner.allocation,
         revenue=inner.revenue,

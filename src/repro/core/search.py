@@ -17,6 +17,7 @@ import numpy as np
 from repro.advertising.allocation import Allocation
 from repro.advertising.instance import RMInstance
 from repro.advertising.oracle import RevenueOracle
+from repro.core.batched_greedy import supports_batched_greedy
 from repro.core.greedy import marginal_rate
 from repro.core.result import SearchByproducts
 from repro.core.threshold_greedy import threshold_greedy
@@ -28,15 +29,44 @@ def gamma_max(
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
+    use_batched_greedy: bool = False,
 ) -> float:
     """``γ_max = max{B_j · ζ_j(v | ∅) : v ∈ V, j ∈ [h]}`` (Eq. 6).
 
     A threshold above this value rejects every node, so the binary search
-    never needs to look beyond ``(1+τ)·γ_max``.
+    never needs to look beyond ``(1+τ)·γ_max``.  With ``use_batched_greedy``
+    and an RR-set oracle the ``h·n`` singleton rates come from one vectorized
+    pass over the membership-count matrix (the same floats the scalar loop
+    computes, so the maximum is unchanged bit for bit).
     """
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
+    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+        node_array = (
+            np.asarray([int(node) for node in candidates], dtype=np.int64)
+            if candidates is not None
+            else np.arange(instance.num_nodes, dtype=np.int64)
+        )
+        if node_array.size == 0:
+            return 0.0
+        if node_array.min() < 0 or node_array.max() >= instance.num_nodes:
+            bad = node_array[(node_array < 0) | (node_array >= instance.num_nodes)][0]
+            raise SolverError(f"node {bad} out of range")
+        # Singleton revenues are just scale × membership count — no coverage
+        # state needed, γ_max never looks past the empty solution.
+        singleton = oracle.scale * oracle.collection.membership_counts()
+        costs = instance.cost_matrix()
+        best = 0.0
+        for advertiser in range(instance.num_advertisers):
+            gains = singleton[advertiser, node_array]
+            positive = gains > 0.0
+            rates = np.zeros(gains.shape, dtype=np.float64)
+            np.divide(
+                gains, costs[advertiser, node_array] + gains, out=rates, where=positive
+            )
+            best = max(best, float(budget_array[advertiser] * rates.max()))
+        return best
     nodes = (
         [int(node) for node in candidates]
         if candidates is not None
@@ -60,6 +90,7 @@ def search_threshold(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     max_iterations: int = 64,
+    use_batched_greedy: bool = False,
 ) -> Tuple[Allocation, float, SearchByproducts, dict]:
     """Algorithm 4 — returns ``(best allocation, its revenue, byproducts, diagnostics)``.
 
@@ -75,6 +106,9 @@ def search_threshold(
         Safety cap on the number of ThresholdGreedy invocations; the paper's
         stopping rule terminates in ``O(log(h·γ_max / min_i cpe(i)))``
         iterations, the cap only guards against degenerate inputs.
+    use_batched_greedy:
+        Forwarded to ``gamma_max`` and every ``threshold_greedy`` invocation
+        (opt-in batched coverage engine, RR-set oracles only).
     """
     if not 0.0 < tau < 1.0:
         raise SolverError("tau must lie in (0, 1)")
@@ -90,7 +124,9 @@ def search_threshold(
     min_cpe = float(min(instance.cpe(i) for i in range(h)))
     stop_gamma = min_cpe / (h + 6)
 
-    gamma_upper_limit = (1.0 + tau) * gamma_max(instance, oracle, budget_array, candidates)
+    gamma_upper_limit = (1.0 + tau) * gamma_max(
+        instance, oracle, budget_array, candidates, use_batched_greedy=use_batched_greedy
+    )
     gamma_low, gamma_high = 0.0, gamma_upper_limit
     gamma = gamma_low
 
@@ -102,7 +138,12 @@ def search_threshold(
     while True:
         iterations += 1
         allocation, depleted = threshold_greedy(
-            instance, oracle, gamma, budgets=budget_array, candidates=candidates
+            instance,
+            oracle,
+            gamma,
+            budgets=budget_array,
+            candidates=candidates,
+            use_batched_greedy=use_batched_greedy,
         )
         revenue = oracle.total_revenue(allocation)
         tried.append((allocation, revenue))

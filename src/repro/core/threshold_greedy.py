@@ -22,9 +22,13 @@ import numpy as np
 from repro.advertising.allocation import Allocation
 from repro.advertising.instance import RMInstance
 from repro.advertising.oracle import RevenueOracle, RRSetOracle
+from repro.core.batched_greedy import (
+    CoverageGreedyEngine,
+    supports_batched_greedy,
+)
 from repro.core.greedy import greedy_single_advertiser, marginal_rate
 from repro.exceptions import ProblemDefinitionError, SolverError
-from repro.utils.lazy_heap import LazyMarginalHeap
+from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 
 Element = Tuple[int, int]  # (node, advertiser)
 
@@ -52,9 +56,15 @@ class _GreedyState:
         """``π_i(u | S_i)`` for the current ``S_i``."""
         return self.oracle.marginal_revenue(advertiser, node, self.selected[advertiser])
 
-    def try_add(self, node: int, advertiser: int) -> str:
-        """Attempt to add ``(node, advertiser)``; returns 'selected' or 'stopple'."""
-        gain = self.marginal_gain(node, advertiser)
+    def try_add(self, node: int, advertiser: int, gain: Optional[float] = None) -> str:
+        """Attempt to add ``(node, advertiser)``; returns 'selected' or 'stopple'.
+
+        ``gain`` lets the batched path pass the coverage-derived marginal it
+        already holds (the same float the oracle would return) instead of a
+        redundant oracle query.
+        """
+        if gain is None:
+            gain = self.marginal_gain(node, advertiser)
         node_cost = self.instance.cost(advertiser, node)
         new_cost = self.cost[advertiser] + node_cost
         new_revenue = self.revenue[advertiser] + gain
@@ -123,6 +133,7 @@ def threshold_greedy(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     run_fill: bool = True,
+    use_batched_greedy: bool = False,
 ) -> Tuple[Allocation, int]:
     """Algorithm 2 — returns ``(allocation S⃗*, b)``.
 
@@ -138,6 +149,10 @@ def threshold_greedy(
     run_fill:
         Whether to run the final ``Fill`` pass (Line 12).  Disabled only by
         ablation benchmarks.
+    use_batched_greedy:
+        Drive the element heap through the batched coverage engine
+        (:mod:`repro.core.batched_greedy`) — opt-in, RR-set oracles only,
+        falls back to the seed scalar path otherwise.
     """
     if gamma < 0:
         raise SolverError("gamma must be non-negative")
@@ -152,36 +167,66 @@ def threshold_greedy(
 
     state = _GreedyState(instance, oracle, budget_array)
     depleted: Set[int] = set()
+    batched = use_batched_greedy and supports_batched_greedy(oracle, instance)
 
-    def evaluate(element: Element) -> float:
-        node, advertiser = element
-        return state.marginal_gain(node, advertiser)
+    if batched:
+        engine = CoverageGreedyEngine(instance, oracle)
+        n = instance.num_nodes
+        heap_b = BatchedLazyGreedy(engine.gains)
+        heap_b.push_array(engine.feasible_element_keys(budget_array, candidates))
+        # Main loop (Lines 3-8), batched: pop by max marginal gain refreshed
+        # through one coverage gather per stale batch, same three filters.
+        while len(heap_b) and len(depleted) < h:
+            popped_b = heap_b.pop_best()
+            if popped_b is None:
+                break
+            key, _stale_gain = popped_b
+            advertiser, node = divmod(key, n)
+            if state.stopple[advertiser]:
+                continue
+            gain = engine.gain(advertiser, node)
+            rate = marginal_rate(gain, instance.cost(advertiser, node))
+            if rate < gamma / budget_array[advertiser]:
+                continue
+            if node in state.assigned:
+                continue
+            outcome = state.try_add(node, advertiser, gain=gain)
+            if outcome == "selected":
+                engine.add_seed(advertiser, node)
+                heap_b.advance_round()
+            else:
+                depleted.add(advertiser)
+    else:
 
-    heap: LazyMarginalHeap[Element] = LazyMarginalHeap(evaluate)
-    heap.push_many(_candidate_elements(instance, oracle, budget_array, candidates))
+        def evaluate(element: Element) -> float:
+            node, advertiser = element
+            return state.marginal_gain(node, advertiser)
 
-    # Main loop (Lines 3-8): pop by max marginal gain, apply the three filters.
-    while len(heap) and len(depleted) < h:
-        popped = heap.pop_best()
-        if popped is None:
-            break
-        (node, advertiser), _gain = popped
-        # Filter 1: threshold on the marginal rate w.r.t. S_i ∪ D_i, and skip
-        # advertisers whose budget is already depleted (D_i non-empty).
-        if state.stopple[advertiser]:
-            continue
-        gain = state.marginal_gain(node, advertiser)
-        rate = marginal_rate(gain, instance.cost(advertiser, node))
-        if rate < gamma / budget_array[advertiser]:
-            continue
-        # Filter 2: the node must not be assigned to any advertiser yet.
-        if node in state.assigned:
-            continue
-        outcome = state.try_add(node, advertiser)
-        if outcome == "selected":
-            heap.advance_round()
-        else:
-            depleted.add(advertiser)
+        heap: LazyMarginalHeap[Element] = LazyMarginalHeap(evaluate)
+        heap.push_many(_candidate_elements(instance, oracle, budget_array, candidates))
+
+        # Main loop (Lines 3-8): pop by max marginal gain, apply the three filters.
+        while len(heap) and len(depleted) < h:
+            popped = heap.pop_best()
+            if popped is None:
+                break
+            (node, advertiser), _gain = popped
+            # Filter 1: threshold on the marginal rate w.r.t. S_i ∪ D_i, and skip
+            # advertisers whose budget is already depleted (D_i non-empty).
+            if state.stopple[advertiser]:
+                continue
+            gain = state.marginal_gain(node, advertiser)
+            rate = marginal_rate(gain, instance.cost(advertiser, node))
+            if rate < gamma / budget_array[advertiser]:
+                continue
+            # Filter 2: the node must not be assigned to any advertiser yet.
+            if node in state.assigned:
+                continue
+            outcome = state.try_add(node, advertiser)
+            if outcome == "selected":
+                heap.advance_round()
+            else:
+                depleted.add(advertiser)
 
     # Line 9-10: when exactly one budget is depleted, re-run Greedy for it on
     # the still-unassigned nodes; its result backs the b = 1 case of Thm 3.2.
@@ -199,6 +244,7 @@ def threshold_greedy(
             advertiser,
             candidates=unassigned,
             budget=float(budget_array[advertiser]),
+            use_batched_greedy=use_batched_greedy,
         )
         rescue[advertiser] = best
 
@@ -222,7 +268,14 @@ def threshold_greedy(
             allocation.assign(node, advertiser)
 
     if run_fill:
-        allocation = fill(instance, oracle, allocation, budgets=budget_array, candidates=candidates)
+        allocation = fill(
+            instance,
+            oracle,
+            allocation,
+            budgets=budget_array,
+            candidates=candidates,
+            use_batched_greedy=use_batched_greedy,
+        )
     return allocation, len(depleted)
 
 
@@ -250,11 +303,13 @@ def fill(
     allocation: Allocation,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
+    use_batched_greedy: bool = False,
 ) -> Allocation:
     """Algorithm 3 — greedily spend leftover budget by maximum marginal rate.
 
     Returns a new allocation extending ``allocation`` (the input is copied,
-    not mutated).
+    not mutated).  ``use_batched_greedy`` opts into the batched coverage
+    engine (RR-set oracles only; falls back to the scalar path otherwise).
     """
     h = instance.num_advertisers
     budget_array = (
@@ -269,6 +324,11 @@ def fill(
     for advertiser, seeds in result.items():
         revenue[advertiser] = oracle.revenue(advertiser, seeds) if seeds else 0.0
         cost[advertiser] = instance.cost_of_set(advertiser, seeds)
+
+    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+        return _fill_batched(
+            instance, oracle, result, budget_array, candidates, revenue, cost
+        )
 
     def evaluate(element: Element) -> float:
         node, advertiser = element
@@ -289,6 +349,49 @@ def fill(
         node_cost = instance.cost(advertiser, node)
         if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budget_array[advertiser]:
             result.assign(node, advertiser)
+            revenue[advertiser] += gain
+            cost[advertiser] += node_cost
+            heap.advance_round()
+    return result
+
+
+def _fill_batched(
+    instance: RMInstance,
+    oracle: RevenueOracle,
+    result: Allocation,
+    budget_array: np.ndarray,
+    candidates: Optional[Iterable[int]],
+    revenue: Dict[int, float],
+    cost: Dict[int, float],
+) -> Allocation:
+    """Algorithm 3 on the batched coverage engine (rate-ranked elements).
+
+    The engine's fresh coverage state is replayed to the incoming partial
+    allocation first, so element gains are marginals w.r.t. the seeds Fill
+    starts from — the same quantities the scalar path queries the oracle for.
+    """
+    engine = CoverageGreedyEngine(instance, oracle)
+    n = instance.num_nodes
+    for advertiser, seeds in result.items():
+        for node in seeds:
+            engine.add_seed(advertiser, int(node))
+
+    heap = BatchedLazyGreedy(engine.rates)
+    heap.push_array(engine.feasible_element_keys(budget_array, candidates))
+
+    while len(heap):
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        key, _rate = popped
+        advertiser, node = divmod(key, n)
+        if result.is_assigned(node):
+            continue
+        gain = engine.gain(advertiser, node)
+        node_cost = instance.cost(advertiser, node)
+        if cost[advertiser] + node_cost + revenue[advertiser] + gain <= budget_array[advertiser]:
+            result.assign(node, advertiser)
+            engine.add_seed(advertiser, node)
             revenue[advertiser] += gain
             cost[advertiser] += node_cost
             heap.advance_round()

@@ -46,7 +46,11 @@ reference, so results are **statistically equivalent, not bit-identical**;
 ``tests/test_mc_engine_equivalence.py`` pins the equivalence with fixed-seed
 KS and mean-within-3σ tests against the legacy path, ``exact_spread`` and the
 RR-set estimator.  Callers that need the seed tree's exact stream keep the
-default (non-batched) path in :mod:`repro.diffusion.simulation`.
+default (non-batched) path in :mod:`repro.diffusion.simulation` — see the
+RNG seed-stream-compatibility policy in ``docs/architecture.md``, which
+also explains how this engine's raveled ``B·n`` bitmap relates to the CSR
+gather order of :mod:`repro.rrsets.generator` and the ``(h, n)`` marginal
+matrix of :mod:`repro.rrsets.collection`.
 """
 
 from __future__ import annotations

@@ -65,6 +65,7 @@ def run_algorithm(
     evaluation_rr_sets: int = 20000,
     mc_oracle_simulations: Optional[int] = None,
     use_batched_mc: bool = False,
+    use_batched_greedy: bool = False,
     seed: RandomSource = None,
 ) -> AlgorithmRun:
     """Run one algorithm by name and evaluate its allocation independently.
@@ -87,6 +88,13 @@ def run_algorithm(
         (:mod:`repro.diffusion.engine`).  Default off so fixed-seed runs
         reproduce the seed tree's RNG stream, mirroring
         ``SamplingParameters.use_subsim``.
+    use_batched_greedy:
+        Run the oracle-setting greedy loops (``RM_with_Oracle``,
+        ``CA-Greedy``, ``CS-Greedy``) on the batched coverage engine
+        (:mod:`repro.core.batched_greedy`); effective only when the oracle is
+        an RR-set oracle.  The sampling algorithms take the equivalent flag
+        through ``SamplingParameters.use_batched_greedy`` /
+        ``TIParameters.use_batched_greedy``.
     """
     if algorithm in ORACLE_ALGORITHMS and oracle is None and mc_oracle_simulations is not None:
         oracle = MonteCarloOracle(
@@ -108,11 +116,11 @@ def run_algorithm(
         if oracle is None:
             raise ExperimentError(f"{algorithm} requires a revenue oracle")
         if algorithm == "RM_with_Oracle":
-            result = rm_with_oracle(instance, oracle)
+            result = rm_with_oracle(instance, oracle, use_batched_greedy=use_batched_greedy)
         elif algorithm == "CA-Greedy":
-            result = ca_greedy(instance, oracle)
+            result = ca_greedy(instance, oracle, use_batched_greedy=use_batched_greedy)
         else:
-            result = cs_greedy(instance, oracle)
+            result = cs_greedy(instance, oracle, use_batched_greedy=use_batched_greedy)
     else:
         raise ExperimentError(
             f"unknown algorithm {algorithm!r}; expected one of "

@@ -29,6 +29,14 @@ with a frozen CSR view built lazily on first query and invalidated by
 ``(h·n,)`` int64 array (conceptually the ``(h, n)`` marginal matrix) plus a
 boolean covered mask, so ``add_seed`` is a handful of fancy-indexing
 operations and construction is a single ``np.bincount`` pass.
+
+The flat layout is deliberate: entry ``advertiser·n + node`` of the raveled
+marginal matrix is addressed by the same int64 key the batched lazy-greedy
+engine (:mod:`repro.core.batched_greedy`) uses to encode greedy elements,
+so re-evaluating a batch of CELF candidates is one fancy-index gather and
+the seeding-cost lookup shares the key via the raveled ``(h, n)`` cost
+matrix.  See ``docs/architecture.md`` for how the three flat-array engines
+fit together.
 """
 
 from __future__ import annotations

@@ -1,7 +1,7 @@
 """Shared utilities: RNG management, lazy-greedy heaps, timers and logging."""
 
 from repro.utils.rng import RandomSource, as_rng, spawn_rngs
-from repro.utils.lazy_heap import LazyMarginalHeap, HeapEntry
+from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap, HeapEntry
 from repro.utils.timer import Timer, timed
 from repro.utils.validation import (
     check_positive,
@@ -14,6 +14,7 @@ __all__ = [
     "RandomSource",
     "as_rng",
     "spawn_rngs",
+    "BatchedLazyGreedy",
     "LazyMarginalHeap",
     "HeapEntry",
     "Timer",

@@ -1,4 +1,4 @@
-"""Lazy-greedy (CELF-style) priority queue.
+"""Lazy-greedy (CELF-style) priority queues — scalar and batched.
 
 The greedy algorithms in the paper repeatedly select the element with the
 largest marginal gain (or marginal rate) of a monotone submodular function.
@@ -7,9 +7,29 @@ stored in a max-heap is still an upper bound; re-evaluating only the current
 top element ("lazy evaluation", Leskovec et al. 2007 / CELF) gives exactly the
 same selections as the eager arg-max while avoiding most re-evaluations.
 
-:class:`LazyMarginalHeap` implements this pattern generically for hashable
-keys.  It supports removing keys (needed when a node is taken by another
-advertiser) and draining in the same way the eager loop would.
+Two implementations of this pattern are provided:
+
+* :class:`LazyMarginalHeap` — the reference scalar heap over hashable keys.
+  Every insert and every stale refresh is one Python callback; this is the
+  seed implementation and stays the default in every consumer.
+* :class:`BatchedLazyGreedy` — the vectorized variant over int64-encoded
+  elements.  Stale entries are popped in surfacing order up to ``batch_size``
+  at a time and refreshed with **one** call to a vectorized ``batch_evaluate``
+  (for the RR-set consumers, a single numpy gather against the
+  ``(h, n)`` marginal matrix of
+  :class:`~repro.rrsets.collection.CoverageState`) instead of K Python
+  callback round-trips.  Bulk insertion (``push_array``) likewise evaluates
+  the whole candidate set in one call and heapifies once.
+
+The batched heap *replays the scalar heap's schedule exactly*: speculative
+batch evaluations are cached, but each refresh is committed one entry at a
+time in surfacing order with the same counter sequence the scalar heap would
+assign, so ties between equal values resolve identically and the two heaps
+produce bit-identical pop sequences — provided ``batch_evaluate`` is pure
+(values only change together with ``advance_round``, which every greedy
+consumer guarantees by advancing immediately after each accepted seed) and
+elements are inserted in the same order.
+``tests/test_greedy_engine_equivalence.py`` pins this across all consumers.
 """
 
 from __future__ import annotations
@@ -17,7 +37,20 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, Hashable, Iterable, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
 
 KeyT = TypeVar("KeyT", bound=Hashable)
 
@@ -126,4 +159,202 @@ class LazyMarginalHeap(Generic[KeyT]):
             return None
         key, value = best
         self.push(key, value)
+        return key, value
+
+
+class BatchedLazyGreedy:
+    """Vectorized CELF heap over int64-encoded elements.
+
+    Parameters
+    ----------
+    batch_evaluate:
+        Callable mapping an int64 array of element keys to a float64 array of
+        their *current* marginal values, evaluated in one vectorized pass.
+        For the coverage consumers this is a fancy-index gather against the
+        flat ``(h·n,)`` marginal matrix, so refreshing a batch of K stale
+        candidates costs one numpy call instead of K Python round-trips.
+    batch_size:
+        Maximum number of stale entries refreshed per evaluation call.
+
+    Semantics are *bit-identical* to :class:`LazyMarginalHeap` (same
+    insertion order, pure ``batch_evaluate``): ``advance_round`` marks every
+    entry stale, ``pop_best`` returns the element with the largest current
+    value, popped keys leave the heap, and exact value ties resolve in the
+    same order.  Identity is achieved by separating *speculation* from
+    *commitment*: when a stale entry surfaces, the next ``batch_size`` stale
+    candidates in surfacing order are evaluated in one vectorized call and
+    cached, but each refresh is committed one entry at a time exactly when
+    (and only when) the scalar heap would perform it, drawing the same
+    counter sequence.  Speculative values the scalar schedule never demands
+    are simply discarded — evaluation is a pure gather, so over-evaluating
+    costs vector width, not correctness.
+
+    The purity contract: values returned by ``batch_evaluate`` may only
+    change together with an ``advance_round`` call (every greedy consumer
+    advances immediately after each accepted seed, so this holds).  The
+    speculation cache is invalidated by ``advance_round``.
+
+    The instrumentation counters ``evaluation_calls`` /
+    ``elements_evaluated`` record how much callback traffic the batching
+    saved; the benchmark reports them.
+    """
+
+    def __init__(
+        self,
+        batch_evaluate: Callable[[np.ndarray], np.ndarray],
+        batch_size: int = 64,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._batch_evaluate = batch_evaluate
+        self._batch_size = int(batch_size)
+        # Entries are plain tuples (-value, counter, key, round_evaluated):
+        # tuple comparison gives the (-value, counter) max-heap order without
+        # dataclass overhead on the hot path.
+        self._heap: List[Tuple[float, int, int, int]] = []
+        self._removed: Set[int] = set()
+        self._members: Dict[int, float] = {}
+        # Speculative evaluations for the current round: key -> value.
+        self._pending: Dict[int, float] = {}
+        self._round = 0
+        self._next_counter = 0
+        self.evaluation_calls = 0
+        self.elements_evaluated = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._members
+
+    def _evaluate(self, keys: np.ndarray) -> np.ndarray:
+        values = np.asarray(self._batch_evaluate(keys), dtype=np.float64)
+        if values.shape != keys.shape:
+            raise ValueError(
+                f"batch_evaluate returned shape {values.shape} for {keys.shape} keys"
+            )
+        self.evaluation_calls += 1
+        self.elements_evaluated += int(keys.size)
+        return values
+
+    def push_array(
+        self, keys: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> None:
+        """Bulk-insert ``keys``; values come from one ``batch_evaluate`` call.
+
+        When the heap is empty this heapifies once instead of pushing one
+        entry at a time.  Ties between equal values resolve by insertion
+        order, exactly like repeated :meth:`LazyMarginalHeap.push` calls.
+        """
+        key_array = np.ascontiguousarray(keys, dtype=np.int64)
+        if key_array.size == 0:
+            return
+        if values is None:
+            values = self._evaluate(key_array)
+        else:
+            values = np.asarray(values, dtype=np.float64)
+        key_list = key_array.tolist()
+        value_list = values.tolist()
+        self._removed.difference_update(key_list)
+        base = self._next_counter
+        self._next_counter = base + len(key_list)
+        entries = [
+            (-value, base + offset, key, self._round)
+            for offset, (key, value) in enumerate(zip(key_list, value_list))
+        ]
+        if self._heap:
+            for entry in entries:
+                heapq.heappush(self._heap, entry)
+        else:
+            self._heap = entries
+            heapq.heapify(self._heap)
+        self._members.update(zip(key_list, value_list))
+
+    def remove(self, key: int) -> None:
+        """Mark ``key`` as removed; it will be skipped when it surfaces."""
+        key = int(key)
+        if key in self._members:
+            del self._members[key]
+            self._removed.add(key)
+
+    def advance_round(self) -> None:
+        """Signal that the underlying solution changed (stales every entry)."""
+        self._round += 1
+        self._pending.clear()
+
+    def _speculate(self, key: int) -> float:
+        """Batch-evaluate ``key`` plus lookahead candidates; return its value.
+
+        Called on a pending-cache miss.  Alongside ``key``, the next stale
+        entries in surfacing order (up to ``batch_size``, stopping at the
+        first fresh entry) are evaluated in the same vectorized call and
+        cached for this round.  The lookahead entries are popped to discover
+        them and pushed back *unchanged* — a cached value only becomes a
+        committed refresh when the entry itself surfaces in
+        :meth:`pop_best`, which is what keeps the schedule (and the
+        tie-breaking counters) identical to the scalar heap's.
+        """
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
+        removed, members, pending = self._removed, self._members, self._pending
+        current_round = self._round
+        batch = [key]
+        lookahead: List[Tuple[float, int, int, int]] = []
+        while heap and len(batch) < self._batch_size:
+            entry = heappop(heap)
+            other = entry[2]
+            if other in removed:
+                removed.discard(other)
+                continue
+            if other not in members:
+                continue  # superseded duplicate entry
+            lookahead.append(entry)
+            if entry[3] == current_round:
+                break  # fresh bound: deeper speculation is rarely consumed
+            if other not in pending:
+                batch.append(other)
+        for entry in lookahead:
+            heappush(heap, entry)
+        keys = np.fromiter(batch, dtype=np.int64, count=len(batch))
+        values = self._evaluate(keys)
+        pending.update(zip(batch, values.tolist()))
+        return pending[key]
+
+    def pop_best(self) -> Optional[Tuple[int, float]]:
+        """Pop the key with the largest current marginal value (or ``None``).
+
+        Pop/skip/refresh decisions replay :meth:`LazyMarginalHeap.pop_best`
+        step for step; only the *evaluations* are batched (see
+        :meth:`_speculate`).
+        """
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
+        removed, members, pending = self._removed, self._members, self._pending
+        while heap:
+            entry = heappop(heap)
+            key = entry[2]
+            if key in removed:
+                removed.discard(key)
+                continue
+            if key not in members:
+                continue  # superseded duplicate entry
+            if entry[3] == self._round:
+                del members[key]
+                return key, -entry[0]
+            # Stale: commit a refresh exactly like the scalar heap would.
+            value = pending.get(key)
+            if value is None:
+                value = self._speculate(key)
+            heappush(heap, (-value, self._next_counter, key, self._round))
+            self._next_counter += 1
+            members[key] = value
+        return None
+
+    def peek_best(self) -> Optional[Tuple[int, float]]:
+        """Return (but do not remove) the key with the largest current value."""
+        best = self.pop_best()
+        if best is None:
+            return None
+        key, value = best
+        self.push_array(np.array([key], dtype=np.int64), np.array([value]))
         return key, value

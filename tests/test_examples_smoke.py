@@ -1,0 +1,72 @@
+"""Smoke tests: every script in ``examples/`` must run end to end.
+
+Each example is executed as a subprocess exactly the way the README tells
+users to run it (``PYTHONPATH=src python examples/<name>.py``); a test fails
+if the script crashes or stops printing the section its docstring promises.
+The two flag-demonstration examples additionally pin that the opt-in fast
+engines stay wired (``use_subsim`` / ``use_batched_greedy`` /
+``use_batched_mc``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> substring its stdout must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Monte-Carlo estimate",
+    "compare_algorithms.py": "Best revenue",
+    "incentive_models.py": "",
+    "scalability_study.py": "",
+    "topic_aware_campaign.py": "",
+}
+
+
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the smoke list."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name):
+    result = _run_example(name)
+    assert result.returncode == 0, (
+        f"{name} failed (rc={result.returncode}):\n{result.stderr[-2000:]}"
+    )
+    assert EXPECTED_OUTPUT[name] in result.stdout
+
+
+def test_quickstart_demonstrates_all_three_fast_flags():
+    source = (EXAMPLES_DIR / "quickstart.py").read_text()
+    assert "use_subsim=True" in source
+    assert "use_batched_greedy=True" in source
+    assert "use_batched_mc=True" in source
+
+
+def test_compare_algorithms_demonstrates_fast_flags():
+    source = (EXAMPLES_DIR / "compare_algorithms.py").read_text()
+    assert "use_subsim=True" in source
+    assert "use_batched_greedy=True" in source

@@ -1,0 +1,342 @@
+"""Scalar-vs-batched equivalence proofs for the lazy-greedy coverage engine.
+
+The batched engine (:class:`repro.utils.lazy_heap.BatchedLazyGreedy` driving
+:mod:`repro.core.batched_greedy`) claims *bit-identical selections* to the
+seed scalar path: it replays the scalar heap's refresh schedule and
+tie-breaking exactly, only the evaluations are vectorized.  These tests pin
+that claim at the heap level (identical pop sequences under scripted value
+decay) and end to end through every greedy consumer — Algorithm 1,
+ThresholdGreedy + Fill, RM_with_Oracle, CA/CS-Greedy, the TI baselines and
+the RMA sampling solver — plus the silent fallback for non-RR-set oracles.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.advertising.advertiser import Advertiser
+from repro.advertising.allocation import Allocation
+from repro.advertising.instance import RMInstance
+from repro.advertising.oracle import MonteCarloOracle, RRSetOracle
+from repro.baselines.ca_greedy import ca_greedy
+from repro.baselines.cs_greedy import cs_greedy
+from repro.baselines.ti_carm import ti_carm
+from repro.baselines.ti_common import TIParameters
+from repro.baselines.ti_csrm import ti_csrm
+from repro.core.batched_greedy import CoverageGreedyEngine, supports_batched_greedy
+from repro.core.greedy import greedy_single_advertiser
+from repro.core.oracle_solver import rm_with_oracle
+from repro.core.sampling_solver import SamplingParameters, one_batch_rm, rm_without_oracle
+from repro.core.search import gamma_max
+from repro.core.threshold_greedy import fill, threshold_greedy
+from repro.diffusion.models import (
+    IndependentCascadeModel,
+    TrivalencyModel,
+    WeightedCascadeModel,
+)
+from repro.graph.generators import preferential_attachment_digraph
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.generator import RRSetGenerator
+from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
+
+MODELS = [IndependentCascadeModel, WeightedCascadeModel, TrivalencyModel]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_digraph(250, out_degree=4, seed=1)
+
+
+def _instance_and_oracle(graph, model_cls=WeightedCascadeModel, h=3, count=500, seed=5):
+    model = model_cls(graph)
+    n = graph.num_nodes
+    advertisers = [
+        Advertiser(budget=170.0 + 40.0 * i, cpe=1.0 + 0.5 * (i % 2)) for i in range(h)
+    ]
+    costs = np.random.default_rng(seed).uniform(0.5, 3.0, size=(h, n))
+    instance = RMInstance(graph, model, advertisers, costs)
+    probabilities = np.asarray(model.edge_probabilities(), dtype=np.float64)
+    rr_sets = RRSetGenerator(graph, probabilities).generate_batch(count, rng=seed)
+    tags = np.random.default_rng(seed + 1).integers(0, h, size=count)
+    collection = RRCollection(n, h)
+    for rr_set, tag in zip(rr_sets, tags):
+        collection.add(rr_set, int(tag))
+    return instance, RRSetOracle(collection, instance.gamma)
+
+
+def _allocations_equal(one: Allocation, other: Allocation, h: int) -> bool:
+    return all(one.seeds(i) == other.seeds(i) for i in range(h))
+
+
+# --------------------------------------------------------------------- #
+# heap-level identity
+# --------------------------------------------------------------------- #
+class _DecayingValues:
+    """Scripted submodular-style values: non-increasing between rounds."""
+
+    def __init__(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        # Plenty of exact ties: values are small integers (like coverage counts).
+        self.values = {key: float(v) for key, v in zip(keys, rng.integers(0, 8, len(keys)))}
+        self._rng = rng
+
+    def decay(self):
+        for key in list(self.values):
+            if self._rng.random() < 0.4:
+                self.values[key] = max(0.0, self.values[key] - float(self._rng.integers(1, 3)))
+
+    def scalar(self, key):
+        return self.values[key]
+
+    def batch(self, keys):
+        return np.array([self.values[int(k)] for k in np.asarray(keys)], dtype=np.float64)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 9])
+@pytest.mark.parametrize("batch_size", [1, 4, 64])
+def test_batched_heap_pop_sequence_matches_scalar(seed, batch_size):
+    """Same pushes + same value decay ⇒ identical pop sequence, tie for tie."""
+    keys = list(range(60))
+    table = _DecayingValues(keys, seed)
+    scalar = LazyMarginalHeap(table.scalar)
+    batched = BatchedLazyGreedy(table.batch, batch_size=batch_size)
+    scalar.push_many(keys)
+    batched.push_array(np.asarray(keys, dtype=np.int64))
+
+    popped = []
+    while len(scalar):
+        a = scalar.pop_best()
+        b = batched.pop_best()
+        assert a == b
+        popped.append(a)
+        # A "selection" happened: values decay and both heaps are staled.
+        table.decay()
+        scalar.advance_round()
+        batched.advance_round()
+    assert batched.pop_best() is None
+    assert len(popped) == len(keys)
+
+
+def test_batched_heap_remove_and_membership():
+    values = {k: float(k % 5) for k in range(20)}
+    heap = BatchedLazyGreedy(
+        lambda keys: np.array([values[int(k)] for k in keys]), batch_size=4
+    )
+    heap.push_array(np.arange(20, dtype=np.int64))
+    assert len(heap) == 20 and 7 in heap
+    heap.remove(7)
+    assert len(heap) == 19 and 7 not in heap
+    seen = set()
+    while True:
+        popped = heap.pop_best()
+        if popped is None:
+            break
+        seen.add(popped[0])
+    assert 7 not in seen and len(seen) == 19
+
+
+def test_batched_heap_batches_evaluations():
+    """Stale refreshes are amortised: far fewer calls than elements."""
+    values = {k: 100.0 - k for k in range(256)}
+    heap = BatchedLazyGreedy(
+        lambda keys: np.array([values[int(k)] for k in keys]), batch_size=64
+    )
+    heap.push_array(np.arange(256, dtype=np.int64))
+    for _ in range(32):
+        heap.advance_round()  # stale everything, forcing refresh traffic
+        heap.pop_best()
+    assert heap.evaluation_calls < heap.elements_evaluated
+    assert heap.elements_evaluated >= 256  # the initial bulk insert alone
+
+
+def test_batched_heap_peek_does_not_consume():
+    heap = BatchedLazyGreedy(
+        lambda keys: np.asarray(keys, dtype=np.float64), batch_size=8
+    )
+    heap.push_array(np.arange(5, dtype=np.int64))
+    assert heap.peek_best() == (4, 4.0)
+    assert len(heap) == 5
+    assert heap.pop_best() == (4, 4.0)
+    assert len(heap) == 4
+
+
+def test_batched_heap_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        BatchedLazyGreedy(lambda keys: keys, batch_size=0)
+
+
+# --------------------------------------------------------------------- #
+# consumer-level identity (RR-set oracle)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_cls", MODELS, ids=lambda m: m.__name__)
+@pytest.mark.parametrize("seed", [5, 11])
+def test_cs_and_ca_greedy_bit_identical(graph, model_cls, seed):
+    instance, oracle = _instance_and_oracle(graph, model_cls, seed=seed)
+    h = instance.num_advertisers
+    for solver in (cs_greedy, ca_greedy):
+        scalar = solver(instance, oracle)
+        batched = solver(instance, oracle, use_batched_greedy=True)
+        assert _allocations_equal(scalar.allocation, batched.allocation, h)
+        assert scalar.revenue == batched.revenue
+        assert scalar.depleted_budgets == batched.depleted_budgets
+
+
+@pytest.mark.parametrize("seed", [5, 11, 42])
+def test_greedy_single_advertiser_bit_identical(graph, seed):
+    instance, oracle = _instance_and_oracle(graph, seed=seed)
+    for advertiser in range(instance.num_advertisers):
+        assert greedy_single_advertiser(
+            instance, oracle, advertiser
+        ) == greedy_single_advertiser(
+            instance, oracle, advertiser, use_batched_greedy=True
+        )
+
+
+def test_greedy_single_advertiser_candidate_subset(graph):
+    instance, oracle = _instance_and_oracle(graph)
+    candidates = list(range(0, graph.num_nodes, 3))
+    assert greedy_single_advertiser(
+        instance, oracle, 1, candidates=candidates
+    ) == greedy_single_advertiser(
+        instance, oracle, 1, candidates=candidates, use_batched_greedy=True
+    )
+
+
+@pytest.mark.parametrize("gamma", [0.0, 0.5, 2.0, 10.0])
+def test_threshold_greedy_bit_identical(graph, gamma):
+    instance, oracle = _instance_and_oracle(graph)
+    h = instance.num_advertisers
+    scalar, b_scalar = threshold_greedy(instance, oracle, gamma)
+    batched, b_batched = threshold_greedy(
+        instance, oracle, gamma, use_batched_greedy=True
+    )
+    assert b_scalar == b_batched
+    assert _allocations_equal(scalar, batched, h)
+
+
+def test_fill_bit_identical_from_partial_allocation(graph):
+    instance, oracle = _instance_and_oracle(graph)
+    h = instance.num_advertisers
+    start = Allocation(h)
+    for advertiser, node in [(0, 3), (0, 17), (1, 25), (2, 4)]:
+        start.assign(node, advertiser)
+    scalar = fill(instance, oracle, start)
+    batched = fill(instance, oracle, start, use_batched_greedy=True)
+    assert _allocations_equal(scalar, batched, h)
+
+
+@pytest.mark.parametrize("h", [1, 3, 4])
+def test_rm_with_oracle_bit_identical(graph, h):
+    """Covers all three dispatch arms of Algorithm 5 (h=1, h≤3, h≥4)."""
+    instance, oracle = _instance_and_oracle(graph, h=h)
+    scalar = rm_with_oracle(instance, oracle)
+    batched = rm_with_oracle(instance, oracle, use_batched_greedy=True)
+    assert _allocations_equal(scalar.allocation, batched.allocation, h)
+    assert scalar.revenue == batched.revenue
+    assert scalar.metadata == batched.metadata
+
+
+def test_gamma_max_bit_identical(graph):
+    instance, oracle = _instance_and_oracle(graph)
+    scalar = gamma_max(instance, oracle)
+    batched = gamma_max(instance, oracle, use_batched_greedy=True)
+    assert scalar == batched
+    subset = list(range(0, graph.num_nodes, 7))
+    assert gamma_max(instance, oracle, candidates=subset) == gamma_max(
+        instance, oracle, candidates=subset, use_batched_greedy=True
+    )
+
+
+def test_coverage_engine_matches_oracle_marginals(graph):
+    """Engine gains/rates equal the oracle's floats while seeds accumulate."""
+    instance, oracle = _instance_and_oracle(graph)
+    engine = CoverageGreedyEngine(instance, oracle)
+    assert supports_batched_greedy(oracle, instance)
+    rng = np.random.default_rng(2)
+    seeds: dict[int, set[int]] = {i: set() for i in range(instance.num_advertisers)}
+    for step, node in enumerate(rng.permutation(graph.num_nodes)[:40].tolist()):
+        advertiser = step % instance.num_advertisers
+        expected = oracle.marginal_revenue(advertiser, node, seeds[advertiser])
+        assert engine.gain(advertiser, node) == expected
+        key = np.array([engine.encode(node, advertiser)], dtype=np.int64)
+        assert engine.gains(key)[0] == expected
+        seeds[advertiser].add(node)
+        engine.add_seed(advertiser, node)
+    for advertiser, assigned in seeds.items():
+        assert engine.revenue_for(advertiser) == pytest.approx(
+            oracle.revenue(advertiser, assigned)
+        )
+
+
+# --------------------------------------------------------------------- #
+# solver-level identity (sampling setting)
+# --------------------------------------------------------------------- #
+def _dataset_instance():
+    from repro.datasets.registry import build_dataset
+
+    data = build_dataset(
+        "lastfm_like",
+        num_advertisers=4,
+        incentive="linear",
+        alpha=0.1,
+        scale=0.3,
+        seed=3,
+        singleton_rr_sets=200,
+    )
+    return data.instance
+
+
+def test_rma_solver_bit_identical():
+    instance = _dataset_instance()
+    h = instance.num_advertisers
+    params = SamplingParameters(
+        epsilon=0.3, initial_rr_sets=512, max_rr_sets=2048, seed=9
+    )
+    scalar = rm_without_oracle(instance, params)
+    batched = rm_without_oracle(instance, replace(params, use_batched_greedy=True))
+    assert _allocations_equal(scalar.allocation, batched.allocation, h)
+    assert scalar.revenue == batched.revenue
+    assert scalar.metadata == batched.metadata
+
+
+def test_one_batch_rm_bit_identical():
+    instance = _dataset_instance()
+    h = instance.num_advertisers
+    params = SamplingParameters(epsilon=0.3, seed=9)
+    scalar = one_batch_rm(instance, 800, params)
+    batched = one_batch_rm(instance, 800, replace(params, use_batched_greedy=True))
+    assert _allocations_equal(scalar.allocation, batched.allocation, h)
+    assert scalar.revenue == batched.revenue
+
+
+@pytest.mark.parametrize("solver", [ti_carm, ti_csrm], ids=["ti_carm", "ti_csrm"])
+def test_ti_baselines_bit_identical(solver):
+    instance = _dataset_instance()
+    h = instance.num_advertisers
+    params = TIParameters(
+        epsilon=0.2, pilot_size=64, max_rr_sets_per_advertiser=512, seed=7
+    )
+    scalar = solver(instance, params)
+    batched = solver(instance, replace(params, use_batched_greedy=True))
+    assert _allocations_equal(scalar.allocation, batched.allocation, h)
+    assert scalar.revenue == batched.revenue
+    assert scalar.metadata == batched.metadata
+
+
+# --------------------------------------------------------------------- #
+# fallback: non-RR-set oracles keep the seed scalar path
+# --------------------------------------------------------------------- #
+def test_flag_falls_back_for_monte_carlo_oracle():
+    tiny = preferential_attachment_digraph(30, out_degree=2, seed=2)
+    model = WeightedCascadeModel(tiny)
+    advertisers = [Advertiser(budget=25.0, cpe=1.0) for _ in range(2)]
+    costs = np.full((2, tiny.num_nodes), 1.5)
+    instance = RMInstance(tiny, model, advertisers, costs)
+    results = []
+    for flag in (False, True):
+        oracle = MonteCarloOracle(instance, num_simulations=40, seed=11)
+        assert not supports_batched_greedy(oracle, instance)
+        results.append(cs_greedy(instance, oracle, use_batched_greedy=flag))
+    assert _allocations_equal(results[0].allocation, results[1].allocation, 2)
+    assert results[0].revenue == results[1].revenue
