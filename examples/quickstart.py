@@ -13,7 +13,10 @@ fixed-seed runs reproduce the original RNG streams):
   coverage marginal matrix (bit-identical allocations, just faster);
 
 and cross-checks the result with the third, ``use_batched_mc=True`` — the
-batched level-synchronous Monte-Carlo cascade engine.
+batched level-synchronous Monte-Carlo cascade engine.  The final section
+shows the one-switch ``fast=True`` preset of ``run_algorithm``, which flips
+all of the above *and* shards RR generation + MC estimation across worker
+processes (``n_jobs``) in a single keyword.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 """
@@ -23,6 +26,7 @@ from __future__ import annotations
 from repro import SamplingParameters, build_dataset, rm_without_oracle
 from repro.advertising.oracle import MonteCarloOracle
 from repro.experiments.metrics import evaluate_allocation
+from repro.experiments.runner import run_algorithm
 
 
 def main() -> None:
@@ -87,6 +91,22 @@ def main() -> None:
     rr_revenue = evaluation.per_advertiser_revenue[0]
     print(f"  RR-set estimate:      {rr_revenue:10.1f}")
     print(f"  Monte-Carlo estimate: {mc_revenue:10.1f}")
+
+    print("\nOne-switch preset: run_algorithm(..., fast=True) ...")
+    print("  flips use_subsim + use_batched_mc + use_batched_greedy and")
+    print("  shards RR generation + MC estimation across n_jobs workers")
+    fast_run = run_algorithm(
+        "RMA",
+        instance,
+        sampling_params=params,  # copied, not mutated — fast flags layered on top
+        fast=True,
+        n_jobs=2,
+        evaluation_rr_sets=5000,
+        seed=7,
+    )
+    print(f"  revenue:             {fast_run.evaluation.revenue:10.1f}")
+    print(f"  wall-clock:          {fast_run.running_time_seconds:10.2f}s")
+    print("  (equivalent CLI: python -m repro.cli solve --fast --jobs 2)")
 
 
 if __name__ == "__main__":

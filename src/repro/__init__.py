@@ -12,6 +12,7 @@ Lakshmanan).  The package contains:
 * ``repro.advertising`` — advertisers, allocations, RM instances, oracles
 * ``repro.core``        — the paper's algorithms (Greedy, ThresholdGreedy,
   Search, RM_with_Oracle, SeekUB, RMA)
+* ``repro.parallel``    — sharded multiprocess execution (the ``n_jobs`` knob)
 * ``repro.baselines``   — CA/CS-Greedy and TI-CARM/TI-CSRM of Aslay et al.
 * ``repro.datasets``    — synthetic stand-ins for Lastfm/Flixster/DBLP/LiveJournal
 * ``repro.experiments`` — the harness regenerating every table and figure

@@ -84,7 +84,20 @@ class MonteCarloOracle(RevenueOracle):
         Off by default: the sequential path reproduces the seed tree's RNG
         stream exactly (like ``SamplingParameters.use_subsim``), the batched
         path is statistically equivalent and much faster.
+    n_jobs:
+        Shard each query's simulations across this many worker processes
+        (``n_jobs>1`` implies the batched engine; ``None``/1 leaves the
+        selected path untouched).  Queries stay deterministic for a fixed
+        ``(seed, n_jobs)`` pair.  Sharding only engages when
+        ``num_simulations >= MIN_SHARDED_SIMULATIONS``: each sharded query
+        spawns a worker pool, and the greedy loops issue many small queries
+        whose serial cost is below the pool-spawn overhead — honouring
+        ``n_jobs`` there would make "fast" runs slower.
     """
+
+    #: Minimum per-query simulation count before ``n_jobs`` engages (below
+    #: this the pool-spawn overhead dominates the serial query cost).
+    MIN_SHARDED_SIMULATIONS = 512
 
     def __init__(
         self,
@@ -92,13 +105,18 @@ class MonteCarloOracle(RevenueOracle):
         num_simulations: int = 500,
         seed: RandomSource = None,
         use_batched_mc: bool = False,
+        n_jobs: Optional[int] = None,
     ):
+        from repro.parallel import validate_n_jobs
+
         if num_simulations <= 0:
             raise SolverError("num_simulations must be positive")
+        validate_n_jobs(n_jobs, SolverError)
         self._instance = instance
         self._num_simulations = num_simulations
         self._rng = as_rng(seed)
         self._use_batched_mc = bool(use_batched_mc)
+        self._n_jobs = n_jobs
         self._cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
 
     @property
@@ -117,6 +135,7 @@ class MonteCarloOracle(RevenueOracle):
         key = (advertiser, seed_set)
         cached = self._cache.get(key)
         if cached is None:
+            sharded = self._num_simulations >= self.MIN_SHARDED_SIMULATIONS
             spread = monte_carlo_spread(
                 self._instance.graph,
                 self._instance.edge_probabilities(advertiser),
@@ -124,6 +143,7 @@ class MonteCarloOracle(RevenueOracle):
                 num_simulations=self._num_simulations,
                 rng=self._rng,
                 use_batched=self._use_batched_mc,
+                n_jobs=self._n_jobs if sharded else None,
             )
             cached = self._instance.cpe(advertiser) * spread
             self._cache[key] = cached

@@ -56,6 +56,11 @@ class TIParameters:
     Off by default (the per-element loop is the seed behaviour); the batched
     loop sees the same floats and replays the same tie-breaking, so it
     returns bit-identical allocations.
+
+    ``n_jobs`` shards the per-advertiser pool generation across worker
+    processes (:mod:`repro.parallel`; ``None``/1 keeps the serial seed
+    stream, ``-1`` uses all cores).  The small pilot pools stay serial; the
+    bulk pool fill is what fans out.
     """
 
     epsilon: float = 0.1
@@ -64,10 +69,14 @@ class TIParameters:
     max_rr_sets_per_advertiser: int = 4096
     use_subsim: bool = False
     use_batched_greedy: bool = False
+    n_jobs: Optional[int] = None
     seed: RandomSource = None
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on inconsistent settings."""
+        from repro.parallel import validate_n_jobs
+
+        validate_n_jobs(self.n_jobs, SolverError)
         if self.epsilon <= 0:
             raise SolverError("epsilon must be positive")
         if not 0 < self.delta < 1:
@@ -132,7 +141,11 @@ def _build_pools(
         )
         rr_sets = list(pilot)
         if pool_size > len(rr_sets):
-            rr_sets.extend(generator.generate_many(pool_size - len(rr_sets), rng))
+            rr_sets.extend(
+                generator.generate_batch_parallel(
+                    pool_size - len(rr_sets), rng, n_jobs=params.n_jobs
+                )
+            )
         else:
             rr_sets = rr_sets[:pool_size]
         generated_total += len(rr_sets)

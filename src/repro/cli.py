@@ -95,6 +95,20 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use the batched lazy-greedy coverage engine (bit-identical allocations)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard RR generation and MC estimation across N worker processes "
+        "(-1: all cores; default: serial)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="one-switch preset: subsim + batched-mc + batched-greedy, and "
+        "--jobs defaults to all cores",
+    )
 
 
 def _prepare(args: argparse.Namespace):
@@ -139,6 +153,8 @@ def _run_row(args, data, algorithm, sampling, ti, evaluator) -> dict:
         evaluator=evaluator,
         sampling_params=sampling,
         ti_params=ti,
+        n_jobs=args.jobs,
+        fast=args.fast,
     )
     return {
         "algorithm": algorithm,

@@ -92,6 +92,13 @@ class SamplingParameters:
         seed behaviour; the batched path selects **bit-identical
         allocations** (it replays the scalar heap's refresh schedule and
         tie-breaking exactly) and is much faster.
+    n_jobs:
+        Shard RR-set generation across this many worker processes
+        (:mod:`repro.parallel`).  ``None``/1 keeps the serial, seed-stream
+        compatible path untouched; ``-1`` uses all cores.  Fixed
+        ``(seed, n_jobs)`` runs are bit-reproducible; ``n_jobs>1`` draws
+        different RNG substreams than the serial run (statistically
+        equivalent collections).
     """
 
     epsilon: float = 0.1
@@ -106,10 +113,14 @@ class SamplingParameters:
     validation_growth_factor: float = 4.0
     use_subsim: bool = False
     use_batched_greedy: bool = False
+    n_jobs: Optional[int] = None
     seed: RandomSource = None
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on any inconsistent setting."""
+        from repro.parallel import validate_n_jobs
+
+        validate_n_jobs(self.n_jobs, SolverError)
         if self.epsilon <= 0:
             raise SolverError("epsilon must be positive")
         if not 0 < self.delta < 1:
@@ -142,6 +153,7 @@ def _build_sampler(
         instance.cpes(),
         generator_cls=generator_cls,
         seed=rng,
+        n_jobs=params.n_jobs,
     )
 
 

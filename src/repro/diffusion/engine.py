@@ -181,20 +181,20 @@ def simulate_cascades_batch(
     return active
 
 
-def monte_carlo_spread(
+def monte_carlo_activation_total(
     graph: CSRDiGraph,
     edge_probabilities: np.ndarray,
     seeds: Iterable[int],
-    num_simulations: int = 1000,
+    num_simulations: int,
     rng: RandomSource = None,
     batch_size: Optional[int] = None,
-) -> float:
-    """Batched estimate of the expected spread ``σ(seeds)``.
+) -> int:
+    """Integer total of activated nodes over ``num_simulations`` cascades.
 
-    Statistically equivalent to the sequential reference
-    (:func:`repro.diffusion.legacy.legacy_monte_carlo_spread`) but runs the
-    cascades in level-synchronous batches of ``batch_size`` (default: sized
-    by :func:`default_batch_size`).
+    The batched engine's inner loop, exposed separately so the sharded
+    parallel path (:mod:`repro.parallel.mc`) can merge worker results as
+    exact integer sums — the merge is then order-independent and a fixed
+    ``(seed, n_jobs)`` run is bit-reproducible.
     """
     if num_simulations <= 0:
         raise DiffusionError("num_simulations must be positive")
@@ -202,7 +202,7 @@ def monte_carlo_spread(
     n = graph.num_nodes
     seed_array = _as_seed_array(seeds, n)
     if seed_array.size == 0:
-        return 0.0
+        return 0
     generator = as_rng(rng)
     if batch_size is None:
         batch_size = default_batch_size(n, num_simulations)
@@ -232,37 +232,82 @@ def monte_carlo_spread(
         )
         total += int(counts.sum())
         remaining -= batch
+    return total
+
+
+def monte_carlo_spread(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    seeds: Iterable[int],
+    num_simulations: int = 1000,
+    rng: RandomSource = None,
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+) -> float:
+    """Batched estimate of the expected spread ``σ(seeds)``.
+
+    Statistically equivalent to the sequential reference
+    (:func:`repro.diffusion.legacy.legacy_monte_carlo_spread`) but runs the
+    cascades in level-synchronous batches of ``batch_size`` (default: sized
+    by :func:`default_batch_size`).
+
+    ``n_jobs>1`` shards the simulation count across worker processes
+    (:mod:`repro.parallel.mc`): each worker runs this engine on its own
+    ``SeedSequence.spawn()`` substream and the integer activation totals are
+    summed in worker-index order — fixed ``(seed, n_jobs)`` runs are
+    bit-reproducible and ``n_jobs=1`` is bit-identical to the serial engine.
+    """
+    from repro.parallel import ShardedExecutor
+
+    executor = ShardedExecutor(n_jobs)
+    if executor.n_jobs > 1 and num_simulations > 1:
+        from repro.parallel.mc import sharded_spread
+
+        probabilities = _validated_probabilities(graph, edge_probabilities)
+        seed_array = _as_seed_array(seeds, graph.num_nodes)
+        if seed_array.size == 0:
+            return 0.0
+        return sharded_spread(
+            graph, probabilities, seed_array, num_simulations, rng, executor, batch_size
+        )
+    total = monte_carlo_activation_total(
+        graph, edge_probabilities, seeds, num_simulations, rng=rng, batch_size=batch_size
+    )
     return total / num_simulations
 
 
-def singleton_spreads_monte_carlo(
+def _validated_node_array(graph: CSRDiGraph, nodes: Optional[Sequence[int]]) -> np.ndarray:
+    n = graph.num_nodes
+    if nodes is None:
+        return np.arange(n, dtype=np.int64)
+    node_array = np.asarray(list(nodes), dtype=np.int64)
+    if node_array.size and (node_array.min() < 0 or node_array.max() >= n):
+        raise DiffusionError("seed ids must be valid node ids")
+    return node_array
+
+
+def singleton_activation_totals(
     graph: CSRDiGraph,
     edge_probabilities: np.ndarray,
-    num_simulations: int = 200,
+    node_array: np.ndarray,
+    num_simulations: int,
     rng: RandomSource = None,
-    nodes: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
 ) -> np.ndarray:
-    """Batched Monte-Carlo estimates of ``σ({v})`` for the requested nodes.
+    """Per-node integer activation totals over ``num_simulations`` cascades.
 
-    The (node, simulation) grid is flattened into one stream of single-seed
-    cascades and processed in batches, so different nodes' simulations share
-    the same level-synchronous sweeps.
+    The singleton estimator's inner loop on a pre-validated node array,
+    exposed for the sharded parallel path (each worker handles a round-robin
+    node stripe and the parent scatters the exact integer totals back into
+    node order).
     """
     if num_simulations <= 0:
         raise DiffusionError("num_simulations must be positive")
     probabilities = _validated_probabilities(graph, edge_probabilities)
     n = graph.num_nodes
-    if nodes is not None:
-        node_array = np.asarray(list(nodes), dtype=np.int64)
-        if node_array.size and (
-            node_array.min() < 0 or node_array.max() >= n
-        ):
-            raise DiffusionError("seed ids must be valid node ids")
-    else:
-        node_array = np.arange(n, dtype=np.int64)
+    node_array = np.asarray(node_array, dtype=np.int64)
     if node_array.size == 0:
-        return np.zeros(0, dtype=np.float64)
+        return np.zeros(0, dtype=np.int64)
     generator = as_rng(rng)
     total_cascades = node_array.size * num_simulations
     if batch_size is None:
@@ -293,4 +338,46 @@ def singleton_spreads_monte_carlo(
         )
         np.add.at(totals, cascade_ids // num_simulations, counts)
         position += batch
+    return totals
+
+
+def singleton_spreads_monte_carlo(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    num_simulations: int = 200,
+    rng: RandomSource = None,
+    nodes: Optional[Sequence[int]] = None,
+    batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+) -> np.ndarray:
+    """Batched Monte-Carlo estimates of ``σ({v})`` for the requested nodes.
+
+    The (node, simulation) grid is flattened into one stream of single-seed
+    cascades and processed in batches, so different nodes' simulations share
+    the same level-synchronous sweeps.
+
+    ``n_jobs>1`` shards the node list into round-robin stripes
+    (``nodes[k::n_jobs]``, balancing degree-correlated per-node cost) across
+    worker processes (:mod:`repro.parallel.mc`), each estimating its stripe
+    on its own ``SeedSequence.spawn()`` substream; the parent scatters the
+    per-node totals back into node order by stripe index, so fixed
+    ``(seed, n_jobs)`` runs are bit-reproducible and ``n_jobs=1`` is
+    bit-identical to the serial engine.
+    """
+    probabilities = _validated_probabilities(graph, edge_probabilities)
+    node_array = _validated_node_array(graph, nodes)
+    if node_array.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    from repro.parallel import ShardedExecutor
+
+    executor = ShardedExecutor(n_jobs)
+    if executor.n_jobs > 1 and node_array.size > 1:
+        from repro.parallel.mc import sharded_singleton_spreads
+
+        return sharded_singleton_spreads(
+            graph, probabilities, node_array, num_simulations, rng, executor, batch_size
+        )
+    totals = singleton_activation_totals(
+        graph, probabilities, node_array, num_simulations, rng=rng, batch_size=batch_size
+    )
     return totals.astype(np.float64) / num_simulations

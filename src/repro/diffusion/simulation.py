@@ -84,6 +84,7 @@ def monte_carlo_spread(
     rng: RandomSource = None,
     use_batched: bool = False,
     batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> float:
     """Estimate the expected spread ``σ(seeds)`` by Monte-Carlo simulation.
 
@@ -97,8 +98,14 @@ def monte_carlo_spread(
     batch_size:
         Cascades per batch for the batched path (ignored otherwise);
         ``None`` picks a size that keeps the activation bitmap small.
+    n_jobs:
+        Shard the simulations across this many worker processes.  ``n_jobs>1``
+        implies the batched engine (the sharded path is built on it);
+        ``None``/1 leaves the selected path untouched.
     """
-    if use_batched:
+    from repro.parallel import resolve_n_jobs
+
+    if use_batched or resolve_n_jobs(n_jobs) > 1:
         from repro.diffusion import engine
 
         return engine.monte_carlo_spread(
@@ -108,6 +115,7 @@ def monte_carlo_spread(
             num_simulations=num_simulations,
             rng=rng,
             batch_size=batch_size,
+            n_jobs=n_jobs,
         )
     if num_simulations <= 0:
         raise DiffusionError("num_simulations must be positive")
@@ -213,14 +221,19 @@ def singleton_spreads_monte_carlo(
     nodes: Optional[Sequence[int]] = None,
     use_batched: bool = False,
     batch_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> np.ndarray:
     """Monte-Carlo estimates of ``σ({v})`` for every node ``v``.
 
     Used by the seed-incentive cost models, which price a node by its
     singleton influence spread (Section 5.1).  ``use_batched`` routes all
-    (node, simulation) cascades through the batched engine in one stream.
+    (node, simulation) cascades through the batched engine in one stream;
+    ``n_jobs>1`` additionally shards the node list across worker processes
+    (and implies the batched engine).
     """
-    if use_batched:
+    from repro.parallel import resolve_n_jobs
+
+    if use_batched or resolve_n_jobs(n_jobs) > 1:
         from repro.diffusion import engine
 
         return engine.singleton_spreads_monte_carlo(
@@ -230,6 +243,7 @@ def singleton_spreads_monte_carlo(
             rng=rng,
             nodes=nodes,
             batch_size=batch_size,
+            n_jobs=n_jobs,
         )
     generator = as_rng(rng)
     node_list = list(nodes) if nodes is not None else list(range(graph.num_nodes))

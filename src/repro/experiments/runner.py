@@ -9,8 +9,9 @@ comparable across algorithms.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.advertising.instance import RMInstance
@@ -66,6 +67,8 @@ def run_algorithm(
     mc_oracle_simulations: Optional[int] = None,
     use_batched_mc: bool = False,
     use_batched_greedy: bool = False,
+    n_jobs: Optional[int] = None,
+    fast: bool = False,
     seed: RandomSource = None,
 ) -> AlgorithmRun:
     """Run one algorithm by name and evaluate its allocation independently.
@@ -95,13 +98,45 @@ def run_algorithm(
         an RR-set oracle.  The sampling algorithms take the equivalent flag
         through ``SamplingParameters.use_batched_greedy`` /
         ``TIParameters.use_batched_greedy``.
+    n_jobs:
+        One knob for the sharded parallel engines (:mod:`repro.parallel`):
+        threaded into ``sampling_params.n_jobs`` / ``ti_params.n_jobs`` (RR
+        generation) and the auto-built Monte-Carlo oracle (spread
+        estimation).  Parameter objects passed by the caller are copied, not
+        mutated.  ``None`` leaves everything as configured.
+    fast:
+        One switch for every fast path: flips ``use_subsim``,
+        ``use_batched_mc`` and ``use_batched_greedy`` on (copying any passed
+        parameter objects) and defaults ``n_jobs`` to ``os.cpu_count()``
+        unless an explicit ``n_jobs`` is given.  Results are statistically
+        equivalent to the defaults, not bit-identical (see the RNG policy in
+        ``docs/architecture.md``).
     """
+    if fast:
+        if n_jobs is None:
+            n_jobs = os.cpu_count() or 1
+        use_batched_mc = True
+        use_batched_greedy = True
+        sampling_params = replace(
+            sampling_params or SamplingParameters(),
+            use_subsim=True,
+            use_batched_greedy=True,
+        )
+        ti_params = replace(
+            ti_params or TIParameters(),
+            use_subsim=True,
+            use_batched_greedy=True,
+        )
+    if n_jobs is not None:
+        sampling_params = replace(sampling_params or SamplingParameters(), n_jobs=n_jobs)
+        ti_params = replace(ti_params or TIParameters(), n_jobs=n_jobs)
     if algorithm in ORACLE_ALGORITHMS and oracle is None and mc_oracle_simulations is not None:
         oracle = MonteCarloOracle(
             instance,
             num_simulations=mc_oracle_simulations,
             seed=seed,
             use_batched_mc=use_batched_mc,
+            n_jobs=n_jobs,
         )
     started = time.perf_counter()
     if algorithm == "RMA":

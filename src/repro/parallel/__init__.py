@@ -1,0 +1,37 @@
+"""Sharded multiprocess execution for the sampling pipeline.
+
+One ``n_jobs`` knob fans the two embarrassingly parallel stages — RR-set
+generation and Monte-Carlo spread estimation — out across a
+:mod:`multiprocessing` worker pool:
+
+* :class:`ShardedExecutor` owns the pool mechanics (fork-inherited /
+  pickled-once payloads, shard-order result merge, the ``REPRO_MAX_JOBS``
+  process cap);
+* :mod:`repro.parallel.rr` shards RR-set generation (plain batches and the
+  advertiser-tagged uniform sampler);
+* :mod:`repro.parallel.mc` shards batched Monte-Carlo spread estimation.
+
+Each shard draws from its own :func:`repro.utils.rng.spawn_rngs` substream
+and shards merge in worker-index order, so a fixed ``(seed, n_jobs)`` pair is
+bit-reproducible and ``n_jobs=1`` falls back to the untouched in-process
+engines.  See the "Parallel execution & RNG sharding" section of
+``docs/architecture.md``.
+"""
+
+from repro.parallel.executor import (
+    MAX_JOBS_ENV,
+    ShardedExecutor,
+    resolve_n_jobs,
+    shard_counts,
+    validate_n_jobs,
+    worker_process_cap,
+)
+
+__all__ = [
+    "MAX_JOBS_ENV",
+    "ShardedExecutor",
+    "resolve_n_jobs",
+    "shard_counts",
+    "validate_n_jobs",
+    "worker_process_cap",
+]

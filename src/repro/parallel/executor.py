@@ -1,0 +1,183 @@
+"""Sharded multiprocess execution.
+
+:class:`ShardedExecutor` is the one place the library touches
+:mod:`multiprocessing`.  It runs a picklable task function over a list of
+*shards* — small per-worker argument tuples, typically ``(count, rng)`` —
+against a *payload* shipped to every worker exactly once (the CSR graph and
+edge probabilities).  On platforms with ``fork`` the payload is inherited
+through the fork at no pickling cost; under ``spawn`` it is pickled once per
+worker via the pool initializer.
+
+Determinism contract
+--------------------
+The executor never influences results, only wall-clock:
+
+* shard layout is a pure function of ``(total_work, n_jobs)``
+  (:func:`shard_counts`), and each shard carries its own RNG substream
+  derived with :func:`repro.utils.rng.spawn_rngs`, so which OS process runs
+  which shard is irrelevant;
+* results come back in shard order (``Pool.map`` preserves input order), so
+  the parent's merge is deterministic;
+* the ``REPRO_MAX_JOBS`` environment variable caps the number of *worker
+  processes* (useful on small CI runners) without changing the shard layout,
+  so a run with ``n_jobs=4`` produces bit-identical results whether the pool
+  has 4 processes or 1.
+
+``n_jobs`` semantics match the scikit-learn convention: ``None`` → 1
+(serial, in-process, no pool), ``-1`` → ``os.cpu_count()``, any positive
+integer → that many shards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+#: Environment variable capping the number of concurrent worker processes
+#: (shard layout — and therefore results — are unaffected).
+MAX_JOBS_ENV = "REPRO_MAX_JOBS"
+
+#: Environment variable overriding the multiprocessing start method
+#: ("fork", "spawn" or "forkserver").
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def validate_n_jobs(n_jobs: Optional[int], error_cls: type = ValueError) -> None:
+    """Raise ``error_cls`` unless ``n_jobs`` is ``None``, ``-1`` or positive.
+
+    The one place the ``n_jobs`` domain rule lives; parameter objects call
+    this with their own error type so every knob rejects the same inputs.
+    """
+    if n_jobs is not None and n_jobs != -1 and int(n_jobs) <= 0:
+        raise error_cls(f"n_jobs must be a positive int, -1 or None, got {n_jobs}")
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` knob to a positive shard count.
+
+    ``None`` → 1, ``-1`` → ``os.cpu_count()``, positive ints pass through.
+    ``0`` and other negatives are rejected.
+    """
+    validate_n_jobs(n_jobs)
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def worker_process_cap() -> Optional[int]:
+    """The ``REPRO_MAX_JOBS`` pool-size cap, or ``None`` when unset/invalid."""
+    raw = os.environ.get(MAX_JOBS_ENV)
+    if not raw:
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
+
+
+def shard_counts(total: int, n_jobs: int) -> np.ndarray:
+    """Split ``total`` work items into at most ``n_jobs`` contiguous shards.
+
+    The first ``total % n_jobs`` shards receive one extra item; empty shards
+    are dropped (when ``total < n_jobs``).  The layout depends only on
+    ``(total, n_jobs)`` — this is what makes fixed-``(seed, n_jobs)`` runs
+    reproducible regardless of scheduling.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if n_jobs <= 0:
+        raise ValueError(f"n_jobs must be positive, got {n_jobs}")
+    base, extra = divmod(total, n_jobs)
+    counts = np.full(n_jobs, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts[counts > 0]
+
+
+def _default_start_method() -> str:
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        return override
+    # fork inherits the payload for free and is available on POSIX; macOS /
+    # Windows default to spawn, where the payload is pickled once per worker.
+    if sys.platform.startswith("linux"):
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+_WORKER_PAYLOAD: Any = None
+
+
+def _init_worker(payload: Any) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    # Under fork the worker inherits the parent's whole object heap; without
+    # this, the first collector cycles inside the worker walk every inherited
+    # object and copy-on-write-fault the shared pages — measured at >3x CPU
+    # on the sharded MC estimator when the parent holds a large RR-set
+    # collection.  Freezing moves the inherited heap into the permanent
+    # generation so the worker's collector never touches it.
+    import gc
+
+    gc.freeze()
+
+
+def _call_task(task_and_shard) -> Any:
+    task, shard = task_and_shard
+    return task(_WORKER_PAYLOAD, shard)
+
+
+class ShardedExecutor:
+    """Run a task over shards on a multiprocessing pool (or inline).
+
+    Parameters
+    ----------
+    n_jobs:
+        Target shard/worker count (``None`` → 1, ``-1`` → all cores).
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` on Linux,
+        overridable via ``REPRO_MP_START_METHOD``.
+    """
+
+    def __init__(self, n_jobs: Optional[int] = None, start_method: Optional[str] = None):
+        self._n_jobs = resolve_n_jobs(n_jobs)
+        self._start_method = start_method
+
+    @property
+    def n_jobs(self) -> int:
+        """The resolved shard count (``-1`` already expanded)."""
+        return self._n_jobs
+
+    def run(
+        self,
+        task: Callable[[Any, Any], Any],
+        payload: Any,
+        shards: Sequence[Any],
+    ) -> List[Any]:
+        """Evaluate ``task(payload, shard)`` for every shard, in shard order.
+
+        ``task`` must be a module-level (picklable) function.  With one shard
+        or ``n_jobs=1`` the task runs inline in the parent — no pool, no
+        pickling — which is the serial fall-back path.
+        """
+        shards = list(shards)
+        if not shards:
+            return []
+        processes = min(self._n_jobs, len(shards))
+        cap = worker_process_cap()
+        if cap is not None:
+            processes = min(processes, cap)
+        if processes <= 1:
+            return [task(payload, shard) for shard in shards]
+        context = multiprocessing.get_context(self._start_method or _default_start_method())
+        with context.Pool(
+            processes, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            return pool.map(_call_task, [(task, shard) for shard in shards])

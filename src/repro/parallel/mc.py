@@ -1,0 +1,172 @@
+"""Sharded Monte-Carlo spread estimation.
+
+Worker tasks and merge helpers behind the ``n_jobs`` knob of
+:func:`repro.diffusion.engine.monte_carlo_spread` and
+:func:`repro.diffusion.engine.singleton_spreads_monte_carlo`.
+
+Both estimators are embarrassingly parallel: cascades are independent draws
+merged by a monotone sum/concat, so each worker runs the batched
+level-synchronous engine on its own :func:`spawn_rngs` substream and the
+parent folds the integer activation totals together in shard order.
+
+* ``monte_carlo_spread`` shards the *simulation count* — worker ``k`` runs
+  ``counts[k]`` cascades of the same seed set and returns the integer total
+  of activated nodes (integer merge ⇒ no float-order sensitivity).
+* ``singleton_spreads_monte_carlo`` shards the *node list* into round-robin
+  stripes (``node_array[k::n_jobs]``) — striping balances the
+  degree-correlated per-node cost that contiguous chunks would skew — and
+  the parent scatters the per-node totals back into node order.
+
+Unless the caller pins ``batch_size``, each worker's cascade batch is sized
+by dividing the engine's activation-bitmap budget
+(:func:`repro.diffusion.engine.default_batch_size`) by the worker count, so
+the *aggregate* bitmap footprint of the pool matches the serial engine's —
+concurrent workers at the serial default would thrash the shared cache and
+burn multiples of the serial CPU.  The derived size is a pure function of
+``(num_nodes, total_work, n_jobs)``, preserving fixed-``(seed, n_jobs)``
+bit-reproducibility.
+
+Shard results carry worker CPU seconds for the perf harness, like
+:mod:`repro.parallel.rr`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph
+from repro.parallel.executor import ShardedExecutor, shard_counts
+from repro.utils.rng import RandomSource, spawn_rngs
+
+
+class SpreadShard(NamedTuple):
+    """Result of one spread-estimation shard."""
+
+    activation_total: int  #: activated-node count summed over the shard's cascades
+    cpu_seconds: float
+
+
+class SingletonShard(NamedTuple):
+    """Result of one singleton-spread shard (a round-robin node stripe)."""
+
+    totals: np.ndarray  #: per-node activation totals over all simulations
+    cpu_seconds: float
+
+
+def _pooled_batch_size(
+    num_nodes: int, total_cascades: int, n_jobs: int, batch_size: Optional[int]
+) -> int:
+    """Per-worker batch size keeping the pool's aggregate bitmap in budget."""
+    if batch_size is not None:
+        return batch_size
+    from repro.diffusion.engine import default_batch_size
+
+    return max(1, default_batch_size(num_nodes, total_cascades) // max(1, n_jobs))
+
+
+def _spread_shard(payload, shard) -> SpreadShard:
+    from repro.diffusion.engine import monte_carlo_activation_total
+
+    graph, probabilities, seeds, batch_size = payload
+    count, rng = shard
+    started = time.process_time()
+    total = monte_carlo_activation_total(
+        graph, probabilities, seeds, count, rng=rng, batch_size=batch_size
+    )
+    return SpreadShard(total, time.process_time() - started)
+
+
+def run_spread_shards(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    seeds: np.ndarray,
+    num_simulations: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+    batch_size: Optional[int] = None,
+) -> List[SpreadShard]:
+    """Run ``num_simulations`` cascades of ``seeds`` across shards."""
+    counts = shard_counts(num_simulations, executor.n_jobs)
+    rngs = spawn_rngs(rng, len(counts))
+    batch_size = _pooled_batch_size(
+        graph.num_nodes, num_simulations, executor.n_jobs, batch_size
+    )
+    payload = (graph, edge_probabilities, seeds, batch_size)
+    return executor.run(_spread_shard, payload, list(zip(counts.tolist(), rngs)))
+
+
+def sharded_spread(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    seeds: np.ndarray,
+    num_simulations: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+    batch_size: Optional[int] = None,
+) -> float:
+    """Sharded expected-spread estimate (mean activated nodes per cascade)."""
+    shards = run_spread_shards(
+        graph, edge_probabilities, seeds, num_simulations, rng, executor, batch_size
+    )
+    return sum(shard.activation_total for shard in shards) / num_simulations
+
+
+def _singleton_shard(payload, shard) -> SingletonShard:
+    from repro.diffusion.engine import singleton_activation_totals
+
+    graph, probabilities, num_simulations, batch_size = payload
+    nodes, rng = shard
+    started = time.process_time()
+    totals = singleton_activation_totals(
+        graph, probabilities, nodes, num_simulations, rng=rng, batch_size=batch_size
+    )
+    return SingletonShard(totals, time.process_time() - started)
+
+
+def run_singleton_shards(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    node_array: np.ndarray,
+    num_simulations: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+    batch_size: Optional[int] = None,
+) -> List[SingletonShard]:
+    """Estimate singleton spreads for round-robin stripes of ``node_array``."""
+    stripes = singleton_stripes(node_array, executor.n_jobs)
+    rngs = spawn_rngs(rng, len(stripes))
+    batch_size = _pooled_batch_size(
+        graph.num_nodes, node_array.size * num_simulations, executor.n_jobs, batch_size
+    )
+    payload = (graph, edge_probabilities, num_simulations, batch_size)
+    return executor.run(_singleton_shard, payload, list(zip(stripes, rngs)))
+
+
+def singleton_stripes(node_array: np.ndarray, n_jobs: int) -> List[np.ndarray]:
+    """Round-robin node stripes (``node_array[k::n_jobs]``), empty ones dropped."""
+    stripes = [node_array[k::n_jobs] for k in range(n_jobs)]
+    return [stripe for stripe in stripes if stripe.size]
+
+
+def sharded_singleton_spreads(
+    graph: CSRDiGraph,
+    edge_probabilities: np.ndarray,
+    node_array: np.ndarray,
+    num_simulations: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+    batch_size: Optional[int] = None,
+) -> np.ndarray:
+    """Sharded per-node singleton-spread estimates, in ``node_array`` order."""
+    shards = run_singleton_shards(
+        graph, edge_probabilities, node_array, num_simulations, rng, executor, batch_size
+    )
+    if not shards:
+        return np.zeros(0, dtype=np.float64)
+    totals = np.zeros(node_array.size, dtype=np.int64)
+    for stripe_index, shard in enumerate(shards):
+        totals[stripe_index:: len(shards)] = shard.totals
+    return totals.astype(np.float64) / num_simulations

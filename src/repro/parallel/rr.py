@@ -1,0 +1,163 @@
+"""Sharded RR-set generation.
+
+Worker tasks and merge helpers behind
+:meth:`repro.rrsets.generator.RRSetGenerator.generate_batch_parallel` and
+:meth:`repro.rrsets.uniform.UniformRRSampler.generate_collection`.
+
+Every shard re-creates its generator(s) against the fork-inherited (or
+pickled-once) CSR graph, draws from its own :func:`spawn_rngs` substream and
+returns its RR-sets as **flat arrays** — one concatenated member array plus a
+size array (and, for the uniform sampler, a tag array) — so the pickle back
+to the parent is two or three large buffers instead of thousands of tiny
+ones.  The parent merges shards in worker-index order, which is what makes a
+fixed ``(seed, n_jobs)`` pair bit-reproducible.
+
+Each shard result also carries the worker's CPU seconds
+(:func:`time.process_time`), which the perf harness uses to report
+critical-path scaling on hosts with fewer physical cores than workers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.graph.digraph import CSRDiGraph
+from repro.parallel.executor import ShardedExecutor, shard_counts
+from repro.utils.rng import RandomSource, spawn_rngs
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class GenerationShard(NamedTuple):
+    """Flat result of one RR-generation shard."""
+
+    members: np.ndarray  #: all RR-set members concatenated, shard-local order
+    sizes: np.ndarray  #: per-RR-set cardinalities aligned with ``members``
+    edges_examined: int  #: generator cost counter for this shard
+    cpu_seconds: float  #: worker CPU time spent on the shard
+
+
+class UniformShard(NamedTuple):
+    """Flat result of one uniform-sampler shard (tagged RR-sets)."""
+
+    members: np.ndarray
+    sizes: np.ndarray
+    tags: np.ndarray  #: advertiser tag per RR-set
+    edges_examined: np.ndarray  #: per-advertiser cost counters
+    cpu_seconds: float
+
+
+def split_flat(members: np.ndarray, sizes: np.ndarray) -> List[np.ndarray]:
+    """Views of ``members`` per RR-set (no copies; the CSR inverse of a shard)."""
+    if sizes.size == 0:
+        return []
+    return np.split(members, np.cumsum(sizes[:-1]))
+
+
+def _generate_shard(payload, shard) -> GenerationShard:
+    generator_cls, graph, probabilities = payload
+    count, rng = shard
+    started = time.process_time()
+    generator = generator_cls(graph, probabilities)
+    rr_sets = generator.generate_batch(count, rng)
+    sizes = np.fromiter((s.size for s in rr_sets), dtype=np.int64, count=len(rr_sets))
+    members = np.concatenate(rr_sets) if rr_sets else _EMPTY
+    return GenerationShard(
+        members, sizes, generator.edges_examined, time.process_time() - started
+    )
+
+
+def run_generation_shards(
+    generator_cls: Type,
+    graph: CSRDiGraph,
+    probabilities: np.ndarray,
+    count: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+) -> List[GenerationShard]:
+    """Generate ``count`` RR-sets across the executor's shards.
+
+    One RNG substream is spawned per shard from ``rng``; shard sizes follow
+    :func:`repro.parallel.executor.shard_counts`.  Returns the raw per-shard
+    results in shard order (the perf harness consumes the timings; normal
+    callers use :func:`generate_batch_sharded`).
+    """
+    counts = shard_counts(count, executor.n_jobs)
+    rngs = spawn_rngs(rng, len(counts))
+    payload = (generator_cls, graph, probabilities)
+    return executor.run(_generate_shard, payload, list(zip(counts.tolist(), rngs)))
+
+
+def generate_batch_sharded(
+    generator,
+    count: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+) -> List[np.ndarray]:
+    """Sharded equivalent of ``generator.generate_batch(count, rng)``.
+
+    Returns the merged per-RR-set arrays in shard order and folds the
+    workers' ``edges_examined`` counters back into ``generator``.  The
+    returned arrays are views into each shard's flat buffer.
+    """
+    shards = run_generation_shards(
+        type(generator),
+        generator.graph,
+        generator.edge_probabilities,
+        count,
+        rng,
+        executor,
+    )
+    rr_sets: List[np.ndarray] = []
+    for shard in shards:
+        rr_sets.extend(split_flat(shard.members, shard.sizes))
+        generator.record_edges_examined(shard.edges_examined)
+    return rr_sets
+
+
+def _generate_uniform_shard(payload, shard) -> UniformShard:
+    generator_cls, graph, probability_arrays, weights = payload
+    count, rng = shard
+    started = time.process_time()
+    generators = [generator_cls(graph, probs) for probs in probability_arrays]
+    h = len(generators)
+    choice = rng.choice
+    tags = np.empty(count, dtype=np.int64)
+    sizes = np.empty(count, dtype=np.int64)
+    rr_sets: List[np.ndarray] = []
+    for index in range(count):
+        # Same interleaved draw pattern as UniformRRSampler.generate_one —
+        # advertiser draw, then that advertiser's RR-set, on one stream.
+        advertiser = int(choice(h, p=weights))
+        rr_set = generators[advertiser].generate(rng)
+        tags[index] = advertiser
+        sizes[index] = rr_set.size
+        rr_sets.append(rr_set)
+    members = np.concatenate(rr_sets) if rr_sets else _EMPTY
+    edges = np.fromiter(
+        (generator.edges_examined for generator in generators), dtype=np.int64, count=h
+    )
+    return UniformShard(members, sizes, tags, edges, time.process_time() - started)
+
+
+def run_uniform_shards(
+    generator_cls: Type,
+    graph: CSRDiGraph,
+    probability_arrays: Sequence[np.ndarray],
+    weights: np.ndarray,
+    count: int,
+    rng: RandomSource,
+    executor: ShardedExecutor,
+) -> List[UniformShard]:
+    """Generate ``count`` advertiser-tagged RR-sets across shards.
+
+    Each shard samples advertisers from ``weights`` and generates against its
+    own substream; shard results come back in shard order.
+    """
+    counts = shard_counts(count, executor.n_jobs)
+    rngs = spawn_rngs(rng, len(counts))
+    payload = (generator_cls, graph, list(probability_arrays), weights)
+    return executor.run(_generate_uniform_shard, payload, list(zip(counts.tolist(), rngs)))

@@ -108,18 +108,109 @@ class RRCollection:
         for rr_set, advertiser in rr_sets:
             self.add(rr_set, advertiser)
 
+    @classmethod
+    def from_shards(
+        cls,
+        num_nodes: int,
+        num_advertisers: int,
+        shards: Iterable[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> "RRCollection":
+        """Build a collection directly from per-shard flat arrays.
+
+        Each shard is a ``(members, sizes, tags)`` triple: all the shard's
+        RR-set members concatenated, the per-set cardinalities and the per-set
+        advertiser tags.  Shards are concatenated in the given order and the
+        CSR view + inverted index are built straight from the flat arrays —
+        no per-set ``add`` calls, no intermediate Python-list round-trip.
+        This is the merge step of the sharded generation pipeline
+        (:mod:`repro.parallel.rr`); every member array must already be sorted
+        and duplicate-free, as the generators guarantee.
+        """
+        collection = cls(num_nodes, num_advertisers)
+        collection.extend_from_shards(shards)
+        return collection
+
+    def extend_from_shards(
+        self, shards: Iterable[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> None:
+        """Append per-shard ``(members, sizes, tags)`` triples in shard order.
+
+        Validation is vectorised over each shard (node-id range, tag range,
+        non-empty sets, strictly increasing members within every set).  When
+        the collection was empty the CSR view and inverted index are built
+        eagerly from the concatenated shard arrays; when appending to a
+        non-empty collection the cached view is invalidated and rebuilt
+        lazily on the next query, like :meth:`add`.
+        """
+        was_empty = not self._sets
+        flats: List[np.ndarray] = []
+        size_parts: List[np.ndarray] = []
+        tag_parts: List[np.ndarray] = []
+        for members, sizes, tags in shards:
+            members = np.ascontiguousarray(members, dtype=np.int64)
+            sizes = np.asarray(sizes, dtype=np.int64)
+            tags = np.asarray(tags, dtype=np.int64)
+            if sizes.shape != tags.shape or sizes.ndim != 1:
+                raise SamplingError("sizes and tags must be 1-D arrays of equal length")
+            if int(sizes.sum()) != members.size:
+                raise SamplingError("sizes must sum to the member-array length")
+            if sizes.size == 0:
+                continue
+            if sizes.min() <= 0:
+                raise SamplingError("an RR-set always contains at least its root")
+            if tags.min() < 0 or tags.max() >= self._num_advertisers:
+                raise SamplingError("advertiser tag out of range")
+            if members.min() < 0 or members.max() >= self._num_nodes:
+                raise SamplingError("RR-set contains invalid node ids")
+            if members.size > 1:
+                # Strictly increasing within each set: non-positive diffs are
+                # only allowed at set boundaries.
+                non_increasing = np.diff(members) <= 0
+                boundaries = np.cumsum(sizes[:-1]) - 1
+                non_increasing[boundaries] = False
+                if non_increasing.any():
+                    raise SamplingError("RR-set members must be sorted and unique")
+            flats.append(members)
+            size_parts.append(sizes)
+            tag_parts.append(tags)
+        if not flats:
+            return
+        # Fresh buffers in both branches (concatenate always copies) for the
+        # arrays _build_csr freezes, so a caller's array never has its write
+        # flag flipped.
+        flat = flats[0].copy() if len(flats) == 1 else np.concatenate(flats)
+        sizes = size_parts[0] if len(size_parts) == 1 else np.concatenate(size_parts)
+        tags = tag_parts[0].copy() if len(tag_parts) == 1 else np.concatenate(tag_parts)
+        # The list API (rr_set / add interleaving) stays available: per-set
+        # views into the flat buffer, no per-element copies.  Freeze the
+        # buffer first so the views are read-only — they share storage with
+        # the CSR member array.
+        flat.setflags(write=False)
+        self._sets.extend(np.split(flat, np.cumsum(sizes[:-1])))
+        self._tags.extend(tags.tolist())
+        self._total_size += int(flat.size)
+        if was_empty:
+            self._build_csr(flat, sizes, tags)
+        else:
+            self._csr_size = -1
+
     def _ensure_csr(self) -> None:
         """(Re)build the frozen CSR view and inverted index if stale."""
         count = len(self._sets)
         if self._csr_size == count:
             return
         sizes = np.fromiter((s.size for s in self._sets), dtype=np.int64, count=count)
-        offsets = np.zeros(count + 1, dtype=np.int64)
-        np.cumsum(sizes, out=offsets[1:])
         flat = (
             np.concatenate(self._sets) if count else _EMPTY_INDEX
         ).astype(np.int64, copy=False)
         tags = np.asarray(self._tags, dtype=np.int64)
+        self._build_csr(flat, sizes, tags)
+
+    def _build_csr(self, flat: np.ndarray, sizes: np.ndarray, tags: np.ndarray) -> None:
+        """Build the CSR view + inverted index from pre-flattened arrays."""
+        count = int(sizes.size)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
         keys = np.repeat(tags, sizes) * self._num_nodes + flat
         # Stable sort keeps RR-set indices ascending within each key, matching
         # the append order of the seed implementation's per-node lists.

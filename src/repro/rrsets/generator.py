@@ -100,6 +100,10 @@ class RRSetGenerator:
         """Total number of in-edges examined so far (cost counter)."""
         return self._edges_examined
 
+    def record_edges_examined(self, count: int) -> None:
+        """Fold in edges examined by an external run (e.g. a sharded worker)."""
+        self._edges_examined += int(count)
+
     def generate(self, rng: RandomSource = None, root: Optional[int] = None) -> np.ndarray:
         """Generate one RR-set; returns sorted member node ids as an int64 array.
 
@@ -137,6 +141,35 @@ class RRSetGenerator:
         traverse = self._reverse_traverse
         integers = generator.integers
         return [traverse(int(integers(0, n)), generator) for _ in range(count)]
+
+    def generate_batch_parallel(
+        self,
+        count: int,
+        rng: RandomSource = None,
+        n_jobs: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Generate ``count`` RR-sets sharded across ``n_jobs`` worker processes.
+
+        Each worker rebuilds this generator against the (fork-inherited or
+        pickled-once) graph, draws from its own ``SeedSequence.spawn()``
+        substream and returns its shard as flat arrays; shards are merged in
+        worker-index order, so a fixed ``(seed, n_jobs)`` pair is
+        bit-reproducible.  ``n_jobs=1`` (or ``None``) falls back to
+        :meth:`generate_batch` untouched — bit-identical to the serial
+        engine.  ``n_jobs>1`` uses different substreams than the serial
+        stream (statistically equivalent RR-sets, not bit-identical to
+        ``n_jobs=1``).  The workers' ``edges_examined`` counters are folded
+        back into this generator.
+        """
+        if count < 0:
+            raise SamplingError("count must be non-negative")
+        from repro.parallel import ShardedExecutor
+        from repro.parallel.rr import generate_batch_sharded
+
+        executor = ShardedExecutor(n_jobs)
+        if executor.n_jobs <= 1 or count <= 1:
+            return self.generate_batch(count, rng)
+        return generate_batch_sharded(self, count, rng, executor)
 
     # ------------------------------------------------------------------ #
     def _next_token(self) -> int:

@@ -40,6 +40,14 @@ class UniformRRSampler:
     generator_cls:
         RR-set generator class (:class:`RRSetGenerator` or
         :class:`SubsimRRGenerator`).
+    n_jobs:
+        Shard :meth:`generate_collection` across this many worker processes
+        (``None``/1 → serial, untouched seed-compatible path; ``-1`` → all
+        cores).  Each shard samples advertisers and generates RR-sets on its
+        own ``SeedSequence.spawn()`` substream and shards merge in
+        worker-index order, so a fixed ``(seed, n_jobs)`` pair is
+        bit-reproducible; ``n_jobs>1`` draws different substreams than the
+        serial stream (statistically equivalent collections).
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class UniformRRSampler:
         cpes: Sequence[float],
         generator_cls: Type[RRSetGenerator] = RRSetGenerator,
         seed: RandomSource = None,
+        n_jobs: Optional[int] = None,
     ):
         if len(advertiser_edge_probabilities) != len(cpes):
             raise SamplingError("one edge-probability array per advertiser is required")
@@ -62,10 +71,15 @@ class UniformRRSampler:
         self._gamma = float(cpe_array.sum())
         self._weights = cpe_array / self._gamma
         self._rng = as_rng(seed)
+        self._generator_cls = generator_cls
+        self._probability_arrays = list(advertiser_edge_probabilities)
         self._generators: List[RRSetGenerator] = [
             generator_cls(graph, probabilities)
             for probabilities in advertiser_edge_probabilities
         ]
+        from repro.parallel import resolve_n_jobs
+
+        self._n_jobs = resolve_n_jobs(n_jobs)
 
     @property
     def num_advertisers(self) -> int:
@@ -106,6 +120,8 @@ class UniformRRSampler:
         """
         if count < 0:
             raise SamplingError("count must be non-negative")
+        if self._n_jobs > 1 and count > 1:
+            return self._generate_collection_sharded(count, into)
         collection = into if into is not None else RRCollection(
             self._graph.num_nodes, self.num_advertisers
         )
@@ -115,6 +131,40 @@ class UniformRRSampler:
             rr_set, advertiser = generate_one()
             add(rr_set, advertiser)
         return collection
+
+    def _generate_collection_sharded(
+        self, count: int, into: Optional[RRCollection]
+    ) -> RRCollection:
+        """Sharded collection generation (the ``n_jobs>1`` path).
+
+        Worker substreams are spawned from this sampler's RNG (advancing it,
+        so successive calls generate fresh sets) and the tagged shards are
+        merged through :meth:`RRCollection.from_shards` /
+        :meth:`RRCollection.extend_from_shards` without a per-set round-trip.
+        """
+        from repro.parallel import ShardedExecutor
+        from repro.parallel.rr import run_uniform_shards
+
+        executor = ShardedExecutor(self._n_jobs)
+        shards = run_uniform_shards(
+            self._generator_cls,
+            self._graph,
+            self._probability_arrays,
+            self._weights,
+            count,
+            self._rng,
+            executor,
+        )
+        for shard in shards:
+            for advertiser, edges in enumerate(shard.edges_examined.tolist()):
+                self._generators[advertiser].record_edges_examined(edges)
+        triples = [(shard.members, shard.sizes, shard.tags) for shard in shards]
+        if into is None:
+            return RRCollection.from_shards(
+                self._graph.num_nodes, self.num_advertisers, triples
+            )
+        into.extend_from_shards(triples)
+        return into
 
 
 class PerAdvertiserRRSampler:

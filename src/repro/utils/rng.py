@@ -15,6 +15,10 @@ import numpy as np
 
 RandomSource = Union[int, None, np.random.Generator]
 
+#: Number of 32-bit entropy words drawn from a Generator when deriving child
+#: seed material in :func:`spawn_rngs` (128 bits, matching SeedSequence).
+_SPAWN_ENTROPY_WORDS = 4
+
 
 def as_rng(seed: RandomSource = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
@@ -35,12 +39,30 @@ def spawn_rngs(seed: RandomSource, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from a single source.
 
     Uses :class:`numpy.random.SeedSequence` spawning so the child streams are
-    statistically independent regardless of how many are requested.
+    statistically independent regardless of how many are requested.  The
+    children are a pure function of the input:
+
+    * ``int`` / ``None`` — ``SeedSequence(seed).spawn(count)``; the same seed
+      yields the same children on every call (the parallel engines rely on
+      this for fixed-``(seed, n_jobs)`` reproducibility).
+    * :class:`numpy.random.SeedSequence` — spawned directly (advances the
+      sequence's spawn counter, so repeated calls yield fresh children).
+    * :class:`numpy.random.Generator` — child entropy is drawn *through the
+      generator's own stream* (via :func:`as_rng`), so the children depend
+      only on the generator's current state: two generators in the same state
+      (e.g. a pickled copy) spawn identical children, repeated calls on one
+      generator advance it and yield fresh, independent batches, and
+      generators whose bit generator carries no seed sequence still work.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        entropy = as_rng(seed).integers(
+            0, 1 << 32, size=_SPAWN_ENTROPY_WORDS, dtype=np.uint64
+        )
+        seq = np.random.SeedSequence([int(word) for word in entropy])
     else:
         seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]

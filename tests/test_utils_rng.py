@@ -53,6 +53,67 @@ class TestSpawnRngs:
         children = spawn_rngs(np.random.default_rng(2), 3)
         assert len(children) == 3
 
+    def test_spawn_from_generator_depends_only_on_state(self):
+        """Two generators in the same state spawn identical children."""
+        first = [g.random(3) for g in spawn_rngs(np.random.default_rng(2), 2)]
+        second = [g.random(3) for g in spawn_rngs(np.random.default_rng(2), 2)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_spawn_from_generator_advances_the_stream(self):
+        """Repeated spawns from one generator yield fresh, distinct children."""
+        generator = np.random.default_rng(2)
+        first = [g.random(3) for g in spawn_rngs(generator, 2)]
+        second = [g.random(3) for g in spawn_rngs(generator, 2)]
+        for a, b in zip(first, second):
+            assert not np.allclose(a, b)
+
+    def test_spawn_from_pickled_generator_matches_original(self):
+        """Regression: a pickle round-tripped generator spawns the same
+        children as its source — the sharded engines rely on children being a
+        pure function of generator state."""
+        import pickle
+
+        generator = np.random.default_rng(11)
+        generator.random(5)  # advance past the freshly seeded state
+        clone = pickle.loads(pickle.dumps(generator))
+        original = [g.random(3) for g in spawn_rngs(generator, 2)]
+        cloned = [g.random(3) for g in spawn_rngs(clone, 2)]
+        for a, b in zip(original, cloned):
+            assert np.allclose(a, b)
+
+    def test_spawn_from_seed_sequence(self):
+        """Regression: a SeedSequence input used to raise TypeError."""
+        children = spawn_rngs(np.random.SeedSequence(5), 2)
+        assert len(children) == 2
+        assert not np.allclose(children[0].random(3), children[1].random(3))
+
+
+class TestShardIndependence:
+    """Pins the parallel determinism contract of the sharded engines."""
+
+    def test_stable_across_calls(self):
+        """``spawn_rngs(seed, k)`` yields bit-identical streams every call."""
+        first = [g.integers(0, 1 << 62, size=4) for g in spawn_rngs(123, 8)]
+        second = [g.integers(0, 1 << 62, size=4) for g in spawn_rngs(123, 8)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_no_duplicated_leading_draws(self):
+        """No two of many substreams share their leading draws."""
+        children = spawn_rngs(7, 64)
+        leading = np.array([g.integers(0, 1 << 62) for g in children])
+        assert np.unique(leading).size == leading.size
+        blocks = np.stack([g.random(8) for g in spawn_rngs(7, 64)])
+        assert np.unique(blocks, axis=0).shape[0] == blocks.shape[0]
+
+    def test_prefix_stability(self):
+        """The first k of spawn_rngs(seed, m) match spawn_rngs(seed, k)."""
+        small = [g.random(4) for g in spawn_rngs(9, 2)]
+        large = [g.random(4) for g in spawn_rngs(9, 6)][:2]
+        for a, b in zip(small, large):
+            assert np.allclose(a, b)
+
 
 class TestRandomSubset:
     def test_probability_one_keeps_all(self):
