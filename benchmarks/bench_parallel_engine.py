@@ -35,6 +35,15 @@ shard layout, so the numbers are comparable across runners.
 A merge-side section (``collection_merge``) additionally times
 ``RRCollection.from_shards`` against the per-set ``add`` loop — parent-side
 work that the sharded pipeline vectorises regardless of core count.
+
+A pool-lifecycle section (``runtime_pool_reuse``) times an RMA-style
+doubling-round scenario — two RR collections grown over several rounds —
+with per-call pools (one ``multiprocessing.Pool`` spawn per
+``generate_collection``) against a persistent
+:class:`repro.runtime.Runtime` pool (one spawn for the whole scenario),
+asserting the two paths produce bit-identical collections.  This measures
+how much of the sharded pipeline's overhead is pure pool spawn + payload
+shipping, i.e. what the ``Runtime`` layer amortises.
 """
 
 from __future__ import annotations
@@ -60,6 +69,8 @@ from repro.parallel.mc import run_singleton_shards, run_spread_shards
 from repro.parallel.rr import run_generation_shards, split_flat
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import SubsimRRGenerator
+from repro.rrsets.uniform import UniformRRSampler
+from repro.runtime import ExecutionPolicy, Runtime
 
 FULL = {
     "num_nodes": 20_000,
@@ -70,6 +81,8 @@ FULL = {
     "seed_set_size": 50,
     "singleton_nodes": 1000,
     "singleton_simulations": 40,
+    "doubling_rounds": 4,
+    "doubling_theta0": 400,
     "repeats": 3,
     "min_speedup": 2.5,
 }
@@ -82,6 +95,8 @@ FAST = {
     "seed_set_size": 20,
     "singleton_nodes": 2_000,
     "singleton_simulations": 50,
+    "doubling_rounds": 3,
+    "doubling_theta0": 200,
     "repeats": 2,
     "min_speedup": 1.3,
 }
@@ -316,6 +331,66 @@ def run(config: dict) -> dict:
         _effective(
             serial_s, wall_s, [s.cpu_seconds for s in singleton_shards], host_cpus, workers
         ),
+    )
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle: per-call pools vs one persistent Runtime pool
+    # ------------------------------------------------------------------ #
+    rounds = config["doubling_rounds"]
+    theta0 = config["doubling_theta0"]
+    calls = 2 * rounds  # two collections (R1, R2) grown every round, RMA-style
+
+    def doubling_scenario(runtime):
+        sampler = UniformRRSampler(
+            graph,
+            [probabilities] * NUM_ADVERTISERS,
+            [1.0] * NUM_ADVERTISERS,
+            generator_cls=SubsimRRGenerator,
+            seed=RR_SEED,
+            n_jobs=workers,
+            runtime=runtime,
+        )
+        one = sampler.generate_collection(theta0)
+        two = sampler.generate_collection(theta0)
+        for _ in range(rounds - 1):
+            sampler.generate_collection(len(one), into=one)
+            sampler.generate_collection(len(two), into=two)
+        return one, two
+
+    def run_with_runtime():
+        # Pool spawn + payload broadcast included in the timed section: the
+        # amortization claim has to pay its own setup.
+        with Runtime(ExecutionPolicy.seed(n_jobs=workers)) as rt:
+            one, two = doubling_scenario(rt)
+            return one, two, rt.pool_spawn_count
+
+    per_call_s, (e_one, e_two) = _timed_best(lambda: doubling_scenario(None), repeats)
+    runtime_s, (p_one, p_two, spawns) = _timed_best(run_with_runtime, repeats)
+    assert np.array_equal(e_one.member_array, p_one.member_array)
+    assert np.array_equal(e_two.member_array, p_two.member_array)
+    assert np.array_equal(e_one.tag_array, p_one.tag_array)
+    results["sections"]["runtime_pool_reuse"] = {
+        "scenario": (
+            f"RMA doubling rounds: 2 collections x {rounds} rounds, "
+            f"theta0={theta0} ({(2 ** rounds - 1) * 2 * theta0} RR-sets total), "
+            f"SUBSIM, {workers} workers"
+        ),
+        "per_call_pools_s": round(per_call_s, 6),
+        "runtime_pool_s": round(runtime_s, 6),
+        "pool_spawns_per_call_path": calls,
+        "pool_spawns_runtime_path": spawns,
+        "spawn_overhead_saved_s": round(per_call_s - runtime_s, 6),
+        "spawn_overhead_saved_ms_per_call": round(
+            1000.0 * (per_call_s - runtime_s) / calls, 3
+        ),
+        "speedup": round(per_call_s / runtime_s, 2) if runtime_s else None,
+        "bit_identical": True,
+    }
+    print(
+        f"{'runtime_pool_reuse':<20} per-call pools {per_call_s:6.3f}s "
+        f"({calls} spawns)   Runtime {runtime_s:8.3f}s ({spawns} spawn)   "
+        f"{per_call_s / runtime_s:6.2f}x, "
+        f"{1000.0 * (per_call_s - runtime_s) / calls:.0f} ms/call amortised"
     )
 
     # ------------------------------------------------------------------ #

@@ -4,8 +4,9 @@ Reproduces a single cell of the paper's main comparison: the Flixster-like
 network under the linear seed-incentive model at one value of α, reporting
 revenue, seeding cost, seed count and running time per algorithm.
 
-Every solver opts into the fast engines (``use_subsim`` RR-set generation
-and ``use_batched_greedy`` vectorized seed selection) — both default to off
+Every solver opts into the fast engines through one shared
+``ExecutionPolicy`` (SUBSIM RR-set generation + vectorized batched seed
+selection) — everything defaults to the seed policy
 for seed-stream compatibility, and the batched greedy engine returns
 bit-identical allocations either way.
 
@@ -14,7 +15,7 @@ Run with:  PYTHONPATH=src python examples/compare_algorithms.py
 
 from __future__ import annotations
 
-from repro import SamplingParameters, TIParameters, build_dataset
+from repro import ExecutionPolicy, SamplingParameters, TIParameters, build_dataset
 from repro.experiments.metrics import independent_evaluator
 from repro.experiments.report import format_table
 from repro.experiments.runner import compare_algorithms
@@ -38,6 +39,7 @@ def main() -> None:
 
     evaluator = independent_evaluator(instance, num_rr_sets=15000, seed=23)
 
+    policy = ExecutionPolicy(rr_engine="subsim", greedy_engine="batched")
     sampling_params = SamplingParameters(
         epsilon=0.1,
         rho=rho,
@@ -45,16 +47,14 @@ def main() -> None:
         initial_rr_sets=1024,
         max_rr_sets=8192,
         seed=11,
-        use_subsim=True,
-        use_batched_greedy=True,
+        policy=policy,
     )
     ti_params = TIParameters(
         epsilon=0.1,
         pilot_size=256,
         max_rr_sets_per_advertiser=2048,
         seed=11,
-        use_subsim=True,
-        use_batched_greedy=True,
+        policy=policy,
     )
 
     rows = []

@@ -5,25 +5,27 @@ heterogeneous budgets and cpe values under the linear seed-incentive model,
 runs the paper's RMA solver, and evaluates the resulting allocation with an
 independent RR-set estimator.
 
-The run opts into two of the library's fast engines (all off by default so
+The run opts into two of the library's fast engines through one
+``ExecutionPolicy`` object (everything defaults to the seed policy so
 fixed-seed runs reproduce the original RNG streams):
 
-* ``use_subsim=True`` — SUBSIM geometric-skipping RR-set generation;
-* ``use_batched_greedy=True`` — vectorized CELF seed selection against the
+* ``rr_engine="subsim"`` — SUBSIM geometric-skipping RR-set generation;
+* ``greedy_engine="batched"`` — vectorized CELF seed selection against the
   coverage marginal matrix (bit-identical allocations, just faster);
 
-and cross-checks the result with the third, ``use_batched_mc=True`` — the
+and cross-checks the result with the third, ``mc_engine="batched"`` — the
 batched level-synchronous Monte-Carlo cascade engine.  The final section
-shows the one-switch ``fast=True`` preset of ``run_algorithm``, which flips
-all of the above *and* shards RR generation + MC estimation across worker
-processes (``n_jobs``) in a single keyword.
+shows the ``ExecutionPolicy.fast()`` preset of ``run_algorithm``, which
+flips all of the above *and* shards RR generation + MC estimation across
+worker processes (``n_jobs``), running inside a ``Runtime`` whose
+persistent worker pool is reused across all of RMA's doubling rounds.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import SamplingParameters, build_dataset, rm_without_oracle
+from repro import ExecutionPolicy, Runtime, SamplingParameters, build_dataset, rm_without_oracle
 from repro.advertising.oracle import MonteCarloOracle
 from repro.experiments.metrics import evaluate_allocation
 from repro.experiments.runner import run_algorithm
@@ -47,8 +49,10 @@ def main() -> None:
         print(f"    ad-{index}: budget={advertiser.budget:8.1f}  cpe={advertiser.cpe:.1f}")
 
     print("\nRunning RMA (RM_without_Oracle) with the fast engines opted in ...")
-    print("  use_subsim=True         (SUBSIM RR-set generation)")
-    print("  use_batched_greedy=True (vectorized CELF seed selection)")
+    print("  rr_engine='subsim'       (SUBSIM RR-set generation)")
+    print("  greedy_engine='batched'  (vectorized CELF seed selection)")
+    policy = ExecutionPolicy(rr_engine="subsim", greedy_engine="batched")
+    print(f"  effective policy: {policy.describe()}")
     params = SamplingParameters(
         epsilon=0.1,
         delta=0.01,
@@ -57,8 +61,7 @@ def main() -> None:
         initial_rr_sets=1024,
         max_rr_sets=8192,
         seed=42,
-        use_subsim=True,
-        use_batched_greedy=True,
+        policy=policy,
     )
     result = rm_without_oracle(instance, params)
     print(f"  RR-sets used:        {result.metadata['rr_sets']}")
@@ -84,29 +87,39 @@ def main() -> None:
             f"spend={(revenue + cost) / budget:6.1%}"
         )
 
-    print("\nCross-checking ad-0 with the batched Monte-Carlo engine (use_batched_mc=True) ...")
-    mc_oracle = MonteCarloOracle(instance, num_simulations=200, seed=13, use_batched_mc=True)
+    print("\nCross-checking ad-0 with the batched Monte-Carlo engine (mc_engine='batched') ...")
+    mc_oracle = MonteCarloOracle(
+        instance,
+        num_simulations=200,
+        seed=13,
+        policy=ExecutionPolicy(mc_engine="batched"),
+    )
     seeds_zero = result.allocation.seeds(0)
     mc_revenue = mc_oracle.revenue(0, seeds_zero) if seeds_zero else 0.0
     rr_revenue = evaluation.per_advertiser_revenue[0]
     print(f"  RR-set estimate:      {rr_revenue:10.1f}")
     print(f"  Monte-Carlo estimate: {mc_revenue:10.1f}")
 
-    print("\nOne-switch preset: run_algorithm(..., fast=True) ...")
-    print("  flips use_subsim + use_batched_mc + use_batched_greedy and")
-    print("  shards RR generation + MC estimation across n_jobs workers")
-    fast_run = run_algorithm(
-        "RMA",
-        instance,
-        sampling_params=params,  # copied, not mutated — fast flags layered on top
-        fast=True,
-        n_jobs=2,
-        evaluation_rr_sets=5000,
-        seed=7,
-    )
-    print(f"  revenue:             {fast_run.evaluation.revenue:10.1f}")
-    print(f"  wall-clock:          {fast_run.running_time_seconds:10.2f}s")
-    print("  (equivalent CLI: python -m repro.cli solve --fast --jobs 2)")
+    print("\nOne-object preset: run_algorithm(..., policy=ExecutionPolicy.fast(n_jobs=2)) ...")
+    print("  every fast engine + sharded RR generation and MC estimation,")
+    print("  on one persistent worker pool reused across the doubling rounds")
+    # run_algorithm refuses to silently override a params-level policy, so
+    # the fast run gets its own parameter object carrying the fast preset.
+    from dataclasses import replace
+
+    with Runtime(ExecutionPolicy.fast(n_jobs=2)) as rt:
+        fast_run = run_algorithm(
+            "RMA",
+            instance,
+            sampling_params=replace(params, policy=rt.policy),
+            runtime=rt,
+            evaluation_rr_sets=5000,
+            seed=7,
+        )
+        print(f"  revenue:             {fast_run.evaluation.revenue:10.1f}")
+        print(f"  wall-clock:          {fast_run.running_time_seconds:10.2f}s")
+        print(f"  pool spawns:         {rt.pool_spawn_count} (per-call pools would pay one per round)")
+    print("  (equivalent CLI: python -m repro.cli solve --policy fast --jobs 2)")
 
 
 if __name__ == "__main__":

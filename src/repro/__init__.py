@@ -13,6 +13,8 @@ Lakshmanan).  The package contains:
 * ``repro.core``        — the paper's algorithms (Greedy, ThresholdGreedy,
   Search, RM_with_Oracle, SeekUB, RMA)
 * ``repro.parallel``    — sharded multiprocess execution (the ``n_jobs`` knob)
+* ``repro.runtime``     — :class:`ExecutionPolicy` (one object for every
+  engine knob) and :class:`Runtime` (a persistent worker pool context)
 * ``repro.baselines``   — CA/CS-Greedy and TI-CARM/TI-CSRM of Aslay et al.
 * ``repro.datasets``    — synthetic stand-ins for Lastfm/Flixster/DBLP/LiveJournal
 * ``repro.experiments`` — the harness regenerating every table and figure
@@ -57,7 +59,8 @@ from repro.datasets import (
     livejournal_like,
 )
 from repro.experiments import compare_algorithms, evaluate_allocation, run_algorithm
-from repro.exceptions import ReproError
+from repro.exceptions import PolicyError, ReproError
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime
 
 __version__ = "1.0.0"
 
@@ -92,6 +95,10 @@ __all__ = [
     "run_algorithm",
     "compare_algorithms",
     "evaluate_allocation",
+    "ExecutionPolicy",
+    "Runtime",
+    "current_runtime",
+    "PolicyError",
     "ReproError",
     "__version__",
 ]

@@ -20,7 +20,7 @@ mirroring the structure of the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.diffusion.simulation import exact_spread, monte_carlo_spread
 from repro.exceptions import SolverError
 from repro.rrsets.collection import RRCollection
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy, Runtime
 
 
 class RevenueOracle(ABC):
@@ -78,21 +81,23 @@ class MonteCarloOracle(RevenueOracle):
     seed:
         RNG seed; queries are deterministic for a fixed seed because the
         oracle derives one child stream per cached query.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` selecting the cascade engine
+        (``mc_engine``), the per-query sharding (``n_jobs``) and the batch
+        size.  Defaults to :meth:`ExecutionPolicy.seed` — the sequential
+        path that reproduces the seed tree's RNG stream exactly.  Sharding
+        only engages when ``num_simulations >= MIN_SHARDED_SIMULATIONS``:
+        the greedy loops issue many small queries whose serial cost is below
+        the pool dispatch overhead — honouring ``n_jobs`` there would make
+        "fast" runs slower.
+    runtime:
+        :class:`repro.runtime.Runtime` whose persistent worker pool sharded
+        queries run on (falls back to the ambient runtime, then to per-call
+        pools).
     use_batched_mc:
-        Estimate spreads with the batched level-synchronous engine
-        (:mod:`repro.diffusion.engine`) instead of the sequential seed path.
-        Off by default: the sequential path reproduces the seed tree's RNG
-        stream exactly (like ``SamplingParameters.use_subsim``), the batched
-        path is statistically equivalent and much faster.
+        Deprecated — ``policy.mc_engine == "batched"`` replaces it.
     n_jobs:
-        Shard each query's simulations across this many worker processes
-        (``n_jobs>1`` implies the batched engine; ``None``/1 leaves the
-        selected path untouched).  Queries stay deterministic for a fixed
-        ``(seed, n_jobs)`` pair.  Sharding only engages when
-        ``num_simulations >= MIN_SHARDED_SIMULATIONS``: each sharded query
-        spawns a worker pool, and the greedy loops issue many small queries
-        whose serial cost is below the pool-spawn overhead — honouring
-        ``n_jobs`` there would make "fast" runs slower.
+        Deprecated — ``policy.n_jobs`` replaces it.
     """
 
     #: Minimum per-query simulation count before ``n_jobs`` engages (below
@@ -104,10 +109,13 @@ class MonteCarloOracle(RevenueOracle):
         instance: RMInstance,
         num_simulations: int = 500,
         seed: RandomSource = None,
-        use_batched_mc: bool = False,
+        use_batched_mc: Optional[bool] = None,
         n_jobs: Optional[int] = None,
+        policy: Optional["ExecutionPolicy"] = None,
+        runtime: Optional["Runtime"] = None,
     ):
         from repro.parallel import validate_n_jobs
+        from repro.runtime import coerce_policy
 
         if num_simulations <= 0:
             raise SolverError("num_simulations must be positive")
@@ -115,8 +123,10 @@ class MonteCarloOracle(RevenueOracle):
         self._instance = instance
         self._num_simulations = num_simulations
         self._rng = as_rng(seed)
-        self._use_batched_mc = bool(use_batched_mc)
-        self._n_jobs = n_jobs
+        self._policy = coerce_policy(
+            policy, "MonteCarloOracle", use_batched_mc=use_batched_mc, n_jobs=n_jobs
+        )
+        self._runtime = runtime
         self._cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
 
     @property
@@ -142,8 +152,10 @@ class MonteCarloOracle(RevenueOracle):
                 seed_set,
                 num_simulations=self._num_simulations,
                 rng=self._rng,
-                use_batched=self._use_batched_mc,
-                n_jobs=self._n_jobs if sharded else None,
+                use_batched=self._policy.use_batched_mc,
+                batch_size=self._policy.mc_batch_size,
+                n_jobs=self._policy.n_jobs if sharded else None,
+                runtime=self._runtime,
             )
             cached = self._instance.cpe(advertiser) * spread
             self._cache[key] = cached

@@ -11,7 +11,7 @@ as bad as ``O(1/n)``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -24,19 +24,27 @@ from repro.core.result import SolverResult
 from repro.exceptions import SolverError
 from repro.utils.lazy_heap import LazyMarginalHeap
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy
+
 
 def ca_greedy(
     instance: RMInstance,
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> SolverResult:
     """Run CA-Greedy and return a :class:`SolverResult`.
 
-    ``use_batched_greedy`` opts the element heap into the batched coverage
-    engine (RR-set oracles only; other oracles keep the seed scalar path).
+    A batched-greedy ``policy`` opts the element heap into the batched
+    coverage engine (RR-set oracles only; other oracles keep the seed scalar
+    path).  ``use_batched_greedy`` is the deprecated flag equivalent.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(policy, "ca_greedy", use_batched_greedy=use_batched_greedy)
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")
@@ -44,7 +52,7 @@ def ca_greedy(
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
 
-    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
         allocation, closed = batched_budgeted_allocation(
             instance, oracle, budget_array, candidates, rank_by_rate=False
         )

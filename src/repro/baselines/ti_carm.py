@@ -2,19 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.advertising.instance import RMInstance
 from repro.baselines.ti_common import TIParameters, run_ti_baseline
 from repro.core.result import SolverResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import Runtime
 
-def ti_carm(instance: RMInstance, params: Optional[TIParameters] = None) -> SolverResult:
+
+def ti_carm(
+    instance: RMInstance,
+    params: Optional[TIParameters] = None,
+    runtime: Optional["Runtime"] = None,
+) -> SolverResult:
     """Run TI-CARM (Topic-aware Influence Cost-Agnostic Revenue Maximization).
 
     Elements are ranked purely by estimated marginal revenue; seeding costs
     are ignored during ranking (they still count against the budget), which
     reproduces the baseline's characteristic failure mode under super-linear
-    seed pricing.
+    seed pricing.  ``runtime`` supplies a persistent worker pool for sharded
+    policies.
     """
-    return run_ti_baseline(instance, params, cost_sensitive=False, algorithm_name="TI-CARM")
+    return run_ti_baseline(
+        instance, params, cost_sensitive=False, algorithm_name="TI-CARM", runtime=runtime
+    )

@@ -34,6 +34,7 @@ from repro.core.result import SolverResult
 from repro.exceptions import SolverError
 from repro.rrsets.collection import CoverageState, RRCollection
 from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_params_policy
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 from repro.utils.rng import RandomSource, as_rng
 
@@ -49,18 +50,17 @@ class TIParameters:
     requirement is always reported in the result metadata (it is what the
     Figure 4 memory comparison uses).
 
-    ``use_batched_greedy`` runs the allocation loop on the batched coverage
-    engine: the per-advertiser pools are merged into one advertiser-tagged
-    :class:`~repro.rrsets.collection.RRCollection` and stale CELF candidates
-    are refreshed through vectorized gathers on its coverage marginal matrix.
-    Off by default (the per-element loop is the seed behaviour); the batched
-    loop sees the same floats and replays the same tie-breaking, so it
-    returns bit-identical allocations.
-
-    ``n_jobs`` shards the per-advertiser pool generation across worker
-    processes (:mod:`repro.parallel`; ``None``/1 keeps the serial seed
-    stream, ``-1`` uses all cores).  The small pilot pools stay serial; the
-    bulk pool fill is what fans out.
+    ``policy`` is the preferred configuration channel
+    (:class:`repro.runtime.ExecutionPolicy`): ``rr_engine`` selects the pool
+    generator, ``greedy_engine="batched"`` runs the allocation loop on the
+    batched coverage engine — the per-advertiser pools are merged into one
+    advertiser-tagged :class:`~repro.rrsets.collection.RRCollection` and
+    stale CELF candidates are refreshed through vectorized gathers on its
+    coverage marginal matrix (same floats, same tie-breaking, bit-identical
+    allocations) — and ``n_jobs`` shards the bulk pool fill across worker
+    processes (the small pilot pools stay serial).  The ``use_subsim`` /
+    ``use_batched_greedy`` / ``n_jobs`` fields are deprecated equivalents;
+    setting both channels raises :class:`~repro.exceptions.PolicyError`.
     """
 
     epsilon: float = 0.1
@@ -71,6 +71,28 @@ class TIParameters:
     use_batched_greedy: bool = False
     n_jobs: Optional[int] = None
     seed: RandomSource = None
+    policy: Optional[ExecutionPolicy] = None
+
+    def __post_init__(self) -> None:
+        resolve_params_policy(
+            "TIParameters",
+            self.policy,
+            self.use_subsim,
+            self.use_batched_greedy,
+            self.n_jobs,
+            warn=True,
+            fold=False,
+        )
+
+    def resolved_policy(self) -> ExecutionPolicy:
+        """The effective :class:`ExecutionPolicy` (legacy fields folded in)."""
+        return resolve_params_policy(
+            "TIParameters",
+            self.policy,
+            self.use_subsim,
+            self.use_batched_greedy,
+            self.n_jobs,
+        )
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on inconsistent settings."""
@@ -121,9 +143,13 @@ class _AdvertiserPool:
 
 
 def _build_pools(
-    instance: RMInstance, params: TIParameters, rng
+    instance: RMInstance,
+    params: TIParameters,
+    policy: ExecutionPolicy,
+    rng,
+    runtime: Optional[Runtime],
 ) -> tuple[Dict[int, _AdvertiserPool], Dict[str, object]]:
-    generator_cls = SubsimRRGenerator if params.use_subsim else RRSetGenerator
+    generator_cls = SubsimRRGenerator if policy.use_subsim else RRSetGenerator
     pools: Dict[int, _AdvertiserPool] = {}
     required_total = 0
     generated_total = 0
@@ -143,7 +169,7 @@ def _build_pools(
         if pool_size > len(rr_sets):
             rr_sets.extend(
                 generator.generate_batch_parallel(
-                    pool_size - len(rr_sets), rng, n_jobs=params.n_jobs
+                    pool_size - len(rr_sets), rng, n_jobs=policy.n_jobs, runtime=runtime
                 )
             )
         else:
@@ -254,12 +280,29 @@ def run_ti_baseline(
     params: Optional[TIParameters],
     cost_sensitive: bool,
     algorithm_name: str,
+    runtime: Optional[Runtime] = None,
 ) -> SolverResult:
-    """Common driver for TI-CARM (``cost_sensitive=False``) and TI-CSRM (True)."""
+    """Common driver for TI-CARM (``cost_sensitive=False``) and TI-CSRM (True).
+
+    ``runtime`` (or the ambient one) supplies a persistent worker pool for
+    the sharded pool fills; when neither exists and the policy shards, the
+    driver opens its own runtime for the duration of the call so all ``h``
+    fills share one pool.
+    """
     params = params or TIParameters()
     params.validate()
+    policy = params.resolved_policy()
     rng = as_rng(params.seed)
-    pools, diagnostics = _build_pools(instance, params, rng)
+    owned_runtime: Optional[Runtime] = None
+    if runtime is None:
+        runtime = current_runtime()
+        if runtime is None:
+            runtime = owned_runtime = Runtime(policy)
+    try:
+        pools, diagnostics = _build_pools(instance, params, policy, rng, runtime)
+    finally:
+        if owned_runtime is not None:
+            owned_runtime.close()
 
     h = instance.num_advertisers
     budgets = instance.budgets()
@@ -274,7 +317,7 @@ def run_ti_baseline(
             fraction_error, params.epsilon
         )
 
-    if params.use_batched_greedy:
+    if policy.use_batched_greedy:
         allocation, closed, per_advertiser = _run_allocation_batched(
             instance, pools, penalties, budgets, cost_sensitive
         )

@@ -2,19 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.advertising.instance import RMInstance
 from repro.baselines.ti_common import TIParameters, run_ti_baseline
 from repro.core.result import SolverResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import Runtime
 
-def ti_csrm(instance: RMInstance, params: Optional[TIParameters] = None) -> SolverResult:
+
+def ti_csrm(
+    instance: RMInstance,
+    params: Optional[TIParameters] = None,
+    runtime: Optional["Runtime"] = None,
+) -> SolverResult:
     """Run TI-CSRM (Topic-aware Influence Cost-Sensitive Revenue Maximization).
 
     Elements are ranked by the estimated marginal rate ζ — revenue gained per
     unit of budget consumed — so the allocation prefers cheap efficient seeds
     but still checks budget feasibility with the conservative upper bound
-    that under-utilises the budget.
+    that under-utilises the budget.  ``runtime`` supplies a persistent worker
+    pool for sharded policies.
     """
-    return run_ti_baseline(instance, params, cost_sensitive=True, algorithm_name="TI-CSRM")
+    return run_ti_baseline(
+        instance, params, cost_sensitive=True, algorithm_name="TI-CSRM", runtime=runtime
+    )

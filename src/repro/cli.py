@@ -29,6 +29,8 @@ from repro.experiments.figures import table1_datasets
 from repro.experiments.metrics import independent_evaluator
 from repro.experiments.report import format_table
 from repro.experiments.runner import SAMPLING_ALGORITHMS, run_algorithm
+from repro.exceptions import PolicyError
+from repro.runtime import ExecutionPolicy, POLICY_PRESETS, Runtime
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +91,14 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--initial-rr-sets", type=int, default=512)
     parser.add_argument("--max-rr-sets", type=int, default=4096)
     parser.add_argument("--evaluation-rr-sets", type=int, default=10000)
+    parser.add_argument(
+        "--policy",
+        default=None,
+        choices=sorted(POLICY_PRESETS),
+        help="execution-policy preset: 'seed' (bit-reproducible engines, the "
+        "default) or 'fast' (SUBSIM + batched MC + batched greedy + all "
+        "cores); combine with --jobs to pin the worker count",
+    )
     parser.add_argument("--subsim", action="store_true", help="use the SUBSIM RR-set generator")
     parser.add_argument(
         "--batched-greedy",
@@ -106,8 +116,38 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fast",
         action="store_true",
-        help="one-switch preset: subsim + batched-mc + batched-greedy, and "
-        "--jobs defaults to all cores",
+        help="shorthand for --policy fast",
+    )
+
+
+def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
+    """The ``--policy`` vs per-engine-flag conflict message, or ``None``.
+
+    ``--policy`` and the per-engine flags are separate channels; mixing them
+    is rejected the same way ``run_algorithm`` rejects ``policy=`` plus
+    legacy kwargs.  ``main`` reports this through ``parser.error`` (usage
+    text, exit code 2).
+    """
+    if args.policy is not None and (args.subsim or args.batched_greedy or args.fast):
+        return "--policy conflicts with --subsim/--batched-greedy/--fast"
+    return None
+
+
+def _resolve_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """Build the effective :class:`ExecutionPolicy` from the CLI flags."""
+    if args.policy is not None:
+        conflict = _policy_flag_conflict(args)
+        if conflict is not None:  # direct programmatic use, bypassing main()
+            raise PolicyError(conflict)
+        policy = ExecutionPolicy.preset(args.policy)
+        if args.jobs is not None:
+            policy = policy.evolve(n_jobs=args.jobs)
+        return policy
+    return ExecutionPolicy.from_flags(
+        fast=args.fast or None,
+        use_subsim=args.subsim or None,
+        use_batched_greedy=args.batched_greedy or None,
+        n_jobs=args.jobs,
     )
 
 
@@ -121,28 +161,27 @@ def _prepare(args: argparse.Namespace):
         seed=args.seed,
         singleton_rr_sets=500,
     )
+    policy = _resolve_policy(args)
     sampling = SamplingParameters(
         epsilon=args.epsilon,
         rho=args.rho,
         tau=args.tau,
         initial_rr_sets=args.initial_rr_sets,
         max_rr_sets=args.max_rr_sets,
-        use_subsim=args.subsim,
-        use_batched_greedy=args.batched_greedy,
+        policy=policy,
         seed=args.seed,
     )
     ti = TIParameters(
         epsilon=max(args.epsilon, 0.05),
         pilot_size=128,
         max_rr_sets_per_advertiser=max(256, args.max_rr_sets // max(args.advertisers, 1)),
-        use_subsim=args.subsim,
-        use_batched_greedy=args.batched_greedy,
+        policy=policy,
         seed=args.seed,
     )
-    return data, sampling, ti
+    return data, policy, sampling, ti
 
 
-def _run_row(args, data, algorithm, sampling, ti, evaluator) -> dict:
+def _run_row(args, data, algorithm, sampling, ti, evaluator, runtime) -> dict:
     # The baselines receive the (1 + rho)-scaled budget, as in the paper.
     instance = data.instance
     if algorithm not in ("RMA", "OneBatchRM"):
@@ -153,8 +192,7 @@ def _run_row(args, data, algorithm, sampling, ti, evaluator) -> dict:
         evaluator=evaluator,
         sampling_params=sampling,
         ti_params=ti,
-        n_jobs=args.jobs,
-        fast=args.fast,
+        runtime=runtime,
     )
     return {
         "algorithm": algorithm,
@@ -169,11 +207,13 @@ def _run_row(args, data, algorithm, sampling, ti, evaluator) -> dict:
 
 def command_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
-    data, sampling, ti = _prepare(args)
-    evaluator = independent_evaluator(
-        data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
-    )
-    row = _run_row(args, data, args.algorithm, sampling, ti, evaluator)
+    data, policy, sampling, ti = _prepare(args)
+    print(f"effective policy: {policy.describe()}")
+    with Runtime(policy) as runtime:
+        evaluator = independent_evaluator(
+            data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+        )
+        row = _run_row(args, data, args.algorithm, sampling, ti, evaluator, runtime)
     print(
         format_table(
             [row],
@@ -188,14 +228,16 @@ def command_solve(args: argparse.Namespace) -> int:
 
 def command_compare(args: argparse.Namespace) -> int:
     """Handle ``repro compare``."""
-    data, sampling, ti = _prepare(args)
-    evaluator = independent_evaluator(
-        data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
-    )
-    rows = [
-        _run_row(args, data, algorithm, sampling, ti, evaluator)
-        for algorithm in args.algorithms
-    ]
+    data, policy, sampling, ti = _prepare(args)
+    print(f"effective policy: {policy.describe()}")
+    with Runtime(policy) as runtime:
+        evaluator = independent_evaluator(
+            data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+        )
+        rows = [
+            _run_row(args, data, algorithm, sampling, ti, evaluator, runtime)
+            for algorithm in args.algorithms
+        ]
     print(
         format_table(
             rows,
@@ -221,6 +263,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    conflict = _policy_flag_conflict(args) if hasattr(args, "policy") else None
+    if conflict is not None:
+        parser.error(conflict)
     handlers = {
         "solve": command_solve,
         "compare": command_compare,

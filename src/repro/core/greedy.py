@@ -13,7 +13,7 @@ budget is stored separately as the "stopple node" ``D_i``, and the better of
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.core.batched_greedy import (
 )
 from repro.exceptions import SolverError
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy
 
 
 def marginal_rate(marginal_gain: float, cost: float) -> float:
@@ -44,7 +47,8 @@ def greedy_single_advertiser(
     advertiser: int,
     candidates: Optional[Iterable[int]] = None,
     budget: Optional[float] = None,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Set[int], Set[int], Set[int]]:
     """Run ``Greedy(U, i)`` and return ``(S_i*, S_i, D_i)``.
 
@@ -61,12 +65,16 @@ def greedy_single_advertiser(
     budget:
         Budget override ``B_i`` (the sampling solver passes the relaxed
         ``(1 + ϱ/2)·B_i`` here).
+    policy:
+        :class:`repro.runtime.ExecutionPolicy`; its ``greedy_engine`` field
+        selects between per-element oracle callbacks (``"scalar"``, the seed
+        default) and the batched coverage engine
+        (:mod:`repro.core.batched_greedy`) — which requires an
+        :class:`~repro.advertising.oracle.RRSetOracle` and silently falls
+        back to the scalar path otherwise.  Both paths return bit-identical
+        sets.
     use_batched_greedy:
-        Rank candidates with the batched coverage engine
-        (:mod:`repro.core.batched_greedy`) instead of per-element oracle
-        callbacks.  Opt-in, mirroring ``use_subsim`` / ``use_batched_mc``;
-        requires an :class:`~repro.advertising.oracle.RRSetOracle` (silently
-        falls back to the seed scalar path otherwise).
+        Deprecated — ``policy.greedy_engine == "batched"`` replaces it.
 
     Returns
     -------
@@ -74,12 +82,17 @@ def greedy_single_advertiser(
         ``(best, selected, stopple)`` where ``best`` is the higher-revenue of
         ``selected`` (= ``S_i``) and ``stopple`` (= ``D_i``).
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(
+        policy, "greedy_single_advertiser", use_batched_greedy=use_batched_greedy
+    )
     if not 0 <= advertiser < instance.num_advertisers:
         raise SolverError(f"advertiser {advertiser} out of range")
     budget_i = instance.budget(advertiser) if budget is None else float(budget)
     if budget_i <= 0:
         raise SolverError("budget must be positive")
-    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
         return _greedy_single_advertiser_batched(
             instance, oracle, advertiser, candidates, budget_i
         )

@@ -11,7 +11,7 @@ matching Theorem 3.5 / Eq. (1) of the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.core.greedy import greedy_single_advertiser
 from repro.core.result import SearchByproducts, SolverResult
 from repro.core.search import search_threshold
 from repro.exceptions import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy
 
 
 def approximation_ratio(num_advertisers: int, tau: float) -> float:
@@ -43,7 +46,8 @@ def rm_with_oracle(
     tau: float = 0.1,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> SolverResult:
     """Algorithm 5 — solve the RM problem given a revenue oracle.
 
@@ -56,10 +60,13 @@ def rm_with_oracle(
         relaxed budgets ``(1 + ϱ/2)·B_i`` through this parameter.
     candidates:
         Optional candidate node pool (defaults to all nodes).
+    policy:
+        :class:`repro.runtime.ExecutionPolicy`; ``greedy_engine="batched"``
+        runs every greedy inner loop on the batched coverage engine
+        (:mod:`repro.core.batched_greedy`) — effective only with an RR-set
+        oracle, other oracles keep the seed scalar path.
     use_batched_greedy:
-        Run every greedy inner loop on the batched coverage engine
-        (:mod:`repro.core.batched_greedy`).  Opt-in and effective only with
-        an RR-set oracle; other oracles keep the seed scalar path.
+        Deprecated — ``policy.greedy_engine`` replaces it.
 
     Returns
     -------
@@ -67,6 +74,11 @@ def rm_with_oracle(
         Allocation, revenue (as measured by ``oracle``) and, for ``h ≥ 2``,
         the :class:`SearchByproducts` consumed by ``SeekUB``.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(
+        policy, "rm_with_oracle", use_batched_greedy=use_batched_greedy
+    )
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")
@@ -80,7 +92,7 @@ def rm_with_oracle(
             0,
             candidates=candidates,
             budget=budget,
-            use_batched_greedy=use_batched_greedy,
+            policy=policy,
         )
         allocation = Allocation(1)
         for node in best:
@@ -107,7 +119,7 @@ def rm_with_oracle(
         b_min=b_min,
         budgets=budgets,
         candidates=candidates,
-        use_batched_greedy=use_batched_greedy,
+        policy=policy,
     )
     per_advertiser = {
         advertiser: (oracle.revenue(advertiser, seeds) if seeds else 0.0)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Type
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -49,8 +49,8 @@ from repro.core.result import SolverResult
 from repro.core.seek_ub import seek_upper_bound
 from repro.exceptions import SolverError
 from repro.rrsets.collection import RRCollection
-from repro.rrsets.generator import RRSetGenerator
 from repro.rrsets.uniform import UniformRRSampler
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_params_policy
 from repro.utils.rng import RandomSource, as_rng
 
 
@@ -81,24 +81,24 @@ class SamplingParameters:
         Enables the empirical extension from Section 4.4: if
         ``π̃(S⃗*, R2) / π̃(S⃗*, R1)`` falls below ``validation_ratio`` on the
         final round, the collections are enlarged once more before returning.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` selecting the engines (RR
+        generator, greedy inner loop) and the ``n_jobs`` sharding.  ``None``
+        defaults to :meth:`ExecutionPolicy.seed` — every seed-stream
+        compatible engine, serial.  This replaces the deprecated
+        ``use_subsim`` / ``use_batched_greedy`` / ``n_jobs`` fields below
+        (setting both raises :class:`~repro.exceptions.PolicyError`).
     use_subsim:
-        Generate RR-sets with the SUBSIM geometric-skipping generator.
+        Deprecated — ``policy.rr_engine == "subsim"`` replaces it.
     use_batched_greedy:
-        Run the greedy inner loops of ``RM_with_Oracle`` on the batched
-        coverage engine (:mod:`repro.core.batched_greedy`): stale CELF
-        candidates are re-evaluated in vectorized batches against the
-        coverage marginal matrix instead of per-element oracle callbacks.
-        Off by default, mirroring ``use_subsim`` — the scalar path is the
-        seed behaviour; the batched path selects **bit-identical
-        allocations** (it replays the scalar heap's refresh schedule and
-        tie-breaking exactly) and is much faster.
+        Deprecated — ``policy.greedy_engine == "batched"`` replaces it (the
+        batched engine selects **bit-identical allocations**; it replays the
+        scalar heap's refresh schedule and tie-breaking exactly).
     n_jobs:
-        Shard RR-set generation across this many worker processes
-        (:mod:`repro.parallel`).  ``None``/1 keeps the serial, seed-stream
-        compatible path untouched; ``-1`` uses all cores.  Fixed
-        ``(seed, n_jobs)`` runs are bit-reproducible; ``n_jobs>1`` draws
-        different RNG substreams than the serial run (statistically
-        equivalent collections).
+        Deprecated — ``policy.n_jobs`` replaces it.  Fixed ``(seed,
+        n_jobs)`` runs are bit-reproducible; ``n_jobs>1`` draws different
+        RNG substreams than the serial run (statistically equivalent
+        collections).
     """
 
     epsilon: float = 0.1
@@ -115,6 +115,28 @@ class SamplingParameters:
     use_batched_greedy: bool = False
     n_jobs: Optional[int] = None
     seed: RandomSource = None
+    policy: Optional[ExecutionPolicy] = None
+
+    def __post_init__(self) -> None:
+        resolve_params_policy(
+            "SamplingParameters",
+            self.policy,
+            self.use_subsim,
+            self.use_batched_greedy,
+            self.n_jobs,
+            warn=True,
+            fold=False,
+        )
+
+    def resolved_policy(self) -> ExecutionPolicy:
+        """The effective :class:`ExecutionPolicy` (legacy fields folded in)."""
+        return resolve_params_policy(
+            "SamplingParameters",
+            self.policy,
+            self.use_subsim,
+            self.use_batched_greedy,
+            self.n_jobs,
+        )
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on any inconsistent setting."""
@@ -142,18 +164,15 @@ class SamplingParameters:
 
 
 def _build_sampler(
-    instance: RMInstance, params: SamplingParameters, rng
+    instance: RMInstance, policy: ExecutionPolicy, rng, runtime: Optional[Runtime]
 ) -> UniformRRSampler:
-    from repro.rrsets.generator import SubsimRRGenerator
-
-    generator_cls: Type[RRSetGenerator] = SubsimRRGenerator if params.use_subsim else RRSetGenerator
     return UniformRRSampler(
         instance.graph,
         instance.all_edge_probabilities(),
         instance.cpes(),
-        generator_cls=generator_cls,
         seed=rng,
-        n_jobs=params.n_jobs,
+        policy=policy,
+        runtime=runtime,
     )
 
 
@@ -169,16 +188,43 @@ def _allocation_estimates(
 def rm_without_oracle(
     instance: RMInstance,
     params: Optional[SamplingParameters] = None,
+    runtime: Optional[Runtime] = None,
 ) -> SolverResult:
     """Algorithm 6 — the RMA progressive-sampling solver.
 
     Returns a :class:`SolverResult` whose ``revenue`` field is the
     sampling-space estimate ``π̃(S⃗*, R1)``; the metadata records the number
     of RR-sets used, the empirical ratio β, and the theoretical θ values.
+
+    ``runtime`` (or the ambient :func:`repro.runtime.current_runtime`)
+    supplies a persistent worker pool shared by every doubling round; when
+    neither exists and the policy shards, the solver opens its own runtime
+    for the duration of the call, so the pool is spawned at most once per
+    run either way.
     """
     params = params or SamplingParameters()
     params.validate()
+    policy = params.resolved_policy()
     rng = as_rng(params.seed)
+    owned_runtime: Optional[Runtime] = None
+    if runtime is None:
+        runtime = current_runtime()
+        if runtime is None:
+            runtime = owned_runtime = Runtime(policy)
+    try:
+        return _rm_without_oracle_impl(instance, params, policy, rng, runtime)
+    finally:
+        if owned_runtime is not None:
+            owned_runtime.close()
+
+
+def _rm_without_oracle_impl(
+    instance: RMInstance,
+    params: SamplingParameters,
+    policy: ExecutionPolicy,
+    rng,
+    runtime: Runtime,
+) -> SolverResult:
 
     h = instance.num_advertisers
     n = instance.num_nodes
@@ -203,7 +249,7 @@ def rm_without_oracle(
     t_max = max(1, int(math.ceil(math.log2(max(2.0, cap / max(theta0, 1))))) + 1)
     q = math.log((h + 2) * t_max / delta_prime)
 
-    sampler = _build_sampler(instance, params, rng)
+    sampler = _build_sampler(instance, policy, rng, runtime)
     collection_one = sampler.generate_collection(theta0)
     collection_two = sampler.generate_collection(theta0)
 
@@ -224,7 +270,7 @@ def rm_without_oracle(
             oracle_one,
             tau=params.tau,
             budgets=relaxed_budgets,
-            use_batched_greedy=params.use_batched_greedy,
+            policy=policy,
         )
         allocation = inner.allocation
         revenue_r1 = inner.revenue
@@ -314,6 +360,7 @@ def one_batch_rm(
     instance: RMInstance,
     num_rr_sets: int,
     params: Optional[SamplingParameters] = None,
+    runtime: Optional[Runtime] = None,
 ) -> SolverResult:
     """The one-batch algorithm of Section 4.3.
 
@@ -321,14 +368,16 @@ def one_batch_rm(
     sampler and runs ``RM_with_Oracle`` on the resulting estimate with the
     relaxed budgets ``(1 + ϱ/2)·B_i``.  Theorem 4.2 gives the sample size
     under which this is a bicriteria approximation; callers typically pass a
-    smaller, practical size.
+    smaller, practical size.  ``runtime`` supplies the worker pool for a
+    sharded policy, like :func:`rm_without_oracle`.
     """
     if num_rr_sets <= 0:
         raise SolverError("num_rr_sets must be positive")
     params = params or SamplingParameters()
     params.validate()
+    policy = params.resolved_policy()
     rng = as_rng(params.seed)
-    sampler = _build_sampler(instance, params, rng)
+    sampler = _build_sampler(instance, policy, rng, runtime)
     collection = sampler.generate_collection(num_rr_sets)
     oracle = RRSetOracle(collection, instance.gamma)
     relaxed_budgets = instance.budgets() * (1.0 + params.rho / 2.0)
@@ -337,7 +386,7 @@ def one_batch_rm(
         oracle,
         tau=params.tau,
         budgets=relaxed_budgets,
-        use_batched_greedy=params.use_batched_greedy,
+        policy=policy,
     )
     result = SolverResult(
         allocation=inner.allocation,

@@ -10,7 +10,7 @@ network-independent approximation ratios of the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -23,26 +23,34 @@ from repro.core.result import SearchByproducts
 from repro.core.threshold_greedy import threshold_greedy
 from repro.exceptions import SolverError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy
+
 
 def gamma_max(
     instance: RMInstance,
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> float:
     """``γ_max = max{B_j · ζ_j(v | ∅) : v ∈ V, j ∈ [h]}`` (Eq. 6).
 
     A threshold above this value rejects every node, so the binary search
-    never needs to look beyond ``(1+τ)·γ_max``.  With ``use_batched_greedy``
-    and an RR-set oracle the ``h·n`` singleton rates come from one vectorized
-    pass over the membership-count matrix (the same floats the scalar loop
-    computes, so the maximum is unchanged bit for bit).
+    never needs to look beyond ``(1+τ)·γ_max``.  With a batched-greedy
+    policy and an RR-set oracle the ``h·n`` singleton rates come from one
+    vectorized pass over the membership-count matrix (the same floats the
+    scalar loop computes, so the maximum is unchanged bit for bit).
+    ``use_batched_greedy`` is the deprecated flag equivalent.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(policy, "gamma_max", use_batched_greedy=use_batched_greedy)
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
-    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
         node_array = (
             np.asarray([int(node) for node in candidates], dtype=np.int64)
             if candidates is not None
@@ -90,7 +98,8 @@ def search_threshold(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     max_iterations: int = 64,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Allocation, float, SearchByproducts, dict]:
     """Algorithm 4 — returns ``(best allocation, its revenue, byproducts, diagnostics)``.
 
@@ -106,10 +115,17 @@ def search_threshold(
         Safety cap on the number of ThresholdGreedy invocations; the paper's
         stopping rule terminates in ``O(log(h·γ_max / min_i cpe(i)))``
         iterations, the cap only guards against degenerate inputs.
-    use_batched_greedy:
-        Forwarded to ``gamma_max`` and every ``threshold_greedy`` invocation
-        (opt-in batched coverage engine, RR-set oracles only).
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` forwarded to ``gamma_max``
+        and every ``threshold_greedy`` invocation (its ``greedy_engine``
+        field selects the batched coverage engine, RR-set oracles only).
+        ``use_batched_greedy`` is the deprecated flag equivalent.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(
+        policy, "search_threshold", use_batched_greedy=use_batched_greedy
+    )
     if not 0.0 < tau < 1.0:
         raise SolverError("tau must lie in (0, 1)")
     if b_min not in (1, 2):
@@ -125,7 +141,7 @@ def search_threshold(
     stop_gamma = min_cpe / (h + 6)
 
     gamma_upper_limit = (1.0 + tau) * gamma_max(
-        instance, oracle, budget_array, candidates, use_batched_greedy=use_batched_greedy
+        instance, oracle, budget_array, candidates, policy=policy
     )
     gamma_low, gamma_high = 0.0, gamma_upper_limit
     gamma = gamma_low
@@ -143,7 +159,7 @@ def search_threshold(
             gamma,
             budgets=budget_array,
             candidates=candidates,
-            use_batched_greedy=use_batched_greedy,
+            policy=policy,
         )
         revenue = oracle.total_revenue(allocation)
         tried.append((allocation, revenue))

@@ -15,7 +15,7 @@ Algorithm 4 exploits.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.core.batched_greedy import (
 from repro.core.greedy import greedy_single_advertiser, marginal_rate
 from repro.exceptions import ProblemDefinitionError, SolverError
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy
 
 Element = Tuple[int, int]  # (node, advertiser)
 
@@ -133,7 +136,8 @@ def threshold_greedy(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     run_fill: bool = True,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Allocation, int]:
     """Algorithm 2 — returns ``(allocation S⃗*, b)``.
 
@@ -149,11 +153,19 @@ def threshold_greedy(
     run_fill:
         Whether to run the final ``Fill`` pass (Line 12).  Disabled only by
         ablation benchmarks.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy`; ``greedy_engine="batched"``
+        drives the element heap through the batched coverage engine
+        (:mod:`repro.core.batched_greedy`) — RR-set oracles only, falls back
+        to the seed scalar path otherwise.  Bit-identical allocations.
     use_batched_greedy:
-        Drive the element heap through the batched coverage engine
-        (:mod:`repro.core.batched_greedy`) — opt-in, RR-set oracles only,
-        falls back to the seed scalar path otherwise.
+        Deprecated — ``policy.greedy_engine`` replaces it.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(
+        policy, "threshold_greedy", use_batched_greedy=use_batched_greedy
+    )
     if gamma < 0:
         raise SolverError("gamma must be non-negative")
     h = instance.num_advertisers
@@ -167,7 +179,7 @@ def threshold_greedy(
 
     state = _GreedyState(instance, oracle, budget_array)
     depleted: Set[int] = set()
-    batched = use_batched_greedy and supports_batched_greedy(oracle, instance)
+    batched = policy.use_batched_greedy and supports_batched_greedy(oracle, instance)
 
     if batched:
         engine = CoverageGreedyEngine(instance, oracle)
@@ -244,7 +256,7 @@ def threshold_greedy(
             advertiser,
             candidates=unassigned,
             budget=float(budget_array[advertiser]),
-            use_batched_greedy=use_batched_greedy,
+            policy=policy,
         )
         rescue[advertiser] = best
 
@@ -274,7 +286,7 @@ def threshold_greedy(
             allocation,
             budgets=budget_array,
             candidates=candidates,
-            use_batched_greedy=use_batched_greedy,
+            policy=policy,
         )
     return allocation, len(depleted)
 
@@ -303,14 +315,20 @@ def fill(
     allocation: Allocation,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: bool = False,
+    use_batched_greedy: Optional[bool] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> Allocation:
     """Algorithm 3 — greedily spend leftover budget by maximum marginal rate.
 
     Returns a new allocation extending ``allocation`` (the input is copied,
-    not mutated).  ``use_batched_greedy`` opts into the batched coverage
-    engine (RR-set oracles only; falls back to the scalar path otherwise).
+    not mutated).  ``policy.greedy_engine == "batched"`` opts into the
+    batched coverage engine (RR-set oracles only; falls back to the scalar
+    path otherwise); the ``use_batched_greedy`` keyword is the deprecated
+    equivalent.
     """
+    from repro.runtime import coerce_policy
+
+    policy = coerce_policy(policy, "fill", use_batched_greedy=use_batched_greedy)
     h = instance.num_advertisers
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
@@ -325,7 +343,7 @@ def fill(
         revenue[advertiser] = oracle.revenue(advertiser, seeds) if seeds else 0.0
         cost[advertiser] = instance.cost_of_set(advertiser, seeds)
 
-    if use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
         return _fill_batched(
             instance, oracle, result, budget_array, candidates, revenue, cost
         )

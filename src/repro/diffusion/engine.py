@@ -55,7 +55,7 @@ matrix of :mod:`repro.rrsets.collection`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -65,6 +65,9 @@ from repro.graph.digraph import CSRDiGraph
 # sharing its validation helper introduces no import cycle.
 from repro.diffusion.simulation import _as_seed_array
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import Runtime
 
 #: Soft cap on the number of activation-bitmap cells (``batch · num_nodes``)
 #: a single batch may allocate when the caller does not pass ``batch_size``;
@@ -243,6 +246,7 @@ def monte_carlo_spread(
     rng: RandomSource = None,
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> float:
     """Batched estimate of the expected spread ``σ(seeds)``.
 
@@ -256,10 +260,11 @@ def monte_carlo_spread(
     ``SeedSequence.spawn()`` substream and the integer activation totals are
     summed in worker-index order — fixed ``(seed, n_jobs)`` runs are
     bit-reproducible and ``n_jobs=1`` is bit-identical to the serial engine.
+    ``runtime`` (or the ambient one) supplies a persistent worker pool.
     """
-    from repro.parallel import ShardedExecutor
+    from repro.runtime import acquire_executor
 
-    executor = ShardedExecutor(n_jobs)
+    executor = acquire_executor(n_jobs, runtime)
     if executor.n_jobs > 1 and num_simulations > 1:
         from repro.parallel.mc import sharded_spread
 
@@ -349,6 +354,7 @@ def singleton_spreads_monte_carlo(
     nodes: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> np.ndarray:
     """Batched Monte-Carlo estimates of ``σ({v})`` for the requested nodes.
 
@@ -368,9 +374,9 @@ def singleton_spreads_monte_carlo(
     node_array = _validated_node_array(graph, nodes)
     if node_array.size == 0:
         return np.zeros(0, dtype=np.float64)
-    from repro.parallel import ShardedExecutor
+    from repro.runtime import acquire_executor
 
-    executor = ShardedExecutor(n_jobs)
+    executor = acquire_executor(n_jobs, runtime)
     if executor.n_jobs > 1 and node_array.size > 1:
         from repro.parallel.mc import sharded_singleton_spreads
 

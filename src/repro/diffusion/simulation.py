@@ -22,13 +22,16 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import product
-from typing import Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set, TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import DiffusionError
 from repro.graph.digraph import CSRDiGraph
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy, Runtime
 
 
 def _as_seed_array(seeds: Iterable[int], num_nodes: int) -> np.ndarray:
@@ -82,9 +85,11 @@ def monte_carlo_spread(
     seeds: Iterable[int],
     num_simulations: int = 1000,
     rng: RandomSource = None,
-    use_batched: bool = False,
+    use_batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> float:
     """Estimate the expected spread ``σ(seeds)`` by Monte-Carlo simulation.
 
@@ -102,9 +107,23 @@ def monte_carlo_spread(
         Shard the simulations across this many worker processes.  ``n_jobs>1``
         implies the batched engine (the sharded path is built on it);
         ``None``/1 leaves the selected path untouched.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` supplying defaults for
+        ``use_batched`` / ``batch_size`` / ``n_jobs``.  Explicit arguments
+        win — including an explicit ``use_batched=False``, which pins the
+        sequential engine against a batched policy (``None`` means
+        "defer to the policy").
+    runtime:
+        :class:`repro.runtime.Runtime` whose persistent pool the sharded
+        path runs on.
     """
     from repro.parallel import resolve_n_jobs
 
+    if policy is not None:
+        if use_batched is None:
+            use_batched = policy.use_batched_mc
+        batch_size = batch_size if batch_size is not None else policy.mc_batch_size
+        n_jobs = n_jobs if n_jobs is not None else policy.n_jobs
     if use_batched or resolve_n_jobs(n_jobs) > 1:
         from repro.diffusion import engine
 
@@ -116,6 +135,7 @@ def monte_carlo_spread(
             rng=rng,
             batch_size=batch_size,
             n_jobs=n_jobs,
+            runtime=runtime,
         )
     if num_simulations <= 0:
         raise DiffusionError("num_simulations must be positive")
@@ -219,9 +239,11 @@ def singleton_spreads_monte_carlo(
     num_simulations: int = 200,
     rng: RandomSource = None,
     nodes: Optional[Sequence[int]] = None,
-    use_batched: bool = False,
+    use_batched: Optional[bool] = None,
     batch_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> np.ndarray:
     """Monte-Carlo estimates of ``σ({v})`` for every node ``v``.
 
@@ -229,10 +251,18 @@ def singleton_spreads_monte_carlo(
     singleton influence spread (Section 5.1).  ``use_batched`` routes all
     (node, simulation) cascades through the batched engine in one stream;
     ``n_jobs>1`` additionally shards the node list across worker processes
-    (and implies the batched engine).
+    (and implies the batched engine).  ``policy`` supplies defaults for the
+    three knobs; explicit arguments win, including an explicit
+    ``use_batched=False`` (``None`` defers to the policy).  ``runtime``
+    supplies a persistent worker pool for the sharded path.
     """
     from repro.parallel import resolve_n_jobs
 
+    if policy is not None:
+        if use_batched is None:
+            use_batched = policy.use_batched_mc
+        batch_size = batch_size if batch_size is not None else policy.mc_batch_size
+        n_jobs = n_jobs if n_jobs is not None else policy.n_jobs
     if use_batched or resolve_n_jobs(n_jobs) > 1:
         from repro.diffusion import engine
 
@@ -244,6 +274,7 @@ def singleton_spreads_monte_carlo(
             nodes=nodes,
             batch_size=batch_size,
             n_jobs=n_jobs,
+            runtime=runtime,
         )
     generator = as_rng(rng)
     node_list = list(nodes) if nodes is not None else list(range(graph.num_nodes))

@@ -25,6 +25,15 @@ class ProblemDefinitionError(ReproError):
     """Raised when an RM problem instance is invalid (budgets, costs, cpe)."""
 
 
+class PolicyError(ReproError, ValueError):
+    """Raised when an :class:`~repro.runtime.ExecutionPolicy` is inconsistent.
+
+    Subclasses :class:`ValueError` so callers that treat conflicting engine
+    flags as plain value errors (the documented contract of
+    ``run_algorithm``) do not need to import the library hierarchy.
+    """
+
+
 class SolverError(ReproError):
     """Raised when a solver is invoked with invalid parameters."""
 

@@ -26,6 +26,7 @@ from repro.exceptions import ExperimentError
 from repro.experiments.metrics import independent_evaluator
 from repro.experiments.runner import AlgorithmRun, run_algorithm
 from repro.graph.stats import compute_stats
+from repro.runtime import ExecutionPolicy
 from repro.incentives.models import incentive_model_by_name
 from repro.incentives.singleton import estimate_singleton_spreads
 from repro.utils.rng import RandomSource, as_rng
@@ -514,8 +515,9 @@ def subsim_sweep(
 ) -> List[Dict[str, object]]:
     """Figure 10 / Table 6 — the α sweep with SUBSIM RR-set generation."""
     base = base or prepare_base(dataset, num_advertisers=num_advertisers, scale=scale, seed=seed)
-    sampling_params = _default_sampling_params(seed, use_subsim=True)
-    ti_params = _default_ti_params(seed, use_subsim=True)
+    subsim = ExecutionPolicy(rr_engine="subsim")
+    sampling_params = _default_sampling_params(seed, policy=subsim)
+    ti_params = _default_ti_params(seed, policy=subsim)
     rows: List[Dict[str, object]] = []
     for alpha in alphas:
         instance = base.instance_for(incentive, alpha)

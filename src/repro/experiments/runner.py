@@ -9,8 +9,8 @@ comparable across algorithms.
 
 from __future__ import annotations
 
-import os
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
@@ -24,9 +24,10 @@ from repro.baselines.cs_greedy import cs_greedy
 from repro.core.oracle_solver import rm_with_oracle
 from repro.core.result import SolverResult
 from repro.core.sampling_solver import SamplingParameters, one_batch_rm, rm_without_oracle
-from repro.exceptions import ExperimentError
-from repro.experiments.metrics import EvaluationResult, evaluate_allocation
+from repro.exceptions import ExperimentError, PolicyError
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime
 from repro.utils.rng import RandomSource
+from repro.experiments.metrics import EvaluationResult, evaluate_allocation
 
 
 @dataclass
@@ -55,6 +56,70 @@ SAMPLING_ALGORITHMS = ("RMA", "OneBatchRM", "TI-CARM", "TI-CSRM")
 ORACLE_ALGORITHMS = ("RM_with_Oracle", "CA-Greedy", "CS-Greedy")
 
 
+def _flags_to_overrides(
+    fast: bool,
+    use_batched_mc: Optional[bool],
+    use_batched_greedy: Optional[bool],
+    n_jobs: Optional[int],
+) -> Dict[str, object]:
+    """Partial :class:`ExecutionPolicy` overrides from the legacy kwargs.
+
+    Only explicitly passed flags produce overrides, so parameter objects
+    keep any engine choices the caller already made (the historical
+    semantics: ``n_jobs=4`` on top of ``use_subsim=True`` params keeps
+    SUBSIM).  Conflicting combinations were already rejected by
+    :meth:`ExecutionPolicy.from_flags` before this runs.
+    """
+    overrides: Dict[str, object] = {}
+    if fast:
+        overrides.update(
+            rr_engine="subsim", mc_engine="batched", greedy_engine="batched"
+        )
+        overrides["n_jobs"] = n_jobs if n_jobs is not None else -1
+        return overrides
+    if use_batched_mc is not None:
+        overrides["mc_engine"] = "batched" if use_batched_mc else "legacy"
+    if use_batched_greedy is not None:
+        overrides["greedy_engine"] = "batched" if use_batched_greedy else "scalar"
+    if n_jobs is not None:
+        overrides["n_jobs"] = n_jobs
+    return overrides
+
+
+def _reject_params_policy_conflict(name: str, params, policy: ExecutionPolicy) -> None:
+    """Refuse a run-level ``policy=`` that would override engine choices the
+    caller already baked into a parameter object.
+
+    Silently discarding the parameter object's configuration would hand the
+    caller a different engine (and RNG stream) than they asked for; every
+    other mixed-channel combination raises, so this one does too.  An equal
+    ``params.policy`` is allowed — passing the same policy on both levels
+    is redundant, not contradictory.
+    """
+    if params is None:
+        return
+    legacy = [
+        field_name
+        for field_name, set_ in (
+            ("use_subsim", params.use_subsim),
+            ("use_batched_greedy", params.use_batched_greedy),
+            ("n_jobs", params.n_jobs is not None),
+        )
+        if set_
+    ]
+    if legacy:
+        raise PolicyError(
+            f"run_algorithm: policy= conflicts with the deprecated "
+            f"{name}.{'/'.join(legacy)} field(s); configure the engines "
+            "through one channel"
+        )
+    if params.policy is not None and params.policy != policy:
+        raise PolicyError(
+            f"run_algorithm: policy= disagrees with {name}.policy; pass one "
+            "policy (or make them equal)"
+        )
+
+
 def run_algorithm(
     algorithm: str,
     instance: RMInstance,
@@ -65,10 +130,12 @@ def run_algorithm(
     one_batch_rr_sets: int = 2048,
     evaluation_rr_sets: int = 20000,
     mc_oracle_simulations: Optional[int] = None,
-    use_batched_mc: bool = False,
-    use_batched_greedy: bool = False,
+    use_batched_mc: Optional[bool] = None,
+    use_batched_greedy: Optional[bool] = None,
     n_jobs: Optional[int] = None,
     fast: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
+    runtime: Optional[Runtime] = None,
     seed: RandomSource = None,
 ) -> AlgorithmRun:
     """Run one algorithm by name and evaluate its allocation independently.
@@ -86,90 +153,166 @@ def run_algorithm(
         When an oracle-setting algorithm is requested without an explicit
         ``oracle``, build a :class:`MonteCarloOracle` with this many cascade
         simulations per query instead of raising.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` applied to every stage —
+        sampler engines and sharding (copied into the parameter objects,
+        which are never mutated), the auto-built Monte-Carlo oracle, and the
+        oracle-setting greedy loops.  ``ExecutionPolicy.seed()`` is
+        bit-identical to the historical defaults and
+        ``ExecutionPolicy.fast()`` to ``fast=True``.  Combining ``policy``
+        with any of the deprecated flags below raises
+        :class:`~repro.exceptions.PolicyError` (a :class:`ValueError`), as
+        does any internally conflicting flag combination such as
+        ``fast=True`` with an explicit ``use_batched_mc=False`` — or a
+        parameter object that already carries its own engine configuration
+        (legacy fields, or a different ``params.policy``).
+    runtime:
+        :class:`repro.runtime.Runtime` whose persistent worker pool every
+        sharded stage reuses.  Defaults to the ambient runtime; when there
+        is none, the call opens its own for its duration, so RMA's doubling
+        rounds and the MC oracle's queries always share one pool.
     use_batched_mc:
-        Run the auto-built Monte-Carlo oracle on the batched cascade engine
-        (:mod:`repro.diffusion.engine`).  Default off so fixed-seed runs
-        reproduce the seed tree's RNG stream, mirroring
-        ``SamplingParameters.use_subsim``.
+        Deprecated — ``policy.mc_engine`` replaces it (the auto-built
+        Monte-Carlo oracle's engine).
     use_batched_greedy:
-        Run the oracle-setting greedy loops (``RM_with_Oracle``,
-        ``CA-Greedy``, ``CS-Greedy``) on the batched coverage engine
-        (:mod:`repro.core.batched_greedy`); effective only when the oracle is
-        an RR-set oracle.  The sampling algorithms take the equivalent flag
-        through ``SamplingParameters.use_batched_greedy`` /
-        ``TIParameters.use_batched_greedy``.
+        Deprecated — ``policy.greedy_engine`` replaces it (the oracle-setting
+        greedy loops; sampling algorithms configure theirs through their
+        parameter objects).
     n_jobs:
-        One knob for the sharded parallel engines (:mod:`repro.parallel`):
-        threaded into ``sampling_params.n_jobs`` / ``ti_params.n_jobs`` (RR
-        generation) and the auto-built Monte-Carlo oracle (spread
-        estimation).  Parameter objects passed by the caller are copied, not
-        mutated.  ``None`` leaves everything as configured.
+        Deprecated — ``policy.n_jobs`` replaces it.
     fast:
-        One switch for every fast path: flips ``use_subsim``,
-        ``use_batched_mc`` and ``use_batched_greedy`` on (copying any passed
-        parameter objects) and defaults ``n_jobs`` to ``os.cpu_count()``
-        unless an explicit ``n_jobs`` is given.  Results are statistically
-        equivalent to the defaults, not bit-identical (see the RNG policy in
-        ``docs/architecture.md``).
+        Deprecated — ``policy=ExecutionPolicy.fast()`` replaces it.
     """
-    if fast:
-        if n_jobs is None:
-            n_jobs = os.cpu_count() or 1
-        use_batched_mc = True
-        use_batched_greedy = True
+    flag_names = [
+        name
+        for name, value in (
+            ("use_batched_mc", use_batched_mc),
+            ("use_batched_greedy", use_batched_greedy),
+            ("n_jobs", n_jobs),
+            ("fast", fast or None),
+        )
+        if value is not None
+    ]
+    flags_policy: Optional[ExecutionPolicy] = None
+    if flag_names:
+        warnings.warn(
+            f"run_algorithm: the {', '.join(flag_names)} keyword(s) are "
+            "deprecated; pass policy=ExecutionPolicy.from_flags(...) (or a "
+            "preset such as ExecutionPolicy.fast()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Validates the combination (fast=True with an explicit False engine
+        # flag raises PolicyError) and doubles as the oracle-stage policy.
+        flags_policy = ExecutionPolicy.from_flags(
+            fast=fast or None,
+            use_batched_mc=use_batched_mc,
+            use_batched_greedy=use_batched_greedy,
+            n_jobs=n_jobs,
+        )
+        if policy is not None:
+            raise PolicyError(
+                "run_algorithm: pass either policy= or the legacy flags "
+                f"({', '.join(flag_names)}), not both"
+            )
+
+    effective = policy if policy is not None else flags_policy
+    if policy is not None:
+        _reject_params_policy_conflict("sampling_params", sampling_params, policy)
+        _reject_params_policy_conflict("ti_params", ti_params, policy)
         sampling_params = replace(
             sampling_params or SamplingParameters(),
-            use_subsim=True,
-            use_batched_greedy=True,
+            policy=policy,
+            use_subsim=False,
+            use_batched_greedy=False,
+            n_jobs=None,
         )
         ti_params = replace(
             ti_params or TIParameters(),
-            use_subsim=True,
-            use_batched_greedy=True,
+            policy=policy,
+            use_subsim=False,
+            use_batched_greedy=False,
+            n_jobs=None,
         )
-    if n_jobs is not None:
-        sampling_params = replace(sampling_params or SamplingParameters(), n_jobs=n_jobs)
-        ti_params = replace(ti_params or TIParameters(), n_jobs=n_jobs)
-    if algorithm in ORACLE_ALGORITHMS and oracle is None and mc_oracle_simulations is not None:
-        oracle = MonteCarloOracle(
-            instance,
-            num_simulations=mc_oracle_simulations,
-            seed=seed,
-            use_batched_mc=use_batched_mc,
-            n_jobs=n_jobs,
+    elif flag_names:
+        overrides = _flags_to_overrides(fast, use_batched_mc, use_batched_greedy, n_jobs)
+        sampling_overrides = dict(overrides)
+        # use_batched_mc only concerns the MC oracle; the sampling params
+        # never consumed it, so don't force it into their policy.
+        if not fast:
+            sampling_overrides.pop("mc_engine", None)
+        sampling_params = replace(
+            sampling_params or SamplingParameters(),
+            policy=(sampling_params or SamplingParameters())
+            .resolved_policy()
+            .evolve(**sampling_overrides),
+            use_subsim=False,
+            use_batched_greedy=False,
+            n_jobs=None,
         )
-    started = time.perf_counter()
-    if algorithm == "RMA":
-        result = rm_without_oracle(instance, sampling_params)
-    elif algorithm == "OneBatchRM":
-        result = one_batch_rm(instance, one_batch_rr_sets, sampling_params)
-    elif algorithm == "TI-CARM":
-        result = ti_carm(instance, ti_params)
-    elif algorithm == "TI-CSRM":
-        result = ti_csrm(instance, ti_params)
-    elif algorithm in ORACLE_ALGORITHMS:
-        if oracle is None:
-            raise ExperimentError(f"{algorithm} requires a revenue oracle")
-        if algorithm == "RM_with_Oracle":
-            result = rm_with_oracle(instance, oracle, use_batched_greedy=use_batched_greedy)
-        elif algorithm == "CA-Greedy":
-            result = ca_greedy(instance, oracle, use_batched_greedy=use_batched_greedy)
-        else:
-            result = cs_greedy(instance, oracle, use_batched_greedy=use_batched_greedy)
-    else:
-        raise ExperimentError(
-            f"unknown algorithm {algorithm!r}; expected one of "
-            f"{SAMPLING_ALGORITHMS + ORACLE_ALGORITHMS}"
+        ti_params = replace(
+            ti_params or TIParameters(),
+            policy=(ti_params or TIParameters()).resolved_policy().evolve(**sampling_overrides),
+            use_subsim=False,
+            use_batched_greedy=False,
+            n_jobs=None,
         )
-    elapsed = time.perf_counter() - started
 
-    evaluation = evaluate_allocation(
-        instance,
-        result.allocation,
-        evaluator=evaluator,
-        num_rr_sets=evaluation_rr_sets,
-        seed=seed,
-    )
+    owned_runtime: Optional[Runtime] = None
+    if runtime is None:
+        runtime = current_runtime()
+        if runtime is None:
+            runtime = owned_runtime = Runtime(effective)
+    try:
+        if (
+            algorithm in ORACLE_ALGORITHMS
+            and oracle is None
+            and mc_oracle_simulations is not None
+        ):
+            oracle = MonteCarloOracle(
+                instance,
+                num_simulations=mc_oracle_simulations,
+                seed=seed,
+                policy=effective,
+                runtime=runtime,
+            )
+        started = time.perf_counter()
+        if algorithm == "RMA":
+            result = rm_without_oracle(instance, sampling_params, runtime=runtime)
+        elif algorithm == "OneBatchRM":
+            result = one_batch_rm(
+                instance, one_batch_rr_sets, sampling_params, runtime=runtime
+            )
+        elif algorithm == "TI-CARM":
+            result = ti_carm(instance, ti_params, runtime=runtime)
+        elif algorithm == "TI-CSRM":
+            result = ti_csrm(instance, ti_params, runtime=runtime)
+        elif algorithm in ORACLE_ALGORITHMS:
+            if oracle is None:
+                raise ExperimentError(f"{algorithm} requires a revenue oracle")
+            if algorithm == "RM_with_Oracle":
+                result = rm_with_oracle(instance, oracle, policy=effective)
+            elif algorithm == "CA-Greedy":
+                result = ca_greedy(instance, oracle, policy=effective)
+            else:
+                result = cs_greedy(instance, oracle, policy=effective)
+        else:
+            raise ExperimentError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{SAMPLING_ALGORITHMS + ORACLE_ALGORITHMS}"
+            )
+        elapsed = time.perf_counter() - started
+
+        evaluation = evaluate_allocation(
+            instance,
+            result.allocation,
+            evaluator=evaluator,
+            num_rr_sets=evaluation_rr_sets,
+            seed=seed,
+        )
+    finally:
+        if owned_runtime is not None:
+            owned_runtime.close()
     return AlgorithmRun(
         algorithm=algorithm,
         solver_result=result,

@@ -20,6 +20,7 @@ engines.  See the "Parallel execution & RNG sharding" section of
 
 from repro.parallel.executor import (
     MAX_JOBS_ENV,
+    PersistentPool,
     ShardedExecutor,
     resolve_n_jobs,
     shard_counts,
@@ -29,6 +30,7 @@ from repro.parallel.executor import (
 
 __all__ = [
     "MAX_JOBS_ENV",
+    "PersistentPool",
     "ShardedExecutor",
     "resolve_n_jobs",
     "shard_counts",

@@ -8,6 +8,13 @@ edge probabilities).  On platforms with ``fork`` the payload is inherited
 through the fork at no pickling cost; under ``spawn`` it is pickled once per
 worker via the pool initializer.
 
+Two pool lifetimes are supported.  The default is **ephemeral**: every
+:meth:`ShardedExecutor.run` call spawns a pool and tears it down.  Passing a
+:class:`PersistentPool` makes the workers **persistent** across calls —
+payloads are broadcast once per distinct payload and addressed by token
+afterwards — which is what :class:`repro.runtime.Runtime` uses to amortise
+pool spawn (~30–60 ms/call) across RMA's doubling rounds.
+
 Determinism contract
 --------------------
 The executor never influences results, only wall-clock:
@@ -113,11 +120,16 @@ def _default_start_method() -> str:
 
 
 _WORKER_PAYLOAD: Any = None
+_WORKER_PAYLOADS: dict = {}
+_WORKER_BARRIER: Any = None
+
+#: Seconds a worker waits for its siblings during a payload broadcast before
+#: declaring the pool broken (guards against a crashed worker hanging the
+#: parent forever).
+_BROADCAST_TIMEOUT_S = 600.0
 
 
-def _init_worker(payload: Any) -> None:
-    global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
+def _freeze_inherited_heap() -> None:
     # Under fork the worker inherits the parent's whole object heap; without
     # this, the first collector cycles inside the worker walk every inherited
     # object and copy-on-write-fault the shared pages — measured at >3x CPU
@@ -129,9 +141,180 @@ def _init_worker(payload: Any) -> None:
     gc.freeze()
 
 
+def _init_worker(payload: Any) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    _freeze_inherited_heap()
+
+
 def _call_task(task_and_shard) -> Any:
     task, shard = task_and_shard
     return task(_WORKER_PAYLOAD, shard)
+
+
+def _init_persistent_worker(barrier: Any) -> None:
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    _WORKER_PAYLOADS.clear()
+    _freeze_inherited_heap()
+
+
+def _drop_payloads(_arg) -> None:
+    """Forget every broadcast payload (cache-eviction broadcast).
+
+    Runs under the same barrier discipline as :func:`_store_payload`, so
+    every worker in the pool drops its cache exactly once.
+    """
+    _WORKER_PAYLOADS.clear()
+    _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
+
+
+def _store_payload(token_and_payload) -> None:
+    """Receive one broadcast payload and park on the barrier.
+
+    The barrier guarantees exactly-once delivery per worker: a worker can
+    only execute one task at a time, and the barrier releases only when
+    every worker in the pool is simultaneously inside a store task — so no
+    worker can grab a second copy while another has none.
+    """
+    token, payload = token_and_payload
+    _WORKER_PAYLOADS[token] = payload
+    _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
+
+
+def _call_task_by_token(task_token_shard) -> Any:
+    task, token, shard = task_token_shard
+    return task(_WORKER_PAYLOADS[token], shard)
+
+
+class PersistentPool:
+    """A worker pool that outlives individual sharded calls.
+
+    Ephemeral execution (:meth:`ShardedExecutor.run` without a pool) spawns
+    a fresh ``multiprocessing.Pool`` per call — ~30–60 ms each, which RMA's
+    doubling rounds pay over and over.  A ``PersistentPool`` spawns its
+    workers once (lazily, on the first call that actually shards) and reuses
+    them; :class:`repro.runtime.Runtime` owns one per context.
+
+    Payloads are shipped to every worker **once per distinct payload** via a
+    barrier-synchronised broadcast and addressed by token afterwards, so
+    repeated calls against the same graph/probabilities (the RMA pattern)
+    pickle the payload once per worker for the lifetime of the pool instead
+    of once per call.  Payload identity is object identity of the payload's
+    elements — the pool keeps a strong reference, so ``id`` reuse cannot
+    alias two different payloads.
+
+    The pool never influences results: shard layout and RNG substreams are
+    fixed by the caller, ``Pool.map`` preserves order, and pool size (capped
+    by ``REPRO_MAX_JOBS``) only limits concurrency.
+    """
+
+    #: Distinct payloads kept broadcast in the workers before the cache is
+    #: reset (bounds parent + worker memory when callers stream many
+    #: one-off payloads through one long-lived pool).
+    MAX_CACHED_PAYLOADS = 8
+
+    def __init__(self, start_method: Optional[str] = None):
+        self._start_method = start_method
+        self._pool = None
+        self._processes = 0
+        self._spawn_count = 0
+        self._tokens: dict = {}
+        self._payloads: dict = {}
+        self._next_token = 0
+
+    @property
+    def processes(self) -> int:
+        """Worker count of the live pool (0 when no pool is up)."""
+        return self._processes if self._pool is not None else 0
+
+    @property
+    def spawn_count(self) -> int:
+        """How many times a worker pool has been spawned over this pool's life."""
+        return self._spawn_count
+
+    def _ensure(self, requested: int):
+        """Return a pool with at least ``requested`` workers (or ``None`` serial).
+
+        Growing an existing pool respawns it (and re-broadcasts payloads on
+        demand); the common fixed-``n_jobs`` case spawns exactly once.
+        """
+        if requested <= 1:
+            return None
+        if self._pool is not None and self._processes >= requested:
+            return self._pool
+        self.close()
+        context = multiprocessing.get_context(
+            self._start_method or _default_start_method()
+        )
+        barrier = context.Barrier(requested)
+        self._pool = context.Pool(
+            requested, initializer=_init_persistent_worker, initargs=(barrier,)
+        )
+        self._processes = requested
+        self._spawn_count += 1
+        return self._pool
+
+    def _payload_token(self, payload: Any) -> int:
+        key = (
+            tuple(id(element) for element in payload)
+            if isinstance(payload, tuple)
+            else (id(payload),)
+        )
+        token = self._tokens.get(key)
+        if token is None:
+            if len(self._tokens) >= self.MAX_CACHED_PAYLOADS:
+                self._pool.map(
+                    _drop_payloads, [None] * self._processes, chunksize=1
+                )
+                self._tokens.clear()
+                self._payloads.clear()
+            token = self._next_token
+            self._next_token += 1
+            self._tokens[key] = token
+            self._payloads[token] = payload
+            self._pool.map(
+                _store_payload, [(token, payload)] * self._processes, chunksize=1
+            )
+        return token
+
+    def run(
+        self,
+        task: Callable[[Any, Any], Any],
+        payload: Any,
+        shards: Sequence[Any],
+        processes: int,
+    ) -> List[Any]:
+        """Evaluate ``task(payload, shard)`` per shard on the persistent workers.
+
+        ``processes`` is the concurrency the caller wants (already capped by
+        ``REPRO_MAX_JOBS``); results are bit-identical to the ephemeral path
+        — same tasks, same shard args, same merge order.
+        """
+        pool = self._ensure(processes)
+        if pool is None:
+            return [task(payload, shard) for shard in shards]
+        token = self._payload_token(payload)
+        return pool.map(_call_task_by_token, [(task, token, shard) for shard in shards])
+
+    def close(self) -> None:
+        """Shut the workers down and forget broadcast payloads.
+
+        The pool object stays usable — the next sharded call respawns
+        workers (incrementing :attr:`spawn_count`)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._processes = 0
+        self._tokens.clear()
+        self._payloads.clear()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class ShardedExecutor:
@@ -144,11 +327,23 @@ class ShardedExecutor:
     start_method:
         Multiprocessing start method; defaults to ``fork`` on Linux,
         overridable via ``REPRO_MP_START_METHOD``.
+    pool:
+        Optional :class:`PersistentPool` to run on.  Without one (the
+        default) every :meth:`run` call spawns and tears down its own
+        ``multiprocessing.Pool``; with one, workers are reused across calls
+        — :class:`repro.runtime.Runtime` hands these out.  Results are
+        bit-identical either way.
     """
 
-    def __init__(self, n_jobs: Optional[int] = None, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        n_jobs: Optional[int] = None,
+        start_method: Optional[str] = None,
+        pool: Optional[PersistentPool] = None,
+    ):
         self._n_jobs = resolve_n_jobs(n_jobs)
         self._start_method = start_method
+        self._pool = pool
 
     @property
     def n_jobs(self) -> int:
@@ -176,6 +371,8 @@ class ShardedExecutor:
             processes = min(processes, cap)
         if processes <= 1:
             return [task(payload, shard) for shard in shards]
+        if self._pool is not None:
+            return self._pool.run(task, payload, shards, processes)
         context = multiprocessing.get_context(self._start_method or _default_start_method())
         with context.Pool(
             processes, initializer=_init_worker, initargs=(payload,)

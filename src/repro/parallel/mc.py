@@ -70,8 +70,11 @@ def _pooled_batch_size(
 def _spread_shard(payload, shard) -> SpreadShard:
     from repro.diffusion.engine import monte_carlo_activation_total
 
-    graph, probabilities, seeds, batch_size = payload
-    count, rng = shard
+    # Only the big, stable buffers travel as payload (broadcast once per
+    # distinct (graph, probabilities) on persistent pools); the per-call
+    # values — seed set, batch size — ride in the small shard tuple.
+    graph, probabilities = payload
+    count, rng, seeds, batch_size = shard
     started = time.process_time()
     total = monte_carlo_activation_total(
         graph, probabilities, seeds, count, rng=rng, batch_size=batch_size
@@ -94,8 +97,12 @@ def run_spread_shards(
     batch_size = _pooled_batch_size(
         graph.num_nodes, num_simulations, executor.n_jobs, batch_size
     )
-    payload = (graph, edge_probabilities, seeds, batch_size)
-    return executor.run(_spread_shard, payload, list(zip(counts.tolist(), rngs)))
+    payload = (graph, edge_probabilities)
+    shards = [
+        (count, shard_rng, seeds, batch_size)
+        for count, shard_rng in zip(counts.tolist(), rngs)
+    ]
+    return executor.run(_spread_shard, payload, shards)
 
 
 def sharded_spread(
@@ -117,8 +124,8 @@ def sharded_spread(
 def _singleton_shard(payload, shard) -> SingletonShard:
     from repro.diffusion.engine import singleton_activation_totals
 
-    graph, probabilities, num_simulations, batch_size = payload
-    nodes, rng = shard
+    graph, probabilities = payload
+    nodes, rng, num_simulations, batch_size = shard
     started = time.process_time()
     totals = singleton_activation_totals(
         graph, probabilities, nodes, num_simulations, rng=rng, batch_size=batch_size
@@ -141,8 +148,12 @@ def run_singleton_shards(
     batch_size = _pooled_batch_size(
         graph.num_nodes, node_array.size * num_simulations, executor.n_jobs, batch_size
     )
-    payload = (graph, edge_probabilities, num_simulations, batch_size)
-    return executor.run(_singleton_shard, payload, list(zip(stripes, rngs)))
+    payload = (graph, edge_probabilities)
+    shards = [
+        (stripe, stripe_rng, num_simulations, batch_size)
+        for stripe, stripe_rng in zip(stripes, rngs)
+    ]
+    return executor.run(_singleton_shard, payload, shards)
 
 
 def singleton_stripes(node_array: np.ndarray, n_jobs: int) -> List[np.ndarray]:

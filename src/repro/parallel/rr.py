@@ -159,5 +159,10 @@ def run_uniform_shards(
     """
     counts = shard_counts(count, executor.n_jobs)
     rngs = spawn_rngs(rng, len(counts))
-    payload = (generator_cls, graph, list(probability_arrays), weights)
+    # Keep the caller's list object when possible: persistent pools cache
+    # broadcast payloads by element identity, so rebuilding the list every
+    # call would re-pickle the probability arrays to every worker each round.
+    if not isinstance(probability_arrays, list):
+        probability_arrays = list(probability_arrays)
+    payload = (generator_cls, graph, probability_arrays, weights)
     return executor.run(_generate_uniform_shard, payload, list(zip(counts.tolist(), rngs)))

@@ -41,13 +41,16 @@ matrix downstream.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRDiGraph
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import Runtime
 
 
 class RRSetGenerator:
@@ -147,6 +150,7 @@ class RRSetGenerator:
         count: int,
         rng: RandomSource = None,
         n_jobs: Optional[int] = None,
+        runtime: Optional["Runtime"] = None,
     ) -> List[np.ndarray]:
         """Generate ``count`` RR-sets sharded across ``n_jobs`` worker processes.
 
@@ -160,13 +164,17 @@ class RRSetGenerator:
         stream (statistically equivalent RR-sets, not bit-identical to
         ``n_jobs=1``).  The workers' ``edges_examined`` counters are folded
         back into this generator.
+
+        ``runtime`` (or the ambient :func:`repro.runtime.current_runtime`)
+        supplies a persistent worker pool reused across calls; results are
+        bit-identical with or without one.
         """
         if count < 0:
             raise SamplingError("count must be non-negative")
-        from repro.parallel import ShardedExecutor
         from repro.parallel.rr import generate_batch_sharded
+        from repro.runtime import acquire_executor
 
-        executor = ShardedExecutor(n_jobs)
+        executor = acquire_executor(n_jobs, runtime)
         if executor.n_jobs <= 1 or count <= 1:
             return self.generate_batch(count, rng)
         return generate_batch_sharded(self, count, rng, executor)

@@ -14,7 +14,7 @@ sampling-strategy ablation benchmark.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Type
+from typing import List, Optional, Sequence, Type, TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.graph.digraph import CSRDiGraph
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import RRSetGenerator
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy, Runtime
 
 
 class UniformRRSampler:
@@ -39,7 +42,9 @@ class UniformRRSampler:
         with probability ``cpe(i) / Γ``.
     generator_cls:
         RR-set generator class (:class:`RRSetGenerator` or
-        :class:`SubsimRRGenerator`).
+        :class:`SubsimRRGenerator`).  ``None`` (the default) resolves from
+        ``policy`` — SUBSIM when ``policy.use_subsim``, the legacy reverse
+        BFS otherwise.
     n_jobs:
         Shard :meth:`generate_collection` across this many worker processes
         (``None``/1 → serial, untouched seed-compatible path; ``-1`` → all
@@ -47,7 +52,15 @@ class UniformRRSampler:
         own ``SeedSequence.spawn()`` substream and shards merge in
         worker-index order, so a fixed ``(seed, n_jobs)`` pair is
         bit-reproducible; ``n_jobs>1`` draws different substreams than the
-        serial stream (statistically equivalent collections).
+        serial stream (statistically equivalent collections).  Defaults to
+        ``policy.n_jobs`` when a policy is given.
+    policy:
+        :class:`repro.runtime.ExecutionPolicy` supplying the generator class
+        and ``n_jobs`` defaults; explicit arguments win over it.
+    runtime:
+        :class:`repro.runtime.Runtime` whose persistent worker pool the
+        sharded path runs on (falls back to the ambient runtime, then to a
+        per-call pool; results are bit-identical either way).
     """
 
     def __init__(
@@ -55,9 +68,11 @@ class UniformRRSampler:
         graph: CSRDiGraph,
         advertiser_edge_probabilities: Sequence[np.ndarray],
         cpes: Sequence[float],
-        generator_cls: Type[RRSetGenerator] = RRSetGenerator,
+        generator_cls: Optional[Type[RRSetGenerator]] = None,
         seed: RandomSource = None,
         n_jobs: Optional[int] = None,
+        policy: Optional["ExecutionPolicy"] = None,
+        runtime: Optional["Runtime"] = None,
     ):
         if len(advertiser_edge_probabilities) != len(cpes):
             raise SamplingError("one edge-probability array per advertiser is required")
@@ -66,6 +81,16 @@ class UniformRRSampler:
         cpe_array = np.asarray(cpes, dtype=np.float64)
         if np.any(cpe_array <= 0):
             raise SamplingError("cpe values must be positive")
+        if generator_cls is None:
+            if policy is not None and policy.use_subsim:
+                from repro.rrsets.generator import SubsimRRGenerator
+
+                generator_cls = SubsimRRGenerator
+            else:
+                generator_cls = RRSetGenerator
+        if n_jobs is None and policy is not None:
+            n_jobs = policy.n_jobs
+        self._runtime = runtime
         self._graph = graph
         self._cpes = cpe_array
         self._gamma = float(cpe_array.sum())
@@ -141,11 +166,14 @@ class UniformRRSampler:
         so successive calls generate fresh sets) and the tagged shards are
         merged through :meth:`RRCollection.from_shards` /
         :meth:`RRCollection.extend_from_shards` without a per-set round-trip.
+        The executor comes from the sampler's :class:`~repro.runtime.Runtime`
+        (or the ambient one), so repeated calls — RMA's doubling rounds —
+        reuse one persistent worker pool instead of spawning per call.
         """
-        from repro.parallel import ShardedExecutor
         from repro.parallel.rr import run_uniform_shards
+        from repro.runtime import acquire_executor
 
-        executor = ShardedExecutor(self._n_jobs)
+        executor = acquire_executor(self._n_jobs, self._runtime)
         shards = run_uniform_shards(
             self._generator_cls,
             self._graph,

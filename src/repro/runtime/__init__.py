@@ -1,0 +1,38 @@
+"""Execution policy & runtime — one configuration object, one worker pool.
+
+This package is the single source of truth for *how* the library executes:
+
+* :class:`ExecutionPolicy` — a frozen dataclass selecting the RR / MC /
+  greedy engines, the ``n_jobs`` sharding knob and the MC batch size, with
+  named presets (:meth:`ExecutionPolicy.seed`, :meth:`ExecutionPolicy.fast`)
+  and a :meth:`ExecutionPolicy.from_flags` adapter for the legacy keyword
+  sprawl (``use_subsim`` / ``use_batched_mc`` / ``use_batched_greedy`` /
+  ``n_jobs`` / ``fast``);
+* :class:`Runtime` — a context manager owning a persistent worker pool
+  (:class:`~repro.parallel.executor.PersistentPool`) reused across RMA's
+  doubling rounds, OneBatch, TI pool fills and MC oracle queries;
+* :func:`current_runtime` / :func:`acquire_executor` — how the lower layers
+  find the ambient pool without every call site threading it by hand.
+
+Every solver, baseline, sampler and oracle accepts ``policy=`` /
+``runtime=``; the old per-call flags keep working through thin deprecation
+shims (see :func:`repro.runtime.policy.coerce_policy`).
+"""
+
+from repro.runtime.policy import (
+    ExecutionPolicy,
+    POLICY_PRESETS,
+    coerce_policy,
+    resolve_params_policy,
+)
+from repro.runtime.runtime import Runtime, acquire_executor, current_runtime
+
+__all__ = [
+    "ExecutionPolicy",
+    "POLICY_PRESETS",
+    "Runtime",
+    "acquire_executor",
+    "coerce_policy",
+    "current_runtime",
+    "resolve_params_policy",
+]

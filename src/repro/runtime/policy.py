@@ -1,0 +1,346 @@
+"""The :class:`ExecutionPolicy` — one object for every engine knob.
+
+Four engine generations (vectorized RR, batched MC, batched greedy, sharded
+parallel) each introduced an opt-in flag, and the flags ended up hand-threaded
+through every consumer: ``use_subsim`` / ``use_batched_mc`` /
+``use_batched_greedy`` / ``n_jobs`` / ``batch_size`` / ``fast``.  The policy
+object is the single source of truth that replaces that sprawl:
+
+* **engine selection** — ``rr_engine`` (``"legacy"`` | ``"subsim"``),
+  ``mc_engine`` (``"legacy"`` | ``"batched"``), ``greedy_engine``
+  (``"scalar"`` | ``"batched"``);
+* **parallelism** — ``n_jobs`` (scikit-learn convention: ``None`` → serial,
+  ``-1`` → all cores) and ``mc_batch_size`` (cascades per batch of the
+  batched MC engine; ``None`` → bitmap-budget sizing);
+* **RNG contract** — ``rng_compat`` declares whether the policy reproduces
+  the seed tree's RNG streams bit for bit.  It is derived automatically
+  (legacy RR + legacy MC + serial execution ⇒ compatible; the batched greedy
+  engine is bit-identical by construction, so it never breaks compatibility)
+  and validated when set explicitly, so a policy can never silently claim a
+  guarantee it does not have.
+
+Named presets cover the two interesting points of the space:
+:meth:`ExecutionPolicy.seed` (the bit-reproducible default) and
+:meth:`ExecutionPolicy.fast` (every fast engine + all cores).
+:meth:`ExecutionPolicy.from_flags` adapts the legacy keyword sprawl — and is
+where conflicting combinations (``fast=True`` with an explicit
+``use_batched_mc=False``) are rejected with a :class:`PolicyError` instead of
+being silently overridden.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.exceptions import PolicyError
+from repro.parallel.executor import validate_n_jobs
+
+#: Valid engine names per stage.
+RR_ENGINES = ("legacy", "subsim")
+MC_ENGINES = ("legacy", "batched")
+GREEDY_ENGINES = ("scalar", "batched")
+
+#: Sentinel distinguishing "not passed" from an explicit value in
+#: :meth:`ExecutionPolicy.evolve`.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Immutable description of which engines run and how they are sharded.
+
+    Attributes
+    ----------
+    rr_engine:
+        RR-set generator: ``"legacy"`` (seed-stream compatible reverse BFS)
+        or ``"subsim"`` (geometric-skipping SUBSIM generator, ~9× on
+        WC-style instances, different draw order).
+    mc_engine:
+        Monte-Carlo cascade engine: ``"legacy"`` (sequential per-cascade
+        BFS, seed-stream compatible) or ``"batched"`` (level-synchronous
+        batched engine, ~an order of magnitude faster, statistically
+        equivalent).
+    greedy_engine:
+        Greedy inner loops: ``"scalar"`` (per-element oracle callbacks) or
+        ``"batched"`` (vectorized CELF refreshes; **bit-identical
+        allocations**, it replays the scalar heap's refresh schedule and
+        tie-breaking exactly).
+    n_jobs:
+        Worker-process count for the sharded stages (``None`` → serial,
+        ``-1`` → all cores, positive int → that many shards).  Fixed
+        ``(seed, n_jobs)`` runs are bit-reproducible; ``n_jobs>1`` draws
+        different RNG substreams than the serial run.
+    mc_batch_size:
+        Cascades per batch of the batched MC engine; ``None`` sizes batches
+        by the activation-bitmap budget
+        (:func:`repro.diffusion.engine.default_batch_size`).
+    rng_compat:
+        Whether the policy reproduces the seed tree's RNG streams bit for
+        bit.  ``None`` (the default) derives the value; an explicit ``True``
+        on a policy that cannot honour it raises :class:`PolicyError`.
+    """
+
+    rr_engine: str = "legacy"
+    mc_engine: str = "legacy"
+    greedy_engine: str = "scalar"
+    n_jobs: Optional[int] = None
+    mc_batch_size: Optional[int] = None
+    rng_compat: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.rr_engine not in RR_ENGINES:
+            raise PolicyError(
+                f"rr_engine must be one of {RR_ENGINES}, got {self.rr_engine!r}"
+            )
+        if self.mc_engine not in MC_ENGINES:
+            raise PolicyError(
+                f"mc_engine must be one of {MC_ENGINES}, got {self.mc_engine!r}"
+            )
+        if self.greedy_engine not in GREEDY_ENGINES:
+            raise PolicyError(
+                f"greedy_engine must be one of {GREEDY_ENGINES}, got {self.greedy_engine!r}"
+            )
+        validate_n_jobs(self.n_jobs, PolicyError)
+        if self.mc_batch_size is not None and int(self.mc_batch_size) <= 0:
+            raise PolicyError(
+                f"mc_batch_size must be positive, got {self.mc_batch_size}"
+            )
+        derived = self._derive_rng_compat()
+        if self.rng_compat is None:
+            object.__setattr__(self, "rng_compat", derived)
+        elif self.rng_compat and not derived:
+            raise PolicyError(
+                "rng_compat=True is impossible for this policy: the seed RNG "
+                "streams require rr_engine='legacy', mc_engine='legacy' and "
+                f"serial execution (got rr_engine={self.rr_engine!r}, "
+                f"mc_engine={self.mc_engine!r}, n_jobs={self.n_jobs!r})"
+            )
+
+    def _derive_rng_compat(self) -> bool:
+        serial = self.n_jobs is None or int(self.n_jobs) == 1
+        return self.rr_engine == "legacy" and self.mc_engine == "legacy" and serial
+
+    # ------------------------------------------------------------------ #
+    # legacy-flag views (what the engine dispatch sites consume)
+    # ------------------------------------------------------------------ #
+    @property
+    def use_subsim(self) -> bool:
+        """``True`` when RR-sets come from the SUBSIM generator."""
+        return self.rr_engine == "subsim"
+
+    @property
+    def use_batched_mc(self) -> bool:
+        """``True`` when spreads come from the batched cascade engine."""
+        return self.mc_engine == "batched"
+
+    @property
+    def use_batched_greedy(self) -> bool:
+        """``True`` when greedy loops run on the batched coverage engine."""
+        return self.greedy_engine == "batched"
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def seed(cls, n_jobs: Optional[int] = None) -> "ExecutionPolicy":
+        """The default policy: every seed-compatible engine, serial by default.
+
+        With ``n_jobs`` in ``(None, 1)`` the run is bit-identical to the
+        seed tree; a larger ``n_jobs`` keeps the legacy engines but shards
+        them (bit-reproducible for fixed ``(seed, n_jobs)``).
+        """
+        return cls(n_jobs=n_jobs)
+
+    @classmethod
+    def fast(cls, n_jobs: Optional[int] = -1) -> "ExecutionPolicy":
+        """Every fast engine — SUBSIM RR, batched MC, batched greedy — plus
+        all cores (override with ``n_jobs``).  Statistically equivalent to
+        :meth:`seed`, not bit-identical (see the RNG policy in
+        ``docs/architecture.md``)."""
+        return cls(
+            rr_engine="subsim",
+            mc_engine="batched",
+            greedy_engine="batched",
+            n_jobs=n_jobs,
+        )
+
+    @classmethod
+    def preset(cls, name: str, n_jobs: Optional[int] = _UNSET) -> "ExecutionPolicy":
+        """Look up a named preset (``"seed"`` or ``"fast"``)."""
+        try:
+            factory = {"seed": cls.seed, "fast": cls.fast}[name]
+        except KeyError:
+            raise PolicyError(
+                f"unknown policy preset {name!r}; expected 'seed' or 'fast'"
+            ) from None
+        return factory() if n_jobs is _UNSET else factory(n_jobs=n_jobs)
+
+    @classmethod
+    def from_flags(
+        cls,
+        *,
+        fast: Optional[bool] = None,
+        use_subsim: Optional[bool] = None,
+        use_batched_mc: Optional[bool] = None,
+        use_batched_greedy: Optional[bool] = None,
+        n_jobs: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> "ExecutionPolicy":
+        """Adapter from the legacy keyword sprawl to one policy.
+
+        ``None`` means "not specified"; explicit values win over the ``fast``
+        preset *unless they contradict it* — ``fast=True`` together with an
+        explicit ``False`` engine flag raises :class:`PolicyError` (which is
+        a :class:`ValueError`) instead of silently overriding either side.
+        """
+        if fast:
+            conflicts = [
+                name
+                for name, value in (
+                    ("use_subsim", use_subsim),
+                    ("use_batched_mc", use_batched_mc),
+                    ("use_batched_greedy", use_batched_greedy),
+                )
+                if value is False
+            ]
+            if conflicts:
+                raise PolicyError(
+                    "conflicting engine flags: fast=True enables every fast "
+                    f"engine but {', '.join(conflicts)} was explicitly set to "
+                    "False; drop fast=True or the explicit flag"
+                )
+            base = cls.fast(n_jobs=n_jobs if n_jobs is not None else -1)
+            return replace(base, mc_batch_size=batch_size, rng_compat=None)
+        return cls(
+            rr_engine="subsim" if use_subsim else "legacy",
+            mc_engine="batched" if use_batched_mc else "legacy",
+            greedy_engine="batched" if use_batched_greedy else "scalar",
+            n_jobs=n_jobs,
+            mc_batch_size=batch_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # derivation helpers
+    # ------------------------------------------------------------------ #
+    def evolve(self, **changes: Any) -> "ExecutionPolicy":
+        """``dataclasses.replace`` that re-derives ``rng_compat``.
+
+        A plain ``replace(policy, rr_engine="subsim")`` would carry a stale
+        ``rng_compat=True`` into the new policy and fail validation; this
+        helper resets the field unless the caller pins it explicitly.
+        """
+        changes.setdefault("rng_compat", None)
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (the CLI's effective-policy line)."""
+        jobs = "serial" if self.n_jobs in (None, 1) else str(self.n_jobs)
+        name = ""
+        if self == ExecutionPolicy.seed(n_jobs=self.n_jobs):
+            name = "seed: "
+        elif self == ExecutionPolicy.fast(n_jobs=self.n_jobs):
+            name = "fast: "
+        batch = "" if self.mc_batch_size is None else f" mc_batch_size={self.mc_batch_size}"
+        return (
+            f"{name}rr={self.rr_engine} mc={self.mc_engine} "
+            f"greedy={self.greedy_engine} n_jobs={jobs}{batch} "
+            f"rng_compat={'yes' if self.rng_compat else 'no'}"
+        )
+
+
+#: Preset registry (CLI ``--policy`` choices).
+POLICY_PRESETS = ("seed", "fast")
+
+
+def coerce_policy(
+    policy: Optional[ExecutionPolicy],
+    owner: str,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> ExecutionPolicy:
+    """Resolve ``policy`` against deprecated per-call engine flags.
+
+    The thin shim every refactored entry point delegates to: legacy keyword
+    flags still work, but emit a :class:`DeprecationWarning` naming the
+    replacement, and combining them with an explicit ``policy=`` raises
+    :class:`PolicyError` — the two configuration channels must not fight.
+    ``legacy`` values of ``None`` mean "not passed" and are ignored.
+    """
+    flags: Dict[str, Any] = {k: v for k, v in legacy.items() if v is not None}
+    if not flags:
+        return policy if policy is not None else ExecutionPolicy.seed()
+    warnings.warn(
+        f"{owner}: the {', '.join(sorted(flags))} keyword(s) are deprecated; "
+        "pass policy=ExecutionPolicy.from_flags(...) (or a preset such as "
+        "ExecutionPolicy.fast()) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if policy is not None:
+        raise PolicyError(
+            f"{owner}: pass either policy= or the legacy flags "
+            f"({', '.join(sorted(flags))}), not both"
+        )
+    return ExecutionPolicy.from_flags(**flags)
+
+
+def resolve_params_policy(
+    owner: str,
+    policy: Optional[ExecutionPolicy],
+    use_subsim: bool = False,
+    use_batched_greedy: bool = False,
+    n_jobs: Optional[int] = None,
+    *,
+    warn: bool = False,
+    fold: bool = True,
+    stacklevel: int = 4,
+) -> Optional[ExecutionPolicy]:
+    """Shared legacy-field → policy resolution for parameter dataclasses.
+
+    ``SamplingParameters`` and ``TIParameters`` both call this — from
+    ``__post_init__`` with ``warn=True, fold=False`` (emit the deprecation
+    shim warning once, at construction, and reject mixing ``policy=`` with
+    legacy fields — without yet building a policy, so an invalid ``n_jobs``
+    still surfaces as ``SolverError`` from ``validate()``, the historical
+    contract) and from ``resolved_policy()`` with the defaults (fold the
+    fields silently).  One implementation keeps the warning text and the
+    conflict rule identical across every parameter object.
+    """
+    legacy = [
+        name
+        for name, set_ in (
+            ("use_subsim", bool(use_subsim)),
+            ("use_batched_greedy", bool(use_batched_greedy)),
+            ("n_jobs", n_jobs is not None),
+        )
+        if set_
+    ]
+    if not legacy:
+        return policy if policy is not None else ExecutionPolicy.seed()
+    if warn:
+        warnings.warn(
+            f"{owner}: the {', '.join(legacy)} field(s) are deprecated; pass "
+            "policy=ExecutionPolicy.from_flags(...) (or a preset such as "
+            "ExecutionPolicy.fast()) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    if policy is not None:
+        raise PolicyError(
+            f"{owner}: pass either policy= or the legacy engine fields "
+            f"({', '.join(legacy)}), not both"
+        )
+    if not fold:
+        return None
+    return ExecutionPolicy.from_flags(
+        use_subsim=use_subsim or None,
+        use_batched_greedy=use_batched_greedy or None,
+        n_jobs=n_jobs,
+    )
+
+
+def policy_fields() -> tuple:
+    """Field names of :class:`ExecutionPolicy` (used by docs tests)."""
+    return tuple(f.name for f in fields(ExecutionPolicy))

@@ -59,14 +59,16 @@ def test_example_runs(name):
     assert EXPECTED_OUTPUT[name] in result.stdout
 
 
-def test_quickstart_demonstrates_all_three_fast_flags():
+def test_quickstart_demonstrates_all_three_fast_engines():
     source = (EXAMPLES_DIR / "quickstart.py").read_text()
-    assert "use_subsim=True" in source
-    assert "use_batched_greedy=True" in source
-    assert "use_batched_mc=True" in source
+    assert 'rr_engine="subsim"' in source
+    assert 'greedy_engine="batched"' in source
+    assert 'mc_engine="batched"' in source
+    assert "ExecutionPolicy.fast" in source
+    assert "Runtime(" in source
 
 
-def test_compare_algorithms_demonstrates_fast_flags():
+def test_compare_algorithms_demonstrates_fast_engines():
     source = (EXAMPLES_DIR / "compare_algorithms.py").read_text()
-    assert "use_subsim=True" in source
-    assert "use_batched_greedy=True" in source
+    assert 'rr_engine="subsim"' in source
+    assert 'greedy_engine="batched"' in source

@@ -1,0 +1,676 @@
+"""Policy & runtime equivalence tier.
+
+Pins the contracts of the :mod:`repro.runtime` layer:
+
+1. **Policy algebra** — presets, the ``from_flags`` adapter, conflict
+   rejection (``fast=True`` + an explicit ``False`` engine flag), and the
+   derived ``rng_compat`` guarantee.
+2. **Policy ↔ legacy-flag bit-identity** — every algorithm must return
+   bit-identical results when configured through ``policy=`` and through the
+   deprecated keyword flags: RMA, OneBatchRM, TI-CARM/TI-CSRM and the
+   oracle-setting algorithms.
+3. **Pool reuse** — a :class:`~repro.runtime.Runtime` block spawns its
+   worker pool at most once across all of RMA's doubling rounds, and the
+   persistent pool is bit-identical to per-call pools.
+4. **Deprecation shims** — every legacy flag still works but warns; this
+   suite runs under ``-W error::DeprecationWarning`` in CI, so any unshimmed
+   internal use of a legacy flag fails the build.
+
+All seeds are fixed; the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.advertising.oracle import MonteCarloOracle, RRSetOracle
+from repro.baselines.ca_greedy import ca_greedy
+from repro.baselines.cs_greedy import cs_greedy
+from repro.baselines.ti_carm import ti_carm
+from repro.baselines.ti_common import TIParameters
+from repro.baselines.ti_csrm import ti_csrm
+from repro.core.greedy import greedy_single_advertiser
+from repro.core.oracle_solver import rm_with_oracle
+from repro.core.sampling_solver import (
+    SamplingParameters,
+    one_batch_rm,
+    rm_without_oracle,
+)
+from repro.datasets.registry import build_dataset
+from repro.diffusion.engine import monte_carlo_spread as engine_monte_carlo_spread
+from repro.exceptions import PolicyError, SolverError
+from repro.experiments.runner import run_algorithm
+from repro.parallel import MAX_JOBS_ENV
+from repro.rrsets.uniform import UniformRRSampler
+from repro.runtime import (
+    ExecutionPolicy,
+    Runtime,
+    acquire_executor,
+    coerce_policy,
+    current_runtime,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        "lastfm_like", num_advertisers=3, scale=0.15, seed=1, singleton_rr_sets=200
+    )
+
+
+@pytest.fixture(scope="module")
+def rr_oracle(dataset):
+    sampler = UniformRRSampler(
+        dataset.instance.graph,
+        dataset.instance.all_edge_probabilities(),
+        dataset.instance.cpes(),
+        seed=7,
+    )
+    return RRSetOracle(sampler.generate_collection(800), dataset.instance.gamma)
+
+
+def _add_task(payload, shard):
+    """Module-level (picklable) toy task for executor-level tests."""
+    return payload + shard
+
+
+def _same_result(a, b, num_advertisers=3):
+    assert a.revenue == b.revenue
+    assert all(a.allocation.seeds(i) == b.allocation.seeds(i) for i in range(num_advertisers))
+
+
+def _legacy_params(**kwargs):
+    """Build parameters with deprecated flags, swallowing the shim warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return kwargs.pop("cls", SamplingParameters)(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# policy algebra
+# --------------------------------------------------------------------------- #
+class TestExecutionPolicy:
+    def test_seed_preset(self):
+        policy = ExecutionPolicy.seed()
+        assert policy.rr_engine == "legacy"
+        assert policy.mc_engine == "legacy"
+        assert policy.greedy_engine == "scalar"
+        assert policy.n_jobs is None
+        assert policy.rng_compat is True
+        assert not policy.use_subsim and not policy.use_batched_mc
+        assert not policy.use_batched_greedy
+
+    def test_fast_preset(self):
+        policy = ExecutionPolicy.fast(n_jobs=4)
+        assert policy.use_subsim and policy.use_batched_mc and policy.use_batched_greedy
+        assert policy.n_jobs == 4
+        assert policy.rng_compat is False
+
+    def test_preset_lookup(self):
+        assert ExecutionPolicy.preset("seed") == ExecutionPolicy.seed()
+        assert ExecutionPolicy.preset("fast") == ExecutionPolicy.fast()
+        assert ExecutionPolicy.preset("fast", n_jobs=2).n_jobs == 2
+        with pytest.raises(PolicyError):
+            ExecutionPolicy.preset("warp")
+
+    def test_from_flags_mapping(self):
+        policy = ExecutionPolicy.from_flags(
+            use_subsim=True, use_batched_mc=True, use_batched_greedy=True, n_jobs=3
+        )
+        assert policy == ExecutionPolicy.fast(n_jobs=3)
+        assert ExecutionPolicy.from_flags() == ExecutionPolicy.seed()
+        assert ExecutionPolicy.from_flags(batch_size=64).mc_batch_size == 64
+
+    def test_from_flags_fast_expands(self):
+        assert ExecutionPolicy.from_flags(fast=True) == ExecutionPolicy.fast()
+        assert ExecutionPolicy.from_flags(fast=True, n_jobs=2).n_jobs == 2
+
+    @pytest.mark.parametrize(
+        "conflicting", ["use_subsim", "use_batched_mc", "use_batched_greedy"]
+    )
+    def test_fast_conflicts_raise_value_error(self, conflicting):
+        with pytest.raises(ValueError, match="conflicting engine flags"):
+            ExecutionPolicy.from_flags(fast=True, **{conflicting: False})
+
+    def test_fast_with_redundant_true_flags_is_fine(self):
+        policy = ExecutionPolicy.from_flags(fast=True, use_batched_mc=True)
+        assert policy.use_batched_mc
+
+    def test_field_validation(self):
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(rr_engine="warp")
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(mc_engine="warp")
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(greedy_engine="warp")
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(n_jobs=0)
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(mc_batch_size=0)
+
+    def test_rng_compat_is_derived_and_validated(self):
+        assert ExecutionPolicy(n_jobs=1).rng_compat is True
+        assert ExecutionPolicy(n_jobs=2).rng_compat is False
+        assert ExecutionPolicy(rr_engine="subsim").rng_compat is False
+        # The batched greedy engine is bit-identical, so it keeps the guarantee.
+        assert ExecutionPolicy(greedy_engine="batched").rng_compat is True
+        with pytest.raises(PolicyError, match="rng_compat"):
+            ExecutionPolicy(mc_engine="batched", rng_compat=True)
+
+    def test_evolve_rederives_rng_compat(self):
+        seed = ExecutionPolicy.seed()
+        evolved = seed.evolve(rr_engine="subsim")
+        assert evolved.rr_engine == "subsim" and evolved.rng_compat is False
+        back = evolved.evolve(rr_engine="legacy")
+        assert back.rng_compat is True
+
+    def test_describe_names_presets(self):
+        assert ExecutionPolicy.seed().describe().startswith("seed:")
+        assert ExecutionPolicy.fast().describe().startswith("fast:")
+        assert "n_jobs=serial" in ExecutionPolicy.seed().describe()
+
+    def test_coerce_policy_conflict(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PolicyError):
+                coerce_policy(ExecutionPolicy.seed(), "here", use_subsim=True)
+
+
+# --------------------------------------------------------------------------- #
+# parameter objects
+# --------------------------------------------------------------------------- #
+class TestParameterObjects:
+    def test_sampling_defaults_resolve_to_seed(self):
+        params = SamplingParameters()
+        assert params.use_subsim is False  # legacy field keeps its default
+        assert params.resolved_policy() == ExecutionPolicy.seed()
+
+    def test_sampling_policy_field_wins(self):
+        policy = ExecutionPolicy.fast(n_jobs=2)
+        assert SamplingParameters(policy=policy).resolved_policy() is policy
+
+    def test_sampling_legacy_fields_fold_in_and_warn(self):
+        with pytest.warns(DeprecationWarning, match="use_subsim"):
+            params = SamplingParameters(use_subsim=True, n_jobs=2)
+        resolved = params.resolved_policy()
+        assert resolved.use_subsim and resolved.n_jobs == 2
+        assert not resolved.use_batched_greedy
+
+    def test_sampling_both_channels_conflict(self):
+        # PolicyError is a ValueError, matching the documented contract.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PolicyError, match="not both"):
+                SamplingParameters(use_subsim=True, policy=ExecutionPolicy.seed())
+
+    def test_ti_mirror(self):
+        assert TIParameters().resolved_policy() == ExecutionPolicy.seed()
+        with pytest.warns(DeprecationWarning, match="n_jobs"):
+            params = TIParameters(n_jobs=2)
+        assert params.resolved_policy().n_jobs == 2
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PolicyError, match="not both"):
+                TIParameters(use_batched_greedy=True, policy=ExecutionPolicy.seed())
+
+    def test_validate_still_rejects_bad_n_jobs_with_solver_error(self):
+        with pytest.warns(DeprecationWarning):
+            params = SamplingParameters(n_jobs=0)
+        with pytest.raises(SolverError):
+            params.validate()
+
+
+# --------------------------------------------------------------------------- #
+# policy ↔ legacy bit-identity, per algorithm
+# --------------------------------------------------------------------------- #
+class TestPolicyEquivalence:
+    @staticmethod
+    def _sampling(policy=None, **legacy):
+        base = dict(initial_rr_sets=128, max_rr_sets=256, seed=1)
+        if legacy:
+            return _legacy_params(**base, **legacy)
+        return SamplingParameters(**base, policy=policy)
+
+    def test_rma_seed_policy_matches_default(self, dataset):
+        _same_result(
+            rm_without_oracle(dataset.instance, self._sampling()),
+            rm_without_oracle(dataset.instance, self._sampling(ExecutionPolicy.seed())),
+        )
+
+    def test_rma_engine_policy_matches_legacy_flags(self, dataset):
+        legacy = rm_without_oracle(
+            dataset.instance,
+            self._sampling(use_subsim=True, use_batched_greedy=True),
+        )
+        policy = rm_without_oracle(
+            dataset.instance,
+            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True)),
+        )
+        _same_result(legacy, policy)
+
+    def test_rma_sharded_policy_matches_legacy_flags(self, dataset):
+        legacy = rm_without_oracle(
+            dataset.instance, self._sampling(use_subsim=True, n_jobs=2)
+        )
+        policy = rm_without_oracle(
+            dataset.instance,
+            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, n_jobs=2)),
+        )
+        _same_result(legacy, policy)
+
+    def test_one_batch_policy_matches_legacy_flags(self, dataset):
+        legacy = one_batch_rm(
+            dataset.instance, 256, self._sampling(use_subsim=True, use_batched_greedy=True)
+        )
+        policy = one_batch_rm(
+            dataset.instance,
+            256,
+            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True)),
+        )
+        _same_result(legacy, policy)
+
+    @pytest.mark.parametrize("baseline", [ti_carm, ti_csrm])
+    def test_ti_policy_matches_legacy_flags(self, dataset, baseline):
+        base = dict(pilot_size=32, max_rr_sets_per_advertiser=128, seed=2)
+        legacy = baseline(
+            dataset.instance,
+            _legacy_params(cls=TIParameters, **base, use_subsim=True, use_batched_greedy=True),
+        )
+        policy = baseline(
+            dataset.instance,
+            TIParameters(
+                **base,
+                policy=ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True),
+            ),
+        )
+        _same_result(legacy, policy)
+
+    def test_oracle_algorithms_policy_matches_legacy_flags(self, dataset, rr_oracle):
+        batched = ExecutionPolicy.from_flags(use_batched_greedy=True)
+        for solver in (rm_with_oracle, ca_greedy, cs_greedy):
+            with pytest.warns(DeprecationWarning):
+                legacy = solver(dataset.instance, rr_oracle, use_batched_greedy=True)
+            policy = solver(dataset.instance, rr_oracle, policy=batched)
+            _same_result(legacy, policy)
+        # scalar default equals explicit seed policy
+        _same_result(
+            rm_with_oracle(dataset.instance, rr_oracle),
+            rm_with_oracle(dataset.instance, rr_oracle, policy=ExecutionPolicy.seed()),
+        )
+
+    def test_greedy_single_advertiser_policy_matches_flag(self, dataset, rr_oracle):
+        with pytest.warns(DeprecationWarning):
+            legacy = greedy_single_advertiser(
+                dataset.instance, rr_oracle, 0, use_batched_greedy=True
+            )
+        policy = greedy_single_advertiser(
+            dataset.instance,
+            rr_oracle,
+            0,
+            policy=ExecutionPolicy.from_flags(use_batched_greedy=True),
+        )
+        assert legacy == policy
+
+    def test_run_algorithm_seed_policy_matches_default(self, dataset):
+        default = run_algorithm(
+            "RMA",
+            dataset.instance,
+            sampling_params=self._sampling(),
+            evaluation_rr_sets=1000,
+            seed=3,
+        )
+        seeded = run_algorithm(
+            "RMA",
+            dataset.instance,
+            sampling_params=self._sampling(),
+            policy=ExecutionPolicy.seed(),
+            evaluation_rr_sets=1000,
+            seed=3,
+        )
+        assert default.evaluation.revenue == seeded.evaluation.revenue
+        _same_result(default.solver_result, seeded.solver_result)
+
+    def test_run_algorithm_fast_policy_matches_fast_flag(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_algorithm(
+                "RMA",
+                dataset.instance,
+                sampling_params=self._sampling(),
+                fast=True,
+                n_jobs=2,
+                evaluation_rr_sets=1000,
+                seed=3,
+            )
+        policy = run_algorithm(
+            "RMA",
+            dataset.instance,
+            sampling_params=self._sampling(),
+            policy=ExecutionPolicy.fast(n_jobs=2),
+            evaluation_rr_sets=1000,
+            seed=3,
+        )
+        assert legacy.evaluation.revenue == policy.evaluation.revenue
+        _same_result(legacy.solver_result, policy.solver_result)
+
+    def test_run_algorithm_oracle_setting_policy(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_algorithm(
+                "CS-Greedy",
+                dataset.instance,
+                mc_oracle_simulations=40,
+                use_batched_mc=True,
+                evaluation_rr_sets=1000,
+                seed=3,
+            )
+        policy = run_algorithm(
+            "CS-Greedy",
+            dataset.instance,
+            mc_oracle_simulations=40,
+            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
+            evaluation_rr_sets=1000,
+            seed=3,
+        )
+        assert legacy.evaluation.revenue == policy.evaluation.revenue
+        _same_result(legacy.solver_result, policy.solver_result)
+
+
+# --------------------------------------------------------------------------- #
+# run_algorithm conflict handling
+# --------------------------------------------------------------------------- #
+class TestRunAlgorithmConflicts:
+    def test_fast_with_explicit_false_mc_raises(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting engine flags"):
+                run_algorithm("RMA", dataset.instance, fast=True, use_batched_mc=False)
+
+    def test_fast_with_explicit_false_greedy_raises(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting engine flags"):
+                run_algorithm(
+                    "RMA", dataset.instance, fast=True, use_batched_greedy=False
+                )
+
+    def test_policy_plus_legacy_flags_raises(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                run_algorithm(
+                    "RMA", dataset.instance, policy=ExecutionPolicy.seed(), n_jobs=2
+                )
+
+    def test_policy_never_silently_overrides_params_engines(self, dataset):
+        legacy_params = _legacy_params(
+            initial_rr_sets=64, max_rr_sets=128, seed=1, use_subsim=True
+        )
+        with pytest.raises(ValueError, match="one channel"):
+            run_algorithm(
+                "RMA",
+                dataset.instance,
+                sampling_params=legacy_params,
+                policy=ExecutionPolicy.seed(),
+            )
+        conflicting = SamplingParameters(
+            initial_rr_sets=64, max_rr_sets=128, seed=1, policy=ExecutionPolicy.fast(n_jobs=1)
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            run_algorithm(
+                "RMA",
+                dataset.instance,
+                sampling_params=conflicting,
+                policy=ExecutionPolicy.seed(),
+            )
+        # the same policy on both levels is redundant, not contradictory
+        run = run_algorithm(
+            "RMA",
+            dataset.instance,
+            sampling_params=conflicting,
+            policy=ExecutionPolicy.fast(n_jobs=1),
+            evaluation_rr_sets=500,
+            seed=3,
+        )
+        assert run.evaluation.revenue > 0
+
+    def test_fast_true_with_redundant_true_flag_still_runs(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            run = run_algorithm(
+                "RMA",
+                dataset.instance,
+                sampling_params=SamplingParameters(
+                    initial_rr_sets=64, max_rr_sets=128, seed=1
+                ),
+                fast=True,
+                n_jobs=1,
+                use_batched_greedy=True,
+                evaluation_rr_sets=500,
+                seed=3,
+            )
+        assert run.evaluation.revenue > 0
+
+
+# --------------------------------------------------------------------------- #
+# deprecation shims
+# --------------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_monte_carlo_oracle_legacy_kwargs_warn(self, dataset):
+        with pytest.warns(DeprecationWarning, match="use_batched_mc"):
+            MonteCarloOracle(dataset.instance, num_simulations=10, use_batched_mc=True)
+        with pytest.warns(DeprecationWarning, match="n_jobs"):
+            MonteCarloOracle(dataset.instance, num_simulations=10, n_jobs=2)
+
+    def test_monte_carlo_oracle_bad_n_jobs_keeps_solver_error(self, dataset):
+        with pytest.raises(SolverError):
+            MonteCarloOracle(dataset.instance, n_jobs=0)
+
+    def test_monte_carlo_oracle_policy_matches_legacy(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            legacy = MonteCarloOracle(
+                dataset.instance, num_simulations=30, seed=5, use_batched_mc=True
+            )
+        policy = MonteCarloOracle(
+            dataset.instance,
+            num_simulations=30,
+            seed=5,
+            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
+        )
+        assert legacy.revenue(0, [0, 1]) == policy.revenue(0, [0, 1])
+
+    def test_explicit_false_flag_also_warns(self, dataset, rr_oracle):
+        # The kwarg itself is deprecated, whatever its value.
+        with pytest.warns(DeprecationWarning):
+            rm_with_oracle(dataset.instance, rr_oracle, use_batched_greedy=False)
+
+    def test_policy_path_is_warning_free(self, dataset, rr_oracle):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            rm_with_oracle(
+                dataset.instance, rr_oracle, policy=ExecutionPolicy.from_flags(use_batched_greedy=True)
+            )
+            rm_without_oracle(
+                dataset.instance,
+                SamplingParameters(
+                    initial_rr_sets=64, max_rr_sets=128, seed=1, policy=ExecutionPolicy.seed()
+                ),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# runtime & persistent pool
+# --------------------------------------------------------------------------- #
+class TestRuntime:
+    def test_current_runtime_stacking(self):
+        assert current_runtime() is None
+        with Runtime() as outer:
+            assert current_runtime() is outer
+            with Runtime() as inner:
+                assert current_runtime() is inner
+            assert current_runtime() is outer
+        assert current_runtime() is None
+
+    def test_acquire_executor_prefers_explicit_then_ambient(self):
+        ephemeral = acquire_executor(2)
+        assert ephemeral.n_jobs == 2
+        with Runtime() as ambient:
+            bound = acquire_executor(2)
+            assert bound._pool is ambient.pool
+            other = Runtime()
+            assert acquire_executor(2, other)._pool is other.pool
+            other.close()
+
+    def test_pool_spawned_at_most_once_across_collections(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        instance = dataset.instance
+
+        def build(runtime=None):
+            return UniformRRSampler(
+                instance.graph,
+                instance.all_edge_probabilities(),
+                instance.cpes(),
+                seed=11,
+                policy=ExecutionPolicy.seed(n_jobs=2),
+                runtime=runtime,
+            )
+
+        with Runtime(ExecutionPolicy.seed(n_jobs=2)) as rt:
+            sampler = build(rt)
+            persistent = sampler.generate_collection(200)
+            for _ in range(3):  # doubling-style growth on one pool
+                sampler.generate_collection(len(persistent), into=persistent)
+            assert rt.pool_spawn_count == 1
+            # the same payload was broadcast exactly once
+            assert len(rt.pool._tokens) == 1
+
+        ephemeral_sampler = build()
+        ephemeral = ephemeral_sampler.generate_collection(200)
+        for _ in range(3):
+            ephemeral_sampler.generate_collection(len(ephemeral), into=ephemeral)
+        assert np.array_equal(persistent.member_array, ephemeral.member_array)
+        assert np.array_equal(persistent.tag_array, ephemeral.tag_array)
+
+    def test_rma_doubling_rounds_share_one_pool(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        params = SamplingParameters(
+            epsilon=0.05,
+            initial_rr_sets=64,
+            max_rr_sets=512,
+            seed=1,
+            policy=ExecutionPolicy.seed(n_jobs=2),
+        )
+        with Runtime(params.policy) as rt:
+            result = rm_without_oracle(dataset.instance, params, runtime=rt)
+            assert result.metadata["iterations"] >= 2  # the pool was needed repeatedly
+            assert rt.pool_spawn_count == 1
+        serial_pooling = rm_without_oracle(dataset.instance, params)  # per-call runtime
+        _same_result(result, serial_pooling)
+
+    def test_ambient_runtime_is_picked_up_without_threading(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        params = SamplingParameters(
+            initial_rr_sets=128,
+            max_rr_sets=256,
+            seed=1,
+            policy=ExecutionPolicy.seed(n_jobs=2),
+        )
+        with Runtime(params.policy) as rt:
+            result = rm_without_oracle(dataset.instance, params)  # no runtime= passed
+            assert rt.pool_spawn_count == 1
+        _same_result(result, rm_without_oracle(dataset.instance, params))
+
+    def test_sharded_mc_spread_persistent_matches_ephemeral(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        instance = dataset.instance
+        seeds = np.arange(8, dtype=np.int64)
+        probabilities = instance.edge_probabilities(0)
+        ephemeral = engine_monte_carlo_spread(
+            instance.graph, probabilities, seeds, 64, rng=9, n_jobs=2
+        )
+        with Runtime(ExecutionPolicy.seed(n_jobs=2)) as rt:
+            persistent = engine_monte_carlo_spread(
+                instance.graph, probabilities, seeds, 64, rng=9, n_jobs=2, runtime=rt
+            )
+            again = engine_monte_carlo_spread(
+                instance.graph, probabilities, seeds, 64, rng=9, n_jobs=2
+            )  # ambient pickup
+            assert rt.pool_spawn_count == 1
+        assert persistent == ephemeral == again
+
+    def test_process_cap_of_one_keeps_pool_down(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "1")
+        instance = dataset.instance
+        seeds = np.arange(8, dtype=np.int64)
+        probabilities = instance.edge_probabilities(0)
+        with Runtime(ExecutionPolicy.seed(n_jobs=2)) as rt:
+            capped = engine_monte_carlo_spread(
+                instance.graph, probabilities, seeds, 64, rng=9, n_jobs=2, runtime=rt
+            )
+            assert rt.pool_spawn_count == 0  # inline execution, same shard layout
+        monkeypatch.delenv(MAX_JOBS_ENV)
+        uncapped = engine_monte_carlo_spread(
+            instance.graph, probabilities, seeds, 64, rng=9, n_jobs=2
+        )
+        assert capped == uncapped
+
+    def test_runtime_close_allows_respawn(self, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        rt = Runtime(ExecutionPolicy.seed(n_jobs=2))
+        executor = rt.sharded_executor(2)
+        assert executor.run(_add_task, 10, [1, 2]) == [11, 12]
+        assert rt.pool_spawn_count == 1
+        rt.close()
+        assert rt.pool.processes == 0
+        assert executor.run(_add_task, 10, [3, 4]) == [13, 14]
+        assert rt.pool_spawn_count == 2
+        rt.close()
+
+    def test_runtime_presence_never_changes_results(self, dataset, monkeypatch):
+        """Entering a Runtime must not upgrade n_jobs=None calls to the
+        runtime policy's n_jobs — MonteCarloOracle deliberately keeps
+        queries below MIN_SHARDED_SIMULATIONS serial, runtime or not."""
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        sharded_policy = ExecutionPolicy.from_flags(use_batched_mc=True, n_jobs=2)
+        sims = 60  # < MIN_SHARDED_SIMULATIONS
+        baseline = MonteCarloOracle(
+            dataset.instance, num_simulations=sims, seed=5, policy=sharded_policy
+        ).revenue(0, [0, 1, 2])
+        with Runtime(sharded_policy) as rt:
+            inside = MonteCarloOracle(
+                dataset.instance, num_simulations=sims, seed=5, policy=sharded_policy
+            ).revenue(0, [0, 1, 2])
+            assert rt.pool_spawn_count == 0  # small query stayed serial
+        assert inside == baseline
+
+    def test_explicit_use_batched_false_beats_policy(self, dataset):
+        from repro.diffusion.simulation import monte_carlo_spread
+
+        instance = dataset.instance
+        probabilities = instance.edge_probabilities(0)
+        sequential = monte_carlo_spread(
+            instance.graph, probabilities, [0, 1], num_simulations=40, rng=9
+        )
+        pinned = monte_carlo_spread(
+            instance.graph,
+            probabilities,
+            [0, 1],
+            num_simulations=40,
+            rng=9,
+            use_batched=False,
+            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
+        )
+        assert pinned == sequential  # bit-identical: the legacy engine ran
+
+    def test_run_algorithm_reuses_ambient_runtime(self, dataset, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        params = SamplingParameters(
+            initial_rr_sets=128,
+            max_rr_sets=256,
+            seed=1,
+            policy=ExecutionPolicy.seed(n_jobs=2),
+        )
+        with Runtime(params.policy) as rt:
+            run = run_algorithm(
+                "RMA",
+                dataset.instance,
+                sampling_params=params,
+                evaluation_rr_sets=500,
+                seed=3,
+            )
+            assert rt.pool_spawn_count == 1
+        assert run.evaluation.revenue > 0
