@@ -362,13 +362,18 @@ def run(config: dict) -> dict:
         # amortization claim has to pay its own setup.
         with Runtime(ExecutionPolicy.seed(n_jobs=workers)) as rt:
             one, two = doubling_scenario(rt)
-            return one, two, rt.pool_spawn_count
+            return one, two, rt.pool_spawn_count, rt.recovery_stats.events
 
     per_call_s, (e_one, e_two) = _timed_best(lambda: doubling_scenario(None), repeats)
-    runtime_s, (p_one, p_two, spawns) = _timed_best(run_with_runtime, repeats)
+    runtime_s, (p_one, p_two, spawns, recovery_events) = _timed_best(
+        run_with_runtime, repeats
+    )
     assert np.array_equal(e_one.member_array, p_one.member_array)
     assert np.array_equal(e_two.member_array, p_two.member_array)
     assert np.array_equal(e_one.tag_array, p_one.tag_array)
+    # The supervision loop must be invisible on a healthy host: no crashes,
+    # no timeouts, no retries — and therefore no recovery-driven respawns.
+    assert recovery_events == 0, f"unexpected recovery events: {recovery_events}"
     results["sections"]["runtime_pool_reuse"] = {
         "scenario": (
             f"RMA doubling rounds: 2 collections x {rounds} rounds, "
@@ -385,6 +390,7 @@ def run(config: dict) -> dict:
         ),
         "speedup": round(per_call_s / runtime_s, 2) if runtime_s else None,
         "bit_identical": True,
+        "recovery_events": recovery_events,
     }
     print(
         f"{'runtime_pool_reuse':<20} per-call pools {per_call_s:6.3f}s "

@@ -30,7 +30,8 @@ from repro.experiments.metrics import independent_evaluator
 from repro.experiments.report import format_table
 from repro.experiments.runner import SAMPLING_ALGORITHMS, run_algorithm
 from repro.exceptions import PolicyError
-from repro.runtime import ExecutionPolicy, POLICY_PRESETS, Runtime
+from repro.parallel.failure import ON_POOL_FAILURE_MODES
+from repro.runtime import ExecutionPolicy, FailurePolicy, POLICY_PRESETS, Runtime
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +119,22 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="shorthand for --policy fast",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock timeout for the worker pool; a shard that "
+        "exceeds it is retried or run serially (default: no timeout)",
+    )
+    parser.add_argument(
+        "--on-pool-failure",
+        default=None,
+        choices=sorted(ON_POOL_FAILURE_MODES),
+        help="what to do when a worker dies or a shard times out: 'degrade' "
+        "(retry deterministically, then fall back to serial; the default) or "
+        "'raise' (fail fast with an ExecutionError)",
+    )
 
 
 def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
@@ -133,8 +150,24 @@ def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _resolve_failure(args: argparse.Namespace) -> Optional[FailurePolicy]:
+    """The :class:`FailurePolicy` requested on the command line, or ``None``.
+
+    ``None`` means "keep the policy's default" — recovery knobs never touch
+    results, so they layer on top of whatever preset/flags selected the
+    engines.
+    """
+    if args.shard_timeout is None and args.on_pool_failure is None:
+        return None
+    return FailurePolicy(
+        shard_timeout_s=args.shard_timeout,
+        on_pool_failure=args.on_pool_failure or "degrade",
+    )
+
+
 def _resolve_policy(args: argparse.Namespace) -> ExecutionPolicy:
     """Build the effective :class:`ExecutionPolicy` from the CLI flags."""
+    failure = _resolve_failure(args)
     if args.policy is not None:
         conflict = _policy_flag_conflict(args)
         if conflict is not None:  # direct programmatic use, bypassing main()
@@ -142,13 +175,18 @@ def _resolve_policy(args: argparse.Namespace) -> ExecutionPolicy:
         policy = ExecutionPolicy.preset(args.policy)
         if args.jobs is not None:
             policy = policy.evolve(n_jobs=args.jobs)
+        if failure is not None:
+            policy = policy.evolve(failure=failure)
         return policy
-    return ExecutionPolicy.from_flags(
+    policy = ExecutionPolicy.from_flags(
         fast=args.fast or None,
         use_subsim=args.subsim or None,
         use_batched_greedy=args.batched_greedy or None,
         n_jobs=args.jobs,
     )
+    if failure is not None:
+        policy = policy.evolve(failure=failure)
+    return policy
 
 
 def _prepare(args: argparse.Namespace):
@@ -205,6 +243,17 @@ def _run_row(args, data, algorithm, sampling, ti, evaluator, runtime) -> dict:
     }
 
 
+def _report_recovery(runtime: Runtime) -> None:
+    """Print the pool's recovery telemetry when any recovery happened.
+
+    Silent on a failure-free run — the common case stays one
+    ``effective policy:`` line; crashes/timeouts/retries surface next to it.
+    """
+    stats = runtime.recovery_stats
+    if stats.events:
+        print(f"recovery: {stats.describe()}")
+
+
 def command_solve(args: argparse.Namespace) -> int:
     """Handle ``repro solve``."""
     data, policy, sampling, ti = _prepare(args)
@@ -214,6 +263,7 @@ def command_solve(args: argparse.Namespace) -> int:
             data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
         )
         row = _run_row(args, data, args.algorithm, sampling, ti, evaluator, runtime)
+        _report_recovery(runtime)
     print(
         format_table(
             [row],
@@ -238,6 +288,7 @@ def command_compare(args: argparse.Namespace) -> int:
             _run_row(args, data, algorithm, sampling, ti, evaluator, runtime)
             for algorithm in args.algorithms
         ]
+        _report_recovery(runtime)
     print(
         format_table(
             rows,

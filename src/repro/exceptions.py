@@ -48,3 +48,28 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness on invalid configurations."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Raised when the sharded execution layer fails or is misconfigured.
+
+    Subclasses :class:`RuntimeError` because the failures it describes —
+    dead worker processes, hung shards, invalid execution environment
+    variables — are conditions of the run, not of the inputs.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died mid-call (OOM kill, segfault, external kill).
+
+    Raised only under ``FailurePolicy(on_pool_failure="raise")``; the default
+    ``"degrade"`` policy re-executes the lost shards instead (the determinism
+    contract makes the re-run bit-identical)."""
+
+
+class ShardTimeoutError(ExecutionError):
+    """A shard exceeded ``FailurePolicy.shard_timeout_s``.
+
+    Raised only under ``FailurePolicy(on_pool_failure="raise")``; the default
+    ``"degrade"`` policy retries the shard on a fresh pool and finally runs
+    it in-process serially."""

@@ -6,20 +6,27 @@ generation and Monte-Carlo spread estimation — out across a
 
 * :class:`ShardedExecutor` owns the pool mechanics (fork-inherited /
   pickled-once payloads, shard-order result merge, the ``REPRO_MAX_JOBS``
-  process cap);
+  process cap) and the supervision loop that survives worker loss;
+* :class:`FailurePolicy` / :class:`RecoveryStats` describe and count the
+  fault-tolerance behaviour (timeouts, deterministic shard retry, graceful
+  serial degradation);
+* :mod:`repro.parallel.faults` is the test-driven fault-injection harness
+  that proves recovered runs stay bit-identical;
 * :mod:`repro.parallel.rr` shards RR-set generation (plain batches and the
   advertiser-tagged uniform sampler);
 * :mod:`repro.parallel.mc` shards batched Monte-Carlo spread estimation.
 
 Each shard draws from its own :func:`repro.utils.rng.spawn_rngs` substream
-and shards merge in worker-index order, so a fixed ``(seed, n_jobs)`` pair is
-bit-reproducible and ``n_jobs=1`` falls back to the untouched in-process
-engines.  See the "Parallel execution & RNG sharding" section of
+and results merge by shard position, so a fixed ``(seed, n_jobs)`` pair is
+bit-reproducible — even across worker crashes and retries — and ``n_jobs=1``
+falls back to the untouched in-process engines.  See the "Parallel execution
+& RNG sharding" and "Fault tolerance & recovery" sections of
 ``docs/architecture.md``.
 """
 
 from repro.parallel.executor import (
     MAX_JOBS_ENV,
+    START_METHOD_ENV,
     PersistentPool,
     ShardedExecutor,
     resolve_n_jobs,
@@ -27,11 +34,22 @@ from repro.parallel.executor import (
     validate_n_jobs,
     worker_process_cap,
 )
+from repro.parallel.failure import (
+    DEFAULT_FAILURE_POLICY,
+    FailurePolicy,
+    RecoveryStats,
+)
+from repro.parallel.faults import FaultInjector
 
 __all__ = [
+    "DEFAULT_FAILURE_POLICY",
+    "FailurePolicy",
+    "FaultInjector",
     "MAX_JOBS_ENV",
     "PersistentPool",
+    "RecoveryStats",
     "ShardedExecutor",
+    "START_METHOD_ENV",
     "resolve_n_jobs",
     "shard_counts",
     "validate_n_jobs",

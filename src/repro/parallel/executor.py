@@ -1,4 +1,4 @@
-"""Sharded multiprocess execution.
+"""Sharded multiprocess execution with supervised fault tolerance.
 
 :class:`ShardedExecutor` is the one place the library touches
 :mod:`multiprocessing`.  It runs a picklable task function over a list of
@@ -15,6 +15,32 @@ payloads are broadcast once per distinct payload and addressed by token
 afterwards — which is what :class:`repro.runtime.Runtime` uses to amortise
 pool spawn (~30–60 ms/call) across RMA's doubling rounds.
 
+Fault tolerance
+---------------
+Shards are submitted individually (``apply_async``) and watched by a
+supervision loop instead of a blocking ``Pool.map``, so a worker death — OOM
+kill, segfault in a C extension, operator ``kill -9`` — can no longer hang
+the parent.  The loop detects dead workers through process sentinels
+(exit-code checks against the spawn-time worker snapshot), stale payload
+caches on auto-respawned workers, broken broadcast barriers, and per-shard
+timeouts; what happens next is governed by the
+:class:`~repro.parallel.failure.FailurePolicy` in force:
+
+* ``on_pool_failure="degrade"`` (default): the pool is respawned, the
+  payloads the pending call needs are re-broadcast, and exactly the
+  unfinished shards are re-executed — up to ``max_retries`` times, after
+  which the remaining shards run in-process serially.  Because shard layout
+  and RNG substreams are pure functions of ``(seed, n_jobs)``, the recovered
+  run is **bit-identical** to a failure-free one.
+* ``on_pool_failure="raise"``: fail fast with
+  :class:`~repro.exceptions.WorkerCrashError` /
+  :class:`~repro.exceptions.ShardTimeoutError`.
+
+Every recovery emits a :class:`RuntimeWarning` and increments the owning
+pool/executor's :class:`~repro.parallel.failure.RecoveryStats`.  The
+fault-injection hooks consulted by the worker-side wrappers live in
+:mod:`repro.parallel.faults` and are armed only by tests.
+
 Determinism contract
 --------------------
 The executor never influences results, only wall-clock:
@@ -22,9 +48,9 @@ The executor never influences results, only wall-clock:
 * shard layout is a pure function of ``(total_work, n_jobs)``
   (:func:`shard_counts`), and each shard carries its own RNG substream
   derived with :func:`repro.utils.rng.spawn_rngs`, so which OS process runs
-  which shard is irrelevant;
-* results come back in shard order (``Pool.map`` preserves input order), so
-  the parent's merge is deterministic;
+  which shard — or how often a shard had to be re-executed — is irrelevant;
+* results are merged into a parent-side list indexed by shard position, so
+  the merge is deterministic regardless of completion order;
 * the ``REPRO_MAX_JOBS`` environment variable caps the number of *worker
   processes* (useful on small CI runners) without changing the shard layout,
   so a run with ``n_jobs=4`` produces bit-identical results whether the pool
@@ -40,9 +66,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from typing import Any, Callable, List, Optional, Sequence
+import time
+import warnings
+from threading import BrokenBarrierError, Event
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.exceptions import ExecutionError, ShardTimeoutError, WorkerCrashError
+from repro.parallel import faults
+from repro.parallel.failure import DEFAULT_FAILURE_POLICY, FailurePolicy, RecoveryStats
 
 #: Environment variable capping the number of concurrent worker processes
 #: (shard layout — and therefore results — are unaffected).
@@ -79,15 +112,34 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 def worker_process_cap() -> Optional[int]:
-    """The ``REPRO_MAX_JOBS`` pool-size cap, or ``None`` when unset/invalid."""
+    """The ``REPRO_MAX_JOBS`` pool-size cap, or ``None`` when unset/invalid.
+
+    Invalid or non-positive values are rejected with a :class:`RuntimeWarning`
+    naming the offending value, so a misconfigured CI runner is visible
+    instead of silently uncapped.
+    """
     raw = os.environ.get(MAX_JOBS_ENV)
     if not raw:
         return None
     try:
         cap = int(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring {MAX_JOBS_ENV}={raw!r}: not an integer; the worker "
+            "pool is uncapped",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
-    return cap if cap > 0 else None
+    if cap <= 0:
+        warnings.warn(
+            f"ignoring {MAX_JOBS_ENV}={raw!r}: the cap must be a positive "
+            "integer; the worker pool is uncapped",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return cap
 
 
 def shard_counts(total: int, n_jobs: int) -> np.ndarray:
@@ -111,6 +163,12 @@ def shard_counts(total: int, n_jobs: int) -> np.ndarray:
 def _default_start_method() -> str:
     override = os.environ.get(START_METHOD_ENV)
     if override:
+        valid = multiprocessing.get_all_start_methods()
+        if override not in valid:
+            raise ExecutionError(
+                f"invalid {START_METHOD_ENV}={override!r}: choose one of "
+                f"{', '.join(valid)}"
+            )
         return override
     # fork inherits the payload for free and is available on POSIX; macOS /
     # Windows default to spawn, where the payload is pickled once per worker.
@@ -124,9 +182,32 @@ _WORKER_PAYLOADS: dict = {}
 _WORKER_BARRIER: Any = None
 
 #: Seconds a worker waits for its siblings during a payload broadcast before
-#: declaring the pool broken (guards against a crashed worker hanging the
-#: parent forever).
+#: declaring the pool broken.  A worker-side backstop only: the parent's
+#: supervision loop detects a dead sibling within ``_POLL_INTERVAL_S`` and
+#: aborts the barrier long before this expires.
 _BROADCAST_TIMEOUT_S = 600.0
+
+#: Supervision-loop poll granularity: the latency bound on detecting a dead
+#: worker, and the upper bound on per-call overhead of a failure-free run.
+_POLL_INTERVAL_S = 0.05
+
+#: Grace period for end-of-call shutdown of an ephemeral pool before falling
+#: back to ``terminate()`` (lets worker-side atexit/coverage hooks run).
+_EPHEMERAL_CLOSE_GRACE_S = 1.0
+
+
+class _StalePayloadError(RuntimeError):
+    """Worker-side: a token addressed a payload this worker never received.
+
+    Happens when ``multiprocessing.Pool`` silently auto-respawns a crashed
+    worker — the replacement runs the initializer but missed every earlier
+    broadcast.  The supervision loop treats it as a pool failure (respawn +
+    re-broadcast + re-execute), never as a task error.
+    """
+
+
+class _PoolBrokenError(RuntimeError):
+    """Parent-side internal: the pool must be torn down and respawned."""
 
 
 def _freeze_inherited_heap() -> None:
@@ -141,21 +222,26 @@ def _freeze_inherited_heap() -> None:
     gc.freeze()
 
 
-def _init_worker(payload: Any) -> None:
+def _init_worker(payload: Any, fault_specs: Any = None) -> None:
     global _WORKER_PAYLOAD
     _WORKER_PAYLOAD = payload
+    faults.arm(fault_specs)
     _freeze_inherited_heap()
 
 
-def _call_task(task_and_shard) -> Any:
-    task, shard = task_and_shard
-    return task(_WORKER_PAYLOAD, shard)
+def _call_task(task_shard_index) -> Any:
+    task, shard, index = task_shard_index
+    faults.on_shard_start(index)
+    result = task(_WORKER_PAYLOAD, shard)
+    faults.on_shard_end(index)
+    return result
 
 
-def _init_persistent_worker(barrier: Any) -> None:
+def _init_persistent_worker(barrier: Any, fault_specs: Any = None) -> None:
     global _WORKER_BARRIER
     _WORKER_BARRIER = barrier
     _WORKER_PAYLOADS.clear()
+    faults.arm(fault_specs)
     _freeze_inherited_heap()
 
 
@@ -178,13 +264,281 @@ def _store_payload(token_and_payload) -> None:
     worker can grab a second copy while another has none.
     """
     token, payload = token_and_payload
+    faults.on_broadcast()
     _WORKER_PAYLOADS[token] = payload
     _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
 
 
-def _call_task_by_token(task_token_shard) -> Any:
-    task, token, shard = task_token_shard
-    return task(_WORKER_PAYLOADS[token], shard)
+_MISSING = object()
+
+
+def _call_task_by_token(task_token_shard_index) -> Any:
+    task, token, shard, index = task_token_shard_index
+    payload = _WORKER_PAYLOADS.get(token, _MISSING)
+    if payload is _MISSING:
+        raise _StalePayloadError(
+            f"worker {os.getpid()} holds no payload for token {token} "
+            "(auto-respawned after a sibling crash?)"
+        )
+    faults.on_shard_start(index)
+    result = task(payload, shard)
+    faults.on_shard_end(index)
+    return result
+
+
+def _shutdown_pool(pool, procs: Sequence[Any], grace_s: float) -> None:
+    """Close a pool, preferring graceful worker exit within ``grace_s``.
+
+    ``grace_s > 0`` sends the close sentinel and waits for every worker in
+    the spawn-time snapshot to exit on its own (running worker-side
+    ``atexit``/coverage hooks); stragglers — and the ``grace_s <= 0`` fast
+    path used for recovery respawns — are terminated.
+    """
+    if grace_s > 0:
+        pool.close()
+        deadline = time.monotonic() + grace_s
+        while time.monotonic() < deadline:
+            if all(proc.exitcode is not None for proc in procs):
+                break
+            time.sleep(0.005)
+        if not all(proc.exitcode is not None for proc in procs):
+            pool.terminate()
+    else:
+        pool.terminate()
+    pool.join()
+
+
+def _supervise(
+    adapter,
+    shards: List[Any],
+    failure: FailurePolicy,
+    stats: RecoveryStats,
+    label: str,
+) -> List[Any]:
+    """Watch submitted shards to completion, recovering per ``failure``.
+
+    ``adapter`` abstracts the pool flavour (ephemeral vs persistent) behind
+    five methods: ``submit(index, shard, wakeup)`` → ``AsyncResult``,
+    ``dead_workers()``, ``respawn()``, ``discard()`` and ``serial(shard)``.
+    Results land in a list indexed by shard position, so the merge order —
+    and therefore every downstream result — is independent of completion
+    order, retries and degradation.
+    """
+    results: List[Any] = [None] * len(shards)
+    attempts = [0] * len(shards)
+    pending: Dict[int, Any] = {}
+    deadlines: Dict[int, float] = {}
+    # Completion callbacks set this so the loop wakes the moment any shard
+    # finishes instead of at the next poll tick; dead workers produce no
+    # callback, so the poll interval stays the detection latency for those.
+    wakeup = Event()
+
+    def submit(indices) -> None:
+        now = time.monotonic()
+        for index in indices:
+            pending[index] = adapter.submit(index, shards[index], wakeup)
+            if failure.shard_timeout_s is not None:
+                deadlines[index] = now + failure.shard_timeout_s
+
+    def run_serial(indices, reason: str) -> None:
+        stats.serial_fallbacks += len(indices)
+        warnings.warn(
+            f"{label}: degrading shard(s) {list(indices)} to in-process serial "
+            f"execution after {reason}; results stay bit-identical",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        for index in indices:
+            results[index] = adapter.serial(shards[index])
+
+    def recover(reason: str) -> None:
+        # Pool state is suspect: every outstanding shard is treated as lost,
+        # the pool is torn down, and the lost shards are re-executed — on a
+        # fresh pool while they have retry budget, in-process serially after.
+        lost = sorted(pending)
+        pending.clear()
+        deadlines.clear()
+        retry: List[int] = []
+        fallback: List[int] = []
+        for index in lost:
+            attempts[index] += 1
+            (fallback if attempts[index] > failure.max_retries else retry).append(index)
+        if fallback or not retry:
+            adapter.discard()
+        if fallback:
+            run_serial(fallback, f"{reason} (retry budget exhausted)")
+        if not retry:
+            return
+        stats.shards_rerun += len(retry)
+        round_attempt = max(attempts[index] for index in retry)
+        warnings.warn(
+            f"{label}: {reason}; respawning workers and re-executing shard(s) "
+            f"{retry} (attempt {round_attempt}/{failure.max_retries})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        if failure.retry_backoff_s > 0:
+            time.sleep(failure.retry_backoff_s * round_attempt)
+        try:
+            stats.pool_respawns += 1
+            adapter.respawn()
+            submit(retry)
+        except Exception:
+            # The pool cannot be rebuilt (respawn or re-broadcast keeps
+            # failing) — last rung of the degradation ladder.
+            run_serial(retry, "the worker pool could not be respawned")
+
+    submit(range(len(shards)))
+    while pending:
+        wakeup.clear()
+        broken_reason: Optional[str] = None
+        for index in sorted(pending):
+            result = pending[index]
+            if not result.ready():
+                continue
+            try:
+                value = result.get()
+            except _StalePayloadError:
+                broken_reason = "a respawned worker lost its payload cache"
+                break
+            # Any other exception is a genuine task error: deterministic,
+            # so retrying cannot help — propagate to the caller.
+            results[index] = value
+            del pending[index]
+            deadlines.pop(index, None)
+        if not pending:
+            break
+        if broken_reason is None:
+            dead = adapter.dead_workers()
+            if dead:
+                codes = sorted({proc.exitcode for proc in dead})
+                broken_reason = (
+                    f"{len(dead)} worker process(es) died (exit codes {codes})"
+                )
+        if broken_reason is not None:
+            stats.worker_crashes += 1
+            if failure.on_pool_failure == "raise":
+                adapter.discard()
+                raise WorkerCrashError(
+                    f"{label}: {broken_reason} with {len(pending)} shard(s) "
+                    "outstanding"
+                )
+            recover(broken_reason)
+            continue
+        now = time.monotonic()
+        expired = sorted(
+            index for index, deadline in deadlines.items() if now > deadline
+        )
+        if expired:
+            stats.shard_timeouts += len(expired)
+            timeout_reason = (
+                f"shard(s) {expired} exceeded "
+                f"shard_timeout_s={failure.shard_timeout_s:g}"
+            )
+            if failure.on_pool_failure == "raise":
+                adapter.discard()
+                raise ShardTimeoutError(f"{label}: {timeout_reason}")
+            recover(timeout_reason)
+            continue
+        wakeup.wait(_POLL_INTERVAL_S)
+    return results
+
+
+class _EphemeralAdapter:
+    """Pool mechanics of one supervised ephemeral :meth:`ShardedExecutor.run`."""
+
+    def __init__(self, start_method: Optional[str], task, payload, processes: int):
+        self._context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._task = task
+        self._payload = payload
+        self._processes = processes
+        self._pool = None
+        self._procs: List[Any] = []
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self._pool = self._context.Pool(
+            self._processes,
+            initializer=_init_worker,
+            initargs=(self._payload, faults.active_faults()),
+        )
+        self._procs = list(self._pool._pool)
+
+    def submit(self, index: int, shard: Any, wakeup: Event):
+        notify = lambda _result: wakeup.set()  # noqa: E731
+        return self._pool.apply_async(
+            _call_task,
+            ((self._task, shard, index),),
+            callback=notify,
+            error_callback=notify,
+        )
+
+    def dead_workers(self) -> List[Any]:
+        return [proc for proc in self._procs if proc.exitcode is not None]
+
+    def respawn(self) -> None:
+        self.discard()
+        self._spawn()
+
+    def discard(self) -> None:
+        pool, self._pool = self._pool, None
+        self._procs = []
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def serial(self, shard: Any) -> Any:
+        return self._task(self._payload, shard)
+
+    def finish(self) -> None:
+        """End-of-call shutdown: graceful close, bounded, then terminate."""
+        pool, self._pool = self._pool, None
+        procs, self._procs = self._procs, []
+        if pool is not None:
+            _shutdown_pool(pool, procs, _EPHEMERAL_CLOSE_GRACE_S)
+
+
+class _PersistentAdapter:
+    """Pool mechanics of one supervised :meth:`PersistentPool.run` call."""
+
+    def __init__(self, owner: "PersistentPool", task, payload, processes: int,
+                 failure: FailurePolicy):
+        self._owner = owner
+        self._task = task
+        self._payload = payload
+        self._processes = processes
+        self._failure = failure
+        self._token: Optional[int] = None
+
+    def attach(self) -> None:
+        """Bind the payload token, broadcasting to the live pool as needed."""
+        self._token = self._owner._attach_payload(
+            self._payload, self._processes, self._failure
+        )
+
+    def submit(self, index: int, shard: Any, wakeup: Event):
+        notify = lambda _result: wakeup.set()  # noqa: E731
+        return self._owner._pool.apply_async(
+            _call_task_by_token,
+            ((self._task, self._token, shard, index),),
+            callback=notify,
+            error_callback=notify,
+        )
+
+    def dead_workers(self) -> List[Any]:
+        return self._owner._dead_workers()
+
+    def respawn(self) -> None:
+        self._owner.close(timeout_s=0)
+        self.attach()
+
+    def discard(self) -> None:
+        self._owner.close(timeout_s=0)
+
+    def serial(self, shard: Any) -> Any:
+        return self._task(self._payload, shard)
 
 
 class PersistentPool:
@@ -204,9 +558,17 @@ class PersistentPool:
     elements — the pool keeps a strong reference, so ``id`` reuse cannot
     alias two different payloads.
 
+    Worker loss is survivable: calls run under the supervision loop
+    (:func:`_supervise`), broadcasts are watched for dead workers and broken
+    barriers, and recovery — respawn, re-broadcast of the payloads the
+    pending call needs, deterministic re-execution of exactly the unfinished
+    shards — is governed by the call's
+    :class:`~repro.parallel.failure.FailurePolicy`.  :attr:`recovery_stats`
+    counts those events, mirroring :attr:`spawn_count`.
+
     The pool never influences results: shard layout and RNG substreams are
-    fixed by the caller, ``Pool.map`` preserves order, and pool size (capped
-    by ``REPRO_MAX_JOBS``) only limits concurrency.
+    fixed by the caller, results merge by shard position, and pool size
+    (capped by ``REPRO_MAX_JOBS``) only limits concurrency.
     """
 
     #: Distinct payloads kept broadcast in the workers before the cache is
@@ -214,11 +576,18 @@ class PersistentPool:
     #: one-off payloads through one long-lived pool).
     MAX_CACHED_PAYLOADS = 8
 
+    #: Default grace period for :meth:`close` before falling back to
+    #: ``terminate()`` (lets worker-side atexit/coverage hooks run).
+    CLOSE_GRACE_S = 5.0
+
     def __init__(self, start_method: Optional[str] = None):
         self._start_method = start_method
         self._pool = None
+        self._procs: List[Any] = []
+        self._barrier = None
         self._processes = 0
         self._spawn_count = 0
+        self._recovery = RecoveryStats()
         self._tokens: dict = {}
         self._payloads: dict = {}
         self._next_token = 0
@@ -232,6 +601,11 @@ class PersistentPool:
     def spawn_count(self) -> int:
         """How many times a worker pool has been spawned over this pool's life."""
         return self._spawn_count
+
+    @property
+    def recovery_stats(self) -> RecoveryStats:
+        """Recovery counters accumulated over this pool's life (0s when clean)."""
+        return self._recovery
 
     def _ensure(self, requested: int):
         """Return a pool with at least ``requested`` workers (or ``None`` serial).
@@ -249,11 +623,43 @@ class PersistentPool:
         )
         barrier = context.Barrier(requested)
         self._pool = context.Pool(
-            requested, initializer=_init_persistent_worker, initargs=(barrier,)
+            requested,
+            initializer=_init_persistent_worker,
+            initargs=(barrier, faults.active_faults()),
         )
+        self._procs = list(self._pool._pool)
+        self._barrier = barrier
         self._processes = requested
         self._spawn_count += 1
         return self._pool
+
+    def _dead_workers(self) -> List[Any]:
+        return [proc for proc in self._procs if proc.exitcode is not None]
+
+    def _broadcast(self, function, items) -> None:
+        """Supervised barrier broadcast: raises :class:`_PoolBrokenError`.
+
+        Watches the broadcast for dead workers (aborting the barrier so the
+        survivors unblock instead of hanging until the worker-side timeout)
+        and converts every failure shape — death, broken barrier, stall —
+        into :class:`_PoolBrokenError` for the caller to recover from.
+        """
+        result = self._pool.map_async(function, items, chunksize=1)
+        deadline = time.monotonic() + _BROADCAST_TIMEOUT_S
+        while not result.ready():
+            if self._dead_workers():
+                self._barrier.abort()
+                raise _PoolBrokenError("a worker died during a payload broadcast")
+            if time.monotonic() > deadline:
+                self._barrier.abort()
+                raise _PoolBrokenError("a payload broadcast stalled")
+            result.wait(_POLL_INTERVAL_S)
+        try:
+            result.get()
+        except BrokenBarrierError as exc:
+            raise _PoolBrokenError(
+                "the payload-broadcast barrier broke"
+            ) from exc
 
     def _payload_token(self, payload: Any) -> int:
         key = (
@@ -264,19 +670,49 @@ class PersistentPool:
         token = self._tokens.get(key)
         if token is None:
             if len(self._tokens) >= self.MAX_CACHED_PAYLOADS:
-                self._pool.map(
-                    _drop_payloads, [None] * self._processes, chunksize=1
-                )
+                self._broadcast(_drop_payloads, [None] * self._processes)
                 self._tokens.clear()
                 self._payloads.clear()
             token = self._next_token
             self._next_token += 1
+            self._broadcast(_store_payload, [(token, payload)] * self._processes)
             self._tokens[key] = token
             self._payloads[token] = payload
-            self._pool.map(
-                _store_payload, [(token, payload)] * self._processes, chunksize=1
-            )
         return token
+
+    def _attach_payload(
+        self, payload: Any, processes: int, failure: FailurePolicy
+    ) -> int:
+        """Token for ``payload`` on a live pool, recovering broken broadcasts.
+
+        A failed broadcast (dead worker, broken barrier) tears the pool down
+        and retries on a fresh one — re-broadcasting **only this payload**,
+        the one the pending call needs — up to ``failure.max_retries`` times
+        (no retries under ``"raise"``).  Raises :class:`_PoolBrokenError`
+        when the budget is exhausted.
+        """
+        tries = 1 if failure.on_pool_failure == "raise" else failure.max_retries + 1
+        last: Optional[Exception] = None
+        for attempt in range(tries):
+            self._ensure(processes)
+            try:
+                return self._payload_token(payload)
+            except _PoolBrokenError as exc:
+                last = exc
+                self._recovery.worker_crashes += 1
+                self.close(timeout_s=0)
+                if attempt + 1 >= tries:
+                    break
+                self._recovery.pool_respawns += 1
+                warnings.warn(
+                    f"persistent pool: {exc}; respawning workers and "
+                    "re-broadcasting the pending call's payload",
+                    RuntimeWarning,
+                    stacklevel=5,
+                )
+                if failure.retry_backoff_s > 0:
+                    time.sleep(failure.retry_backoff_s * (attempt + 1))
+        raise last
 
     def run(
         self,
@@ -284,35 +720,60 @@ class PersistentPool:
         payload: Any,
         shards: Sequence[Any],
         processes: int,
+        failure: Optional[FailurePolicy] = None,
     ) -> List[Any]:
         """Evaluate ``task(payload, shard)`` per shard on the persistent workers.
 
         ``processes`` is the concurrency the caller wants (already capped by
-        ``REPRO_MAX_JOBS``); results are bit-identical to the ephemeral path
-        — same tasks, same shard args, same merge order.
+        ``REPRO_MAX_JOBS``); ``failure`` governs recovery (defaults to
+        :data:`~repro.parallel.failure.DEFAULT_FAILURE_POLICY`).  Results are
+        bit-identical to the ephemeral path — same tasks, same shard args,
+        same merge order — whether or not recovery was needed.
         """
-        pool = self._ensure(processes)
-        if pool is None:
+        failure = failure if failure is not None else DEFAULT_FAILURE_POLICY
+        shards = list(shards)
+        if self._ensure(processes) is None:
             return [task(payload, shard) for shard in shards]
-        token = self._payload_token(payload)
-        return pool.map(_call_task_by_token, [(task, token, shard) for shard in shards])
+        adapter = _PersistentAdapter(self, task, payload, processes, failure)
+        try:
+            adapter.attach()
+        except _PoolBrokenError as exc:
+            if failure.on_pool_failure == "raise":
+                raise WorkerCrashError(f"persistent pool: {exc}") from exc
+            self._recovery.serial_fallbacks += len(shards)
+            warnings.warn(
+                f"persistent pool: {exc} and the retry budget is exhausted; "
+                f"degrading all {len(shards)} shard(s) to in-process serial "
+                "execution (results stay bit-identical)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [task(payload, shard) for shard in shards]
+        return _supervise(adapter, shards, failure, self._recovery, "persistent pool")
 
-    def close(self) -> None:
+    def close(self, timeout_s: Optional[float] = None) -> None:
         """Shut the workers down and forget broadcast payloads.
 
+        Workers are first asked to exit gracefully — so worker-side
+        ``atexit``/coverage hooks run — and terminated only if still alive
+        after ``timeout_s`` seconds (default :attr:`CLOSE_GRACE_S`; pass
+        ``0`` to terminate immediately, e.g. when the pool is known broken).
         The pool object stays usable — the next sharded call respawns
-        workers (incrementing :attr:`spawn_count`)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        workers (incrementing :attr:`spawn_count`).
+        """
+        pool, self._pool = self._pool, None
+        procs, self._procs = self._procs, []
+        self._barrier = None
+        if pool is not None:
+            grace = self.CLOSE_GRACE_S if timeout_s is None else timeout_s
+            _shutdown_pool(pool, procs, grace)
         self._processes = 0
         self._tokens.clear()
         self._payloads.clear()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
-            self.close()
+            self.close(timeout_s=0)
         except Exception:
             pass
 
@@ -333,6 +794,10 @@ class ShardedExecutor:
         ``multiprocessing.Pool``; with one, workers are reused across calls
         — :class:`repro.runtime.Runtime` hands these out.  Results are
         bit-identical either way.
+    failure:
+        The :class:`~repro.parallel.failure.FailurePolicy` governing worker
+        loss and shard timeouts (default: degrade-and-recover).  Never
+        influences results, only whether/where lost shards are re-executed.
     """
 
     def __init__(
@@ -340,15 +805,28 @@ class ShardedExecutor:
         n_jobs: Optional[int] = None,
         start_method: Optional[str] = None,
         pool: Optional[PersistentPool] = None,
+        failure: Optional[FailurePolicy] = None,
     ):
         self._n_jobs = resolve_n_jobs(n_jobs)
         self._start_method = start_method
         self._pool = pool
+        self._failure = failure if failure is not None else DEFAULT_FAILURE_POLICY
+        self._recovery = RecoveryStats()
 
     @property
     def n_jobs(self) -> int:
         """The resolved shard count (``-1`` already expanded)."""
         return self._n_jobs
+
+    @property
+    def failure(self) -> FailurePolicy:
+        """The failure policy supervised runs execute under."""
+        return self._failure
+
+    @property
+    def recovery_stats(self) -> RecoveryStats:
+        """Recovery counters: the bound pool's, or this executor's own."""
+        return self._pool.recovery_stats if self._pool is not None else self._recovery
 
     def run(
         self,
@@ -372,9 +850,13 @@ class ShardedExecutor:
         if processes <= 1:
             return [task(payload, shard) for shard in shards]
         if self._pool is not None:
-            return self._pool.run(task, payload, shards, processes)
-        context = multiprocessing.get_context(self._start_method or _default_start_method())
-        with context.Pool(
-            processes, initializer=_init_worker, initargs=(payload,)
-        ) as pool:
-            return pool.map(_call_task, [(task, shard) for shard in shards])
+            return self._pool.run(
+                task, payload, shards, processes, failure=self._failure
+            )
+        adapter = _EphemeralAdapter(self._start_method, task, payload, processes)
+        try:
+            return _supervise(
+                adapter, shards, self._failure, self._recovery, "ephemeral pool"
+            )
+        finally:
+            adapter.finish()

@@ -1,0 +1,200 @@
+"""Fault-injection harness for the sharded execution layer.
+
+The supervised executor (:mod:`repro.parallel.executor`) promises bit-identical
+results when worker processes die mid-call.  That promise is only worth
+something if it is *proved*, and real worker deaths (OOM kills, segfaults in C
+extensions, operator ``kill -9``) cannot be staged reliably in a test suite —
+so this module provides deterministic, test-driven stand-ins:
+
+* :meth:`FaultInjector.kill_worker` — the worker that picks up shard ``k``
+  calls ``os._exit`` before (or after) computing it, exactly like a SIGKILL
+  mid-shard;
+* :meth:`FaultInjector.delay_shard` — the worker sleeps past the configured
+  ``shard_timeout_s`` before computing shard ``k``, simulating a live-but-hung
+  worker;
+* :meth:`FaultInjector.poison_broadcast` — one worker dies *inside* the
+  barrier-synchronised payload broadcast, leaving its siblings parked on the
+  barrier — the exact deadlock shape the supervised broadcast must break.
+
+Faults are **driven by tests, not environment variables**: a test builds an
+injector, arms faults, and installs it for the duration of a ``with`` block::
+
+    injector = FaultInjector()
+    injector.kill_worker(shard=1, when="before")
+    with injector:
+        results = executor.run(task, payload, shards)   # recovers, bit-identical
+
+Installation is process-wide but parent-side only: the executor snapshots the
+armed faults when it spawns a pool and ships them to the workers through the
+pool initializer (so they survive both ``fork`` and ``spawn`` payload
+delivery).  Each fault carries a cross-process one-shot latch — a
+``multiprocessing`` shared ``Value`` — so a fault fires exactly ``times``
+times no matter how often the recovering executor respawns the pool and
+re-arms the workers.  In-process serial execution (the last rung of the
+degradation ladder) never consults the harness: faults simulate *worker*
+failures, and the serial fallback is precisely the path that has no workers
+left to lose.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, List, Optional
+
+#: Fault kinds (internal).
+KILL_BEFORE_SHARD = "kill-before-shard"
+KILL_AFTER_SHARD = "kill-after-shard"
+DELAY_SHARD = "delay-shard"
+KILL_IN_BROADCAST = "kill-in-broadcast"
+
+#: Exit code used by injected kills — distinctive in worker exit-code lists.
+FAULT_EXIT_CODE = 86
+
+
+class FaultSpec:
+    """One armed fault with a cross-process firing latch.
+
+    ``times`` bounds how often the fault fires (``-1`` → every time a worker
+    reaches the hook, which makes a shard permanently unrunnable on *any*
+    pool and forces the serial degradation rung).
+    """
+
+    def __init__(self, kind: str, shard: Optional[int], seconds: float, times: int, latch: Any):
+        self.kind = kind
+        self.shard = shard
+        self.seconds = seconds
+        self.times = times
+        self._latch = latch
+
+    def fire(self) -> bool:
+        """Atomically claim one firing; ``True`` at most ``times`` times."""
+        with self._latch.get_lock():
+            if self.times != -1 and self._latch.value >= self.times:
+                return False
+            self._latch.value += 1
+            return True
+
+    @property
+    def fire_count(self) -> int:
+        """How often the fault has fired so far (parent-readable)."""
+        return int(self._latch.value)
+
+
+class FaultInjector:
+    """Builds, installs and tracks a set of injectable faults.
+
+    Parameters
+    ----------
+    context:
+        The :mod:`multiprocessing` context whose shared ``Value`` primitives
+        back the firing latches; defaults to the executor's default start
+        method so latches and pools always come from the same context.
+    """
+
+    def __init__(self, context: Any = None):
+        if context is None:
+            import multiprocessing
+
+            from repro.parallel.executor import _default_start_method
+
+            context = multiprocessing.get_context(_default_start_method())
+        self._context = context
+        self.faults: List[FaultSpec] = []
+
+    def _add(self, kind: str, shard: Optional[int] = None, seconds: float = 0.0,
+             times: int = 1) -> FaultSpec:
+        spec = FaultSpec(kind, shard, seconds, times, self._context.Value("i", 0))
+        self.faults.append(spec)
+        return spec
+
+    def kill_worker(self, shard: int, when: str = "before", times: int = 1) -> FaultSpec:
+        """Kill the worker that picks up ``shard`` (``os._exit``, no cleanup).
+
+        ``when="before"`` dies before any shard work runs; ``when="after"``
+        dies after computing the result but before returning it — either way
+        the parent never receives the shard and must re-execute it.
+        """
+        if when not in ("before", "after"):
+            raise ValueError(f"when must be 'before' or 'after', got {when!r}")
+        kind = KILL_BEFORE_SHARD if when == "before" else KILL_AFTER_SHARD
+        return self._add(kind, shard=shard, times=times)
+
+    def delay_shard(self, shard: int, seconds: float, times: int = 1) -> FaultSpec:
+        """Sleep ``seconds`` before computing ``shard`` (to trip a timeout)."""
+        return self._add(DELAY_SHARD, shard=shard, seconds=seconds, times=times)
+
+    def poison_broadcast(self, times: int = 1) -> FaultSpec:
+        """Kill one worker inside the payload-broadcast barrier."""
+        return self._add(KILL_IN_BROADCAST, times=times)
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "FaultInjector":
+        install(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        uninstall(self)
+
+
+#: The parent-side installed injector (snapshotted at pool spawn).
+_INSTALLED: Optional[FaultInjector] = None
+
+#: The worker-side armed fault list (set by the pool initializers).
+_ARMED: List[FaultSpec] = []
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide fault source for new pools."""
+    global _INSTALLED
+    _INSTALLED = injector
+
+
+def uninstall(injector: FaultInjector) -> None:
+    """Remove ``injector`` if it is the installed one."""
+    global _INSTALLED
+    if _INSTALLED is injector:
+        _INSTALLED = None
+
+
+def active_faults() -> Optional[List[FaultSpec]]:
+    """Snapshot of the installed faults (shipped through pool initializers)."""
+    if _INSTALLED is None or not _INSTALLED.faults:
+        return None
+    return list(_INSTALLED.faults)
+
+
+def arm(specs: Optional[List[FaultSpec]]) -> None:
+    """Worker-side: adopt the fault list shipped by the pool initializer."""
+    global _ARMED
+    _ARMED = list(specs) if specs else []
+
+
+# ---------------------------------------------------------------------- #
+# worker-side hooks (called from the executor's task wrappers)
+# ---------------------------------------------------------------------- #
+def on_shard_start(index: int) -> None:
+    """Fire ``kill-before`` / ``delay`` faults targeting shard ``index``."""
+    for spec in _ARMED:
+        if spec.shard != index:
+            continue
+        if spec.kind == KILL_BEFORE_SHARD and spec.fire():
+            os._exit(FAULT_EXIT_CODE)
+        if spec.kind == DELAY_SHARD and spec.fire():
+            time.sleep(spec.seconds)
+
+
+def on_shard_end(index: int) -> None:
+    """Fire ``kill-after`` faults targeting shard ``index``."""
+    for spec in _ARMED:
+        if spec.kind == KILL_AFTER_SHARD and spec.shard == index and spec.fire():
+            os._exit(FAULT_EXIT_CODE)
+
+
+def on_broadcast() -> None:
+    """Fire broadcast-poisoning faults (called from ``_store_payload``)."""
+    for spec in _ARMED:
+        if spec.kind == KILL_IN_BROADCAST and spec.fire():
+            os._exit(FAULT_EXIT_CODE)

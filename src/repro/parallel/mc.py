@@ -7,7 +7,9 @@ Worker tasks and merge helpers behind the ``n_jobs`` knob of
 Both estimators are embarrassingly parallel: cascades are independent draws
 merged by a monotone sum/concat, so each worker runs the batched
 level-synchronous engine on its own :func:`spawn_rngs` substream and the
-parent folds the integer activation totals together in shard order.
+parent folds the integer activation totals together in shard order (the
+supervised executor merges by shard position, so crash-recovery retries
+cannot reorder — or change — the sum).
 
 * ``monte_carlo_spread`` shards the *simulation count* — worker ``k`` runs
   ``counts[k]`` cascades of the same seed set and returns the integer total

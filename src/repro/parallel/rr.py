@@ -9,8 +9,11 @@ pickled-once) CSR graph, draws from its own :func:`spawn_rngs` substream and
 returns its RR-sets as **flat arrays** — one concatenated member array plus a
 size array (and, for the uniform sampler, a tag array) — so the pickle back
 to the parent is two or three large buffers instead of thousands of tiny
-ones.  The parent merges shards in worker-index order, which is what makes a
-fixed ``(seed, n_jobs)`` pair bit-reproducible.
+ones.  The parent merges shards by shard position (the supervised executor
+returns results indexed by shard, regardless of completion order or
+crash-recovery retries), which is what makes a fixed ``(seed, n_jobs)``
+pair bit-reproducible — even when a worker died mid-call and its shards
+were re-executed.
 
 Each shard result also carries the worker's CPU seconds
 (:func:`time.process_time`), which the perf harness uses to report

@@ -8,6 +8,9 @@ This package is the single source of truth for *how* the library executes:
   and a :meth:`ExecutionPolicy.from_flags` adapter for the legacy keyword
   sprawl (``use_subsim`` / ``use_batched_mc`` / ``use_batched_greedy`` /
   ``n_jobs`` / ``fast``);
+* :class:`FailurePolicy` — the fault-tolerance leg of the policy: shard
+  timeouts, deterministic retry budgets and the degrade-vs-raise switch for
+  the sharded stages (re-exported from :mod:`repro.parallel.failure`);
 * :class:`Runtime` — a context manager owning a persistent worker pool
   (:class:`~repro.parallel.executor.PersistentPool`) reused across RMA's
   doubling rounds, OneBatch, TI pool fills and MC oracle queries;
@@ -19,6 +22,7 @@ Every solver, baseline, sampler and oracle accepts ``policy=`` /
 shims (see :func:`repro.runtime.policy.coerce_policy`).
 """
 
+from repro.parallel.failure import FailurePolicy, RecoveryStats
 from repro.runtime.policy import (
     ExecutionPolicy,
     POLICY_PRESETS,
@@ -29,7 +33,9 @@ from repro.runtime.runtime import Runtime, acquire_executor, current_runtime
 
 __all__ = [
     "ExecutionPolicy",
+    "FailurePolicy",
     "POLICY_PRESETS",
+    "RecoveryStats",
     "Runtime",
     "acquire_executor",
     "coerce_policy",

@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional
 
 from repro.exceptions import PolicyError
 from repro.parallel.executor import validate_n_jobs
+from repro.parallel.failure import DEFAULT_FAILURE_POLICY, FailurePolicy
 
 #: Valid engine names per stage.
 RR_ENGINES = ("legacy", "subsim")
@@ -80,6 +81,13 @@ class ExecutionPolicy:
         Whether the policy reproduces the seed tree's RNG streams bit for
         bit.  ``None`` (the default) derives the value; an explicit ``True``
         on a policy that cannot honour it raises :class:`PolicyError`.
+    failure:
+        The :class:`~repro.parallel.failure.FailurePolicy` governing how the
+        sharded stages react to worker loss and hung shards (the default
+        degrades gracefully: deterministic shard retry on a respawned pool,
+        then in-process serial execution).  Never influences results — the
+        determinism contract makes recovered runs bit-identical — so it does
+        not participate in ``rng_compat``.
     """
 
     rr_engine: str = "legacy"
@@ -88,6 +96,7 @@ class ExecutionPolicy:
     n_jobs: Optional[int] = None
     mc_batch_size: Optional[int] = None
     rng_compat: Optional[bool] = None
+    failure: FailurePolicy = DEFAULT_FAILURE_POLICY
 
     def __post_init__(self) -> None:
         if self.rr_engine not in RR_ENGINES:
@@ -106,6 +115,10 @@ class ExecutionPolicy:
         if self.mc_batch_size is not None and int(self.mc_batch_size) <= 0:
             raise PolicyError(
                 f"mc_batch_size must be positive, got {self.mc_batch_size}"
+            )
+        if not isinstance(self.failure, FailurePolicy):
+            raise PolicyError(
+                f"failure must be a FailurePolicy, got {type(self.failure).__name__}"
             )
         derived = self._derive_rng_compat()
         if self.rng_compat is None:
@@ -144,26 +157,40 @@ class ExecutionPolicy:
     # presets
     # ------------------------------------------------------------------ #
     @classmethod
-    def seed(cls, n_jobs: Optional[int] = None) -> "ExecutionPolicy":
+    def seed(
+        cls,
+        n_jobs: Optional[int] = None,
+        failure: Optional[FailurePolicy] = None,
+    ) -> "ExecutionPolicy":
         """The default policy: every seed-compatible engine, serial by default.
 
         With ``n_jobs`` in ``(None, 1)`` the run is bit-identical to the
         seed tree; a larger ``n_jobs`` keeps the legacy engines but shards
-        them (bit-reproducible for fixed ``(seed, n_jobs)``).
+        them (bit-reproducible for fixed ``(seed, n_jobs)``).  ``failure``
+        overrides the fault-tolerance behaviour of the sharded stages.
         """
-        return cls(n_jobs=n_jobs)
+        return cls(
+            n_jobs=n_jobs,
+            failure=failure if failure is not None else DEFAULT_FAILURE_POLICY,
+        )
 
     @classmethod
-    def fast(cls, n_jobs: Optional[int] = -1) -> "ExecutionPolicy":
+    def fast(
+        cls,
+        n_jobs: Optional[int] = -1,
+        failure: Optional[FailurePolicy] = None,
+    ) -> "ExecutionPolicy":
         """Every fast engine — SUBSIM RR, batched MC, batched greedy — plus
         all cores (override with ``n_jobs``).  Statistically equivalent to
         :meth:`seed`, not bit-identical (see the RNG policy in
-        ``docs/architecture.md``)."""
+        ``docs/architecture.md``).  ``failure`` overrides the
+        fault-tolerance behaviour of the sharded stages."""
         return cls(
             rr_engine="subsim",
             mc_engine="batched",
             greedy_engine="batched",
             n_jobs=n_jobs,
+            failure=failure if failure is not None else DEFAULT_FAILURE_POLICY,
         )
 
     @classmethod
@@ -238,15 +265,20 @@ class ExecutionPolicy:
         """One-line human-readable summary (the CLI's effective-policy line)."""
         jobs = "serial" if self.n_jobs in (None, 1) else str(self.n_jobs)
         name = ""
-        if self == ExecutionPolicy.seed(n_jobs=self.n_jobs):
+        if self == ExecutionPolicy.seed(n_jobs=self.n_jobs, failure=self.failure):
             name = "seed: "
-        elif self == ExecutionPolicy.fast(n_jobs=self.n_jobs):
+        elif self == ExecutionPolicy.fast(n_jobs=self.n_jobs, failure=self.failure):
             name = "fast: "
         batch = "" if self.mc_batch_size is None else f" mc_batch_size={self.mc_batch_size}"
+        fail = (
+            ""
+            if self.failure == DEFAULT_FAILURE_POLICY
+            else f" failure={self.failure.describe()}"
+        )
         return (
             f"{name}rr={self.rr_engine} mc={self.mc_engine} "
             f"greedy={self.greedy_engine} n_jobs={jobs}{batch} "
-            f"rng_compat={'yes' if self.rng_compat else 'no'}"
+            f"rng_compat={'yes' if self.rng_compat else 'no'}{fail}"
         )
 
 

@@ -73,9 +73,19 @@ class Runtime:
 
         The acceptance metric of the pool-reuse contract: one RMA run inside
         a ``Runtime`` block must report at most 1 here, however many
-        doubling rounds it took.
+        doubling rounds it took.  Recovery respawns after a worker crash
+        also increment it (see :attr:`recovery_stats`).
         """
         return self._pool.spawn_count
+
+    @property
+    def recovery_stats(self):
+        """The pool's :class:`~repro.parallel.failure.RecoveryStats`.
+
+        All zeros on a failure-free run; the CLI prints it next to the
+        effective-policy line when any recovery happened.
+        """
+        return self._pool.recovery_stats
 
     def sharded_executor(self, n_jobs: Optional[int] = None) -> ShardedExecutor:
         """An executor bound to this runtime's pool.
@@ -86,9 +96,13 @@ class Runtime:
         call computes (e.g. ``MonteCarloOracle`` passing ``n_jobs=None`` to
         keep small queries serial).  Pool size only caps concurrency, so
         executors with different ``n_jobs`` share the pool without
-        affecting each other's outputs.
+        affecting each other's outputs.  The executor inherits the policy's
+        :class:`~repro.parallel.failure.FailurePolicy`, which governs
+        recovery but never results.
         """
-        return ShardedExecutor(n_jobs, pool=self._pool)
+        return ShardedExecutor(
+            n_jobs, pool=self._pool, failure=self._policy.failure
+        )
 
     def close(self) -> None:
         """Release the worker processes (the runtime stays reusable)."""

@@ -1,0 +1,507 @@
+"""Fault-tolerance suite for the supervised sharded execution layer.
+
+Every test stages a real worker failure through the deterministic
+fault-injection harness (:mod:`repro.parallel.faults`) — ``os._exit`` mid
+shard, a sleep past the shard timeout, a death inside the payload-broadcast
+barrier — and asserts the recovery contract:
+
+* under ``on_pool_failure="degrade"`` the run completes and its results are
+  **bit-identical** to a failure-free run (shard layout and RNG substreams
+  are pure functions of ``(seed, n_jobs)``, so re-executing a lost shard —
+  on a respawned pool or in-process — reproduces it exactly);
+* under ``on_pool_failure="raise"`` the failure surfaces promptly as
+  :class:`~repro.exceptions.WorkerCrashError` /
+  :class:`~repro.exceptions.ShardTimeoutError`;
+* recovery telemetry (:class:`~repro.parallel.failure.RecoveryStats`,
+  ``PersistentPool.spawn_count``) counts what actually happened, and clean
+  runs stay at zero.
+
+Both pool flavours are covered: ephemeral (per-call pool) and persistent
+(the :class:`~repro.runtime.Runtime` pool), over the real sharded stages —
+RR-set generation and Monte-Carlo spread estimation — plus a tiny echo task
+for the mechanics-only cases.  All faults fire on fixed shards with one-shot
+cross-process latches, so the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import WeightedCascadeModel
+from repro.exceptions import (
+    ExecutionError,
+    PolicyError,
+    ReproError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+from repro.graph.generators import preferential_attachment_digraph
+from repro.parallel import (
+    DEFAULT_FAILURE_POLICY,
+    FailurePolicy,
+    FaultInjector,
+    PersistentPool,
+    RecoveryStats,
+    ShardedExecutor,
+)
+from repro.parallel.faults import FAULT_EXIT_CODE
+from repro.parallel.mc import sharded_spread
+from repro.parallel.rr import run_generation_shards
+from repro.rrsets.generator import RRSetGenerator
+
+#: Degrade fast in tests: short backoff, default retry budget.
+DEGRADE = FailurePolicy(retry_backoff_s=0.01)
+
+#: Raise mode with a short timeout for the timeout-surfacing tests.
+RAISE_FAST = FailurePolicy.fail_fast(shard_timeout_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def micro_graph():
+    return preferential_attachment_digraph(60, out_degree=3, seed=2)
+
+
+@pytest.fixture(scope="module")
+def wc_probabilities(micro_graph):
+    return np.asarray(
+        WeightedCascadeModel(micro_graph).edge_probabilities(), dtype=np.float64
+    )
+
+
+def _echo_task(payload, shard):
+    return payload + shard
+
+
+def _slow_echo_task(payload, shard):
+    time.sleep(0.05)
+    return payload + shard
+
+
+def _rr_signature(shards):
+    """Hashable bit-level signature of a list of GenerationShards."""
+    return tuple(
+        (tuple(shard.members.tolist()), tuple(shard.sizes.tolist()))
+        for shard in shards
+    )
+
+
+def _recovered(executor, **kwargs):
+    """Run ``executor.run`` swallowing only the recovery RuntimeWarnings."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return executor.run(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# FailurePolicy algebra
+# --------------------------------------------------------------------------- #
+class TestFailurePolicy:
+    def test_defaults(self):
+        policy = FailurePolicy()
+        assert policy.shard_timeout_s is None
+        assert policy.max_retries == 2
+        assert policy.on_pool_failure == "degrade"
+        assert policy == DEFAULT_FAILURE_POLICY
+
+    def test_fail_fast_preset(self):
+        policy = FailurePolicy.fail_fast(shard_timeout_s=3.0)
+        assert policy.on_pool_failure == "raise"
+        assert policy.max_retries == 0
+        assert policy.shard_timeout_s == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shard_timeout_s": 0.0},
+            {"shard_timeout_s": -1.0},
+            {"max_retries": -1},
+            {"retry_backoff_s": -0.1},
+            {"on_pool_failure": "explode"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PolicyError):
+            FailurePolicy(**kwargs)
+
+    def test_describe(self):
+        assert FailurePolicy().describe() == (
+            "degrade(timeout=none, retries=2, backoff=0.1s)"
+        )
+        assert "raise(timeout=2s" in FailurePolicy.fail_fast(2.0).describe()
+
+    def test_exception_family(self):
+        assert issubclass(WorkerCrashError, ExecutionError)
+        assert issubclass(ShardTimeoutError, ExecutionError)
+        assert issubclass(ExecutionError, ReproError)
+
+    def test_recovery_stats_events(self):
+        stats = RecoveryStats()
+        assert stats.events == 0
+        stats.worker_crashes += 1
+        stats.shards_rerun += 2
+        assert stats.events == 3
+        assert "crashes=1" in stats.describe()
+
+
+# --------------------------------------------------------------------------- #
+# Ephemeral pool: crash / timeout / degradation mechanics
+# --------------------------------------------------------------------------- #
+class TestEphemeralRecovery:
+    def test_clean_run_zero_recovery(self):
+        executor = ShardedExecutor(2, failure=DEGRADE)
+        assert executor.run(_echo_task, 100, list(range(6))) == [
+            100 + shard for shard in range(6)
+        ]
+        assert executor.recovery_stats.events == 0
+
+    @pytest.mark.parametrize("when", ["before", "after"])
+    def test_worker_kill_recovers_bit_identical(self, when):
+        expected = ShardedExecutor(2, failure=DEGRADE).run(
+            _echo_task, 100, list(range(6))
+        )
+        executor = ShardedExecutor(2, failure=DEGRADE)
+        injector = FaultInjector()
+        spec = injector.kill_worker(shard=1, when=when)
+        with injector:
+            with pytest.warns(RuntimeWarning):
+                results = executor.run(_echo_task, 100, list(range(6)))
+        assert results == expected
+        assert spec.fire_count == 1
+        stats = executor.recovery_stats
+        assert stats.worker_crashes >= 1
+        assert stats.pool_respawns >= 1
+        assert stats.shards_rerun >= 1
+        assert stats.serial_fallbacks == 0
+
+    def test_worker_kill_raise_mode(self):
+        executor = ShardedExecutor(2, failure=FailurePolicy.fail_fast())
+        injector = FaultInjector()
+        injector.kill_worker(shard=0, when="before")
+        with injector:
+            with pytest.raises(WorkerCrashError, match="died"):
+                executor.run(_echo_task, 0, list(range(4)))
+        # The injected exit code is named in the error path's telemetry.
+        assert executor.recovery_stats.worker_crashes == 1
+
+    def test_fault_exit_code_reported(self):
+        executor = ShardedExecutor(2, failure=FailurePolicy.fail_fast())
+        injector = FaultInjector()
+        injector.kill_worker(shard=0, when="before")
+        with injector:
+            with pytest.raises(WorkerCrashError, match=str(FAULT_EXIT_CODE)):
+                executor.run(_echo_task, 0, list(range(4)))
+
+    def test_shard_timeout_degrades_bit_identical(self):
+        policy = FailurePolicy(shard_timeout_s=0.4, retry_backoff_s=0.01)
+        expected = ShardedExecutor(2).run(_echo_task, 7, list(range(4)))
+        executor = ShardedExecutor(2, failure=policy)
+        injector = FaultInjector()
+        injector.delay_shard(shard=2, seconds=30.0)
+        with injector:
+            with pytest.warns(RuntimeWarning):
+                results = executor.run(_echo_task, 7, list(range(4)))
+        assert results == expected
+        assert executor.recovery_stats.shard_timeouts >= 1
+
+    def test_shard_timeout_raise_mode_is_prompt(self):
+        executor = ShardedExecutor(2, failure=RAISE_FAST)
+        injector = FaultInjector()
+        injector.delay_shard(shard=0, seconds=30.0)
+        start = time.monotonic()
+        with injector:
+            with pytest.raises(ShardTimeoutError, match="exceeded"):
+                executor.run(_slow_echo_task, 0, list(range(4)))
+        elapsed = time.monotonic() - start
+        # Must surface within the configured timeout plus supervision slack,
+        # never wait out the 30 s injected delay.
+        assert elapsed < RAISE_FAST.shard_timeout_s + 5.0
+
+    def test_permanent_fault_degrades_to_serial(self):
+        # times=-1 → the shard dies on *every* pool, forcing the last rung.
+        expected = ShardedExecutor(2).run(_echo_task, 50, list(range(4)))
+        executor = ShardedExecutor(2, failure=DEGRADE)
+        injector = FaultInjector()
+        injector.kill_worker(shard=1, when="before", times=-1)
+        with injector:
+            with pytest.warns(RuntimeWarning):
+                results = executor.run(_echo_task, 50, list(range(4)))
+        assert results == expected
+        stats = executor.recovery_stats
+        assert stats.serial_fallbacks >= 1
+        assert stats.worker_crashes > DEGRADE.max_retries
+
+    def test_task_errors_propagate_not_retried(self):
+        executor = ShardedExecutor(2, failure=DEGRADE)
+        with pytest.raises(ZeroDivisionError):
+            executor.run(_divide_task, 1, [1, 0, 2, 4])
+        # A deterministic task error is not a pool failure: no recovery.
+        assert executor.recovery_stats.events == 0
+
+
+def _divide_task(payload, shard):
+    return payload / shard
+
+
+# --------------------------------------------------------------------------- #
+# Persistent pool: crash recovery, broadcast poisoning, reuse after recovery
+# --------------------------------------------------------------------------- #
+class TestPersistentRecovery:
+    def test_crash_recovery_bit_identical_and_pool_reusable(self):
+        expected = ShardedExecutor(2).run(_echo_task, 9, list(range(6)))
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(2, pool=pool, failure=DEGRADE)
+            injector = FaultInjector()
+            injector.kill_worker(shard=1, when="before")
+            with injector:
+                with pytest.warns(RuntimeWarning):
+                    results = executor.run(_echo_task, 9, list(range(6)))
+            assert results == expected
+            assert pool.spawn_count == 2  # initial spawn + recovery respawn
+            assert pool.recovery_stats.pool_respawns >= 1
+            # The recovered pool keeps serving cleanly.
+            before = pool.recovery_stats.events
+            assert executor.run(_echo_task, 9, list(range(6))) == expected
+            assert pool.spawn_count == 2
+            assert pool.recovery_stats.events == before
+        finally:
+            pool.close()
+
+    def test_crash_raise_mode(self):
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(
+                2, pool=pool, failure=FailurePolicy.fail_fast()
+            )
+            injector = FaultInjector()
+            injector.kill_worker(shard=0, when="after")
+            with injector:
+                with pytest.raises(WorkerCrashError):
+                    executor.run(_echo_task, 3, list(range(4)))
+        finally:
+            pool.close()
+
+    def test_poisoned_broadcast_recovers(self):
+        expected = ShardedExecutor(2).run(_echo_task, 11, list(range(4)))
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(2, pool=pool, failure=DEGRADE)
+            injector = FaultInjector()
+            injector.poison_broadcast()
+            with injector:
+                with pytest.warns(RuntimeWarning):
+                    results = executor.run(_echo_task, 11, list(range(4)))
+            assert results == expected
+            assert pool.spawn_count == 2
+            assert pool.recovery_stats.worker_crashes >= 1
+        finally:
+            pool.close()
+
+    def test_poisoned_broadcast_raise_mode(self):
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(
+                2, pool=pool, failure=FailurePolicy.fail_fast()
+            )
+            injector = FaultInjector()
+            injector.poison_broadcast()
+            with injector:
+                with pytest.raises(WorkerCrashError, match="broadcast|barrier"):
+                    executor.run(_echo_task, 1, list(range(4)))
+        finally:
+            pool.close()
+
+    def test_permanently_poisoned_broadcast_degrades_serially(self):
+        expected = ShardedExecutor(2).run(_echo_task, 21, list(range(4)))
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(2, pool=pool, failure=DEGRADE)
+            injector = FaultInjector()
+            injector.poison_broadcast(times=-1)
+            with injector:
+                with pytest.warns(RuntimeWarning):
+                    results = executor.run(_echo_task, 21, list(range(4)))
+            assert results == expected
+            assert pool.recovery_stats.serial_fallbacks == 4
+        finally:
+            pool.close()
+
+
+# --------------------------------------------------------------------------- #
+# Bit-identity on the real sharded stages: RR generation and sharded MC
+# --------------------------------------------------------------------------- #
+class TestStageBitIdentity:
+    N_JOBS = 2
+    RR_COUNT = 48
+    MC_SIMS = 200
+
+    def _rr(self, micro_graph, wc_probabilities, executor):
+        return run_generation_shards(
+            RRSetGenerator, micro_graph, wc_probabilities, self.RR_COUNT, 11, executor
+        )
+
+    def _mc(self, micro_graph, wc_probabilities, executor):
+        seeds = np.array([0, 3, 5], dtype=np.int64)
+        return sharded_spread(
+            micro_graph, wc_probabilities, seeds, self.MC_SIMS, 13, executor
+        )
+
+    @pytest.fixture(scope="class")
+    def rr_expected(self, micro_graph, wc_probabilities):
+        return _rr_signature(
+            self._rr(micro_graph, wc_probabilities, ShardedExecutor(self.N_JOBS))
+        )
+
+    @pytest.fixture(scope="class")
+    def mc_expected(self, micro_graph, wc_probabilities):
+        return self._mc(micro_graph, wc_probabilities, ShardedExecutor(self.N_JOBS))
+
+    @pytest.mark.parametrize("shard", [0, 1])
+    def test_rr_generation_survives_kill_ephemeral(
+        self, micro_graph, wc_probabilities, rr_expected, shard
+    ):
+        executor = ShardedExecutor(self.N_JOBS, failure=DEGRADE)
+        injector = FaultInjector()
+        injector.kill_worker(shard=shard, when="before")
+        with injector, warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            shards = self._rr(micro_graph, wc_probabilities, executor)
+        assert _rr_signature(shards) == rr_expected
+        assert executor.recovery_stats.worker_crashes >= 1
+
+    def test_rr_generation_survives_kill_persistent(
+        self, micro_graph, wc_probabilities, rr_expected
+    ):
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(self.N_JOBS, pool=pool, failure=DEGRADE)
+            injector = FaultInjector()
+            injector.kill_worker(shard=1, when="after")
+            with injector, warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                shards = self._rr(micro_graph, wc_probabilities, executor)
+            assert _rr_signature(shards) == rr_expected
+            assert pool.recovery_stats.worker_crashes >= 1
+        finally:
+            pool.close()
+
+    def test_mc_spread_survives_kill_ephemeral(
+        self, micro_graph, wc_probabilities, mc_expected
+    ):
+        executor = ShardedExecutor(self.N_JOBS, failure=DEGRADE)
+        injector = FaultInjector()
+        injector.kill_worker(shard=0, when="before")
+        with injector, warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            spread = self._mc(micro_graph, wc_probabilities, executor)
+        assert spread == mc_expected
+
+    def test_mc_spread_survives_kill_persistent(
+        self, micro_graph, wc_probabilities, mc_expected
+    ):
+        pool = PersistentPool()
+        try:
+            executor = ShardedExecutor(self.N_JOBS, pool=pool, failure=DEGRADE)
+            injector = FaultInjector()
+            injector.kill_worker(shard=0, when="before")
+            with injector, warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                spread = self._mc(micro_graph, wc_probabilities, executor)
+            assert spread == mc_expected
+        finally:
+            pool.close()
+
+    def test_mc_spread_survives_serial_degradation(
+        self, micro_graph, wc_probabilities, mc_expected
+    ):
+        executor = ShardedExecutor(self.N_JOBS, failure=DEGRADE)
+        injector = FaultInjector()
+        injector.kill_worker(shard=1, when="before", times=-1)
+        with injector, warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            spread = self._mc(micro_graph, wc_probabilities, executor)
+        assert spread == mc_expected
+        assert executor.recovery_stats.serial_fallbacks >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Policy threading: ExecutionPolicy / Runtime / CLI
+# --------------------------------------------------------------------------- #
+class TestPolicyThreading:
+    def test_execution_policy_carries_failure(self):
+        from repro.runtime import ExecutionPolicy
+
+        policy = ExecutionPolicy.seed(n_jobs=2, failure=RAISE_FAST)
+        assert policy.failure is RAISE_FAST
+        assert "failure=raise" in policy.describe()
+        assert ExecutionPolicy.fast(failure=DEGRADE).failure is DEGRADE
+        default = ExecutionPolicy.seed()
+        assert default.failure == DEFAULT_FAILURE_POLICY
+        assert "failure=" not in default.describe()
+
+    def test_execution_policy_rejects_bad_failure(self):
+        from repro.runtime import ExecutionPolicy
+
+        with pytest.raises(PolicyError):
+            ExecutionPolicy.seed(failure="degrade")
+
+    def test_runtime_executor_inherits_failure_policy(self):
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        with Runtime(ExecutionPolicy.seed(n_jobs=2, failure=RAISE_FAST)) as rt:
+            executor = rt.sharded_executor(2)
+            assert executor.failure is RAISE_FAST
+            assert rt.recovery_stats.events == 0
+
+    def test_cli_flags_build_failure_policy(self):
+        from repro.cli import _resolve_policy, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "solve",
+                "--algorithm",
+                "RMA",
+                "--shard-timeout",
+                "30",
+                "--on-pool-failure",
+                "raise",
+            ]
+        )
+        policy = _resolve_policy(args)
+        assert policy.failure.shard_timeout_s == 30.0
+        assert policy.failure.on_pool_failure == "raise"
+
+    def test_runtime_run_with_injected_crash_bit_identical(
+        self, micro_graph, wc_probabilities
+    ):
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        def generate(runtime):
+            return _rr_signature(
+                run_generation_shards(
+                    RRSetGenerator,
+                    micro_graph,
+                    wc_probabilities,
+                    32,
+                    5,
+                    runtime.sharded_executor(2),
+                )
+            )
+
+        policy = ExecutionPolicy.seed(n_jobs=2, failure=DEGRADE)
+        with Runtime(policy) as rt:
+            expected = generate(rt)
+        injector = FaultInjector()
+        injector.kill_worker(shard=0, when="before")
+        with Runtime(policy) as rt:
+            with injector, warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                recovered = generate(rt)
+            assert rt.recovery_stats.worker_crashes >= 1
+            assert rt.pool_spawn_count == 2
+        assert recovered == expected

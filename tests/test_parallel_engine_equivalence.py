@@ -115,15 +115,28 @@ class TestExecutorPlumbing:
         assert worker_process_cap() is None
         monkeypatch.setenv(MAX_JOBS_ENV, "2")
         assert worker_process_cap() == 2
+        # Invalid values are rejected with a warning naming the offender.
         monkeypatch.setenv(MAX_JOBS_ENV, "not-a-number")
-        assert worker_process_cap() is None
+        with pytest.warns(RuntimeWarning, match="not-a-number"):
+            assert worker_process_cap() is None
         monkeypatch.setenv(MAX_JOBS_ENV, "0")
-        assert worker_process_cap() is None
+        with pytest.warns(RuntimeWarning, match="positive"):
+            assert worker_process_cap() is None
 
     def test_default_start_method_is_valid(self):
         import multiprocessing
 
         assert _default_start_method() in multiprocessing.get_all_start_methods()
+
+    def test_start_method_env_override_validated(self, monkeypatch):
+        from repro.exceptions import ExecutionError
+        from repro.parallel import START_METHOD_ENV
+
+        monkeypatch.setenv(START_METHOD_ENV, "fork")
+        assert _default_start_method() == "fork"
+        monkeypatch.setenv(START_METHOD_ENV, "teleport")
+        with pytest.raises(ExecutionError, match="teleport"):
+            _default_start_method()
 
     def test_executor_preserves_shard_order(self):
         executor = ShardedExecutor(2)

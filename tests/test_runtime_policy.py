@@ -674,3 +674,41 @@ class TestRuntime:
             )
             assert rt.pool_spawn_count == 1
         assert run.evaluation.revenue > 0
+
+    def test_reentrant_with_blocks_keep_pool_alive(self, monkeypatch):
+        """One Runtime entered twice (nested) closes only on the last exit."""
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        rt = Runtime(ExecutionPolicy.seed(n_jobs=2))
+        with rt:
+            assert rt.sharded_executor(2).run(_add_task, 1, [1, 2]) == [2, 3]
+            with rt:  # re-entrant: same object on the ambient stack twice
+                assert current_runtime() is rt
+                assert rt.sharded_executor(2).run(_add_task, 1, [3]) == [4]
+            # Inner exit must not tear down the pool of the outer block.
+            assert current_runtime() is rt
+            assert rt.pool.processes == 2
+            assert rt.pool_spawn_count == 1
+        assert current_runtime() is None
+        assert rt.pool.processes == 0  # the outermost exit closed it
+
+    def test_close_then_respawn_increments_spawn_count(self, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        with Runtime(ExecutionPolicy.seed(n_jobs=2)) as rt:
+            executor = rt.sharded_executor(2)
+            assert executor.run(_add_task, 0, [1, 2]) == [1, 2]
+            assert rt.pool_spawn_count == 1
+            rt.close()  # mid-block close: the runtime stays usable
+            assert rt.pool.processes == 0
+            assert executor.run(_add_task, 0, [5, 6]) == [5, 6]
+            assert rt.pool_spawn_count == 2
+            assert rt.recovery_stats.events == 0  # deliberate closes aren't failures
+
+    def test_acquire_executor_falls_back_to_ephemeral_after_exit(self, monkeypatch):
+        monkeypatch.setenv(MAX_JOBS_ENV, "2")
+        with Runtime(ExecutionPolicy.seed(n_jobs=2)) as rt:
+            assert acquire_executor(2)._pool is rt.pool
+        # After the ambient runtime exits, callers get ephemeral executors
+        # that still produce the same results (no stale pool reference).
+        fallback = acquire_executor(2)
+        assert fallback._pool is None
+        assert fallback.run(_add_task, 10, [1, 2]) == [11, 12]
