@@ -59,8 +59,15 @@ def test_fig10_table6_subsim(lastfm_base, benchmark):
         max_rr_sets=QUICK["sampling_overrides"]["max_rr_sets"],
         seed=QUICK["seed"],
     )
-    standard = rm_without_oracle(instance, SamplingParameters(**params))
-    subsim = rm_without_oracle(instance, SamplingParameters(use_subsim=True, **params))
+    from repro.runtime import ExecutionPolicy
+
+    standard = rm_without_oracle(
+        instance, SamplingParameters(policy=ExecutionPolicy.seed(), **params)
+    )
+    subsim = rm_without_oracle(
+        instance,
+        SamplingParameters(policy=ExecutionPolicy(rr_engine="subsim"), **params),
+    )
     revenue_standard = evaluate_allocation(
         instance, standard.allocation, num_rr_sets=4000, seed=1
     ).revenue

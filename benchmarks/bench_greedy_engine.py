@@ -2,9 +2,10 @@
 
 Times the greedy-allocation consumers — CS-Greedy, CA-Greedy and
 ThresholdGreedy + Fill — with the batched coverage engine
-(``use_batched_greedy=True``: vectorized CELF refreshes through the
-``(h, n)`` coverage marginal matrix, see :mod:`repro.core.batched_greedy`)
-against the seed scalar path (per-element ``oracle.marginal_revenue``
+(``ExecutionPolicy(greedy_engine="batched")``, the ``fast`` default:
+vectorized CELF refreshes through the ``(h, n)`` coverage marginal matrix,
+see :mod:`repro.core.batched_greedy`) against the seed scalar path
+(``ExecutionPolicy.seed()``: per-element ``oracle.marginal_revenue``
 callbacks), on a Weighted-Cascade synthetic graph with an RR-set oracle.
 
 Run directly::
@@ -39,6 +40,13 @@ from repro.diffusion.models import WeightedCascadeModel
 from repro.graph.generators import preferential_attachment_digraph
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import SubsimRRGenerator
+from repro.runtime import ExecutionPolicy
+
+#: flag=False → scalar heap (seed policy); flag=True → batched engine
+ENGINE_POLICIES = {
+    False: ExecutionPolicy.seed(),
+    True: ExecutionPolicy(greedy_engine="batched"),
+}
 
 FULL = {"num_nodes": 20_000, "out_degree": 5, "rr_sets": 3000, "min_speedup": 3.0}
 FAST = {"num_nodes": 2_000, "out_degree": 5, "rr_sets": 600, "min_speedup": 1.5}
@@ -119,13 +127,13 @@ def run(config: dict) -> dict:
     section(
         "cs_greedy",
         lambda oracle, flag: cs_greedy(
-            instance, oracle, use_batched_greedy=flag
+            instance, oracle, policy=ENGINE_POLICIES[flag]
         ).allocation,
     )
     section(
         "ca_greedy",
         lambda oracle, flag: ca_greedy(
-            instance, oracle, use_batched_greedy=flag
+            instance, oracle, policy=ENGINE_POLICIES[flag]
         ).allocation,
     )
     # One mid-range threshold: exercises the gain-ranked main loop, the
@@ -134,7 +142,7 @@ def run(config: dict) -> dict:
     section(
         "threshold_fill",
         lambda oracle, flag: threshold_greedy(
-            instance, oracle, gamma, use_batched_greedy=flag
+            instance, oracle, gamma, policy=ENGINE_POLICIES[flag]
         )[0],
     )
 

@@ -4,18 +4,18 @@ Reproduces a single cell of the paper's main comparison: the Flixster-like
 network under the linear seed-incentive model at one value of α, reporting
 revenue, seeding cost, seed count and running time per algorithm.
 
-Every solver opts into the fast engines through one shared
-``ExecutionPolicy`` (SUBSIM RR-set generation + vectorized batched seed
-selection) — everything defaults to the seed policy
-for seed-stream compatibility, and the batched greedy engine returns
-bit-identical allocations either way.
+No execution knobs are set: every solver runs on the default
+``ExecutionPolicy.fast()`` — SUBSIM RR-set generation, batched Monte-Carlo
+cascades, vectorized batched seed selection, all cores.  Pass
+``policy=ExecutionPolicy.seed()`` to the parameter objects for the serial
+bit-reproducible escape hatch.
 
 Run with:  PYTHONPATH=src python examples/compare_algorithms.py
 """
 
 from __future__ import annotations
 
-from repro import ExecutionPolicy, SamplingParameters, TIParameters, build_dataset
+from repro import SamplingParameters, TIParameters, build_dataset
 from repro.experiments.metrics import independent_evaluator
 from repro.experiments.report import format_table
 from repro.experiments.runner import compare_algorithms
@@ -39,7 +39,6 @@ def main() -> None:
 
     evaluator = independent_evaluator(instance, num_rr_sets=15000, seed=23)
 
-    policy = ExecutionPolicy(rr_engine="subsim", greedy_engine="batched")
     sampling_params = SamplingParameters(
         epsilon=0.1,
         rho=rho,
@@ -47,14 +46,12 @@ def main() -> None:
         initial_rr_sets=1024,
         max_rr_sets=8192,
         seed=11,
-        policy=policy,
     )
     ti_params = TIParameters(
         epsilon=0.1,
         pilot_size=256,
         max_rr_sets_per_advertiser=2048,
         seed=11,
-        policy=policy,
     )
 
     rows = []

@@ -5,20 +5,16 @@ heterogeneous budgets and cpe values under the linear seed-incentive model,
 runs the paper's RMA solver, and evaluates the resulting allocation with an
 independent RR-set estimator.
 
-The run opts into two of the library's fast engines through one
-``ExecutionPolicy`` object (everything defaults to the seed policy so
-fixed-seed runs reproduce the original RNG streams):
+No execution knobs are needed: every entry point defaults to
+``ExecutionPolicy.fast()`` — SUBSIM RR-set generation (``rr_engine="subsim"``),
+the batched Monte-Carlo cascade engine (``mc_engine="batched"``), vectorized
+CELF seed selection (``greedy_engine="batched"``) and sharding across all
+cores (``n_jobs=-1``).  The later sections show the two knobs that remain:
 
-* ``rr_engine="subsim"`` — SUBSIM geometric-skipping RR-set generation;
-* ``greedy_engine="batched"`` — vectorized CELF seed selection against the
-  coverage marginal matrix (bit-identical allocations, just faster);
-
-and cross-checks the result with the third, ``mc_engine="batched"`` — the
-batched level-synchronous Monte-Carlo cascade engine.  The final section
-shows the ``ExecutionPolicy.fast()`` preset of ``run_algorithm``, which
-flips all of the above *and* shards RR generation + MC estimation across
-worker processes (``n_jobs``), running inside a ``Runtime`` whose
-persistent worker pool is reused across all of RMA's doubling rounds.
+* ``ExecutionPolicy.seed()`` — the serial escape hatch that replays the
+  original seed tree's RNG streams bit for bit;
+* ``Runtime`` — a context whose persistent worker pool is reused across all
+  of RMA's doubling rounds instead of respawning per call.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 """
@@ -29,6 +25,7 @@ from repro import ExecutionPolicy, Runtime, SamplingParameters, build_dataset, r
 from repro.advertising.oracle import MonteCarloOracle
 from repro.experiments.metrics import evaluate_allocation
 from repro.experiments.runner import run_algorithm
+from repro.runtime import resolve_policy
 
 
 def main() -> None:
@@ -48,11 +45,8 @@ def main() -> None:
     for index, advertiser in enumerate(instance.advertisers):
         print(f"    ad-{index}: budget={advertiser.budget:8.1f}  cpe={advertiser.cpe:.1f}")
 
-    print("\nRunning RMA (RM_without_Oracle) with the fast engines opted in ...")
-    print("  rr_engine='subsim'       (SUBSIM RR-set generation)")
-    print("  greedy_engine='batched'  (vectorized CELF seed selection)")
-    policy = ExecutionPolicy(rr_engine="subsim", greedy_engine="batched")
-    print(f"  effective policy: {policy.describe()}")
+    print("\nRunning RMA (RM_without_Oracle) on the default fast policy ...")
+    print(f"  effective policy: {resolve_policy(None).describe()}")
     params = SamplingParameters(
         epsilon=0.1,
         delta=0.01,
@@ -61,7 +55,6 @@ def main() -> None:
         initial_rr_sets=1024,
         max_rr_sets=8192,
         seed=42,
-        policy=policy,
     )
     result = rm_without_oracle(instance, params)
     print(f"  RR-sets used:        {result.metadata['rr_sets']}")
@@ -87,26 +80,23 @@ def main() -> None:
             f"spend={(revenue + cost) / budget:6.1%}"
         )
 
-    print("\nCross-checking ad-0 with the batched Monte-Carlo engine (mc_engine='batched') ...")
-    mc_oracle = MonteCarloOracle(
-        instance,
-        num_simulations=200,
-        seed=13,
-        policy=ExecutionPolicy(mc_engine="batched"),
-    )
+    print("\nCross-checking ad-0 with a Monte-Carlo oracle (batched engine by default) ...")
+    mc_oracle = MonteCarloOracle(instance, num_simulations=200, seed=13)
     seeds_zero = result.allocation.seeds(0)
     mc_revenue = mc_oracle.revenue(0, seeds_zero) if seeds_zero else 0.0
     rr_revenue = evaluation.per_advertiser_revenue[0]
     print(f"  RR-set estimate:      {rr_revenue:10.1f}")
     print(f"  Monte-Carlo estimate: {mc_revenue:10.1f}")
 
-    print("\nOne-object preset: run_algorithm(..., policy=ExecutionPolicy.fast(n_jobs=2)) ...")
-    print("  every fast engine + sharded RR generation and MC estimation,")
-    print("  on one persistent worker pool reused across the doubling rounds")
-    # run_algorithm refuses to silently override a params-level policy, so
-    # the fast run gets its own parameter object carrying the fast preset.
+    print("\nEscape hatch: policy=ExecutionPolicy.seed() replays the seed RNG streams ...")
     from dataclasses import replace
 
+    seeded = rm_without_oracle(instance, replace(params, policy=ExecutionPolicy.seed()))
+    print(f"  seed-policy revenue estimate: {seeded.revenue:10.1f}")
+    print("  (bit-identical across runs and machines; serial, so slower)")
+
+    print("\nPool reuse: run_algorithm inside a Runtime ...")
+    print("  the persistent worker pool is reused across all doubling rounds")
     with Runtime(ExecutionPolicy.fast(n_jobs=2)) as rt:
         fast_run = run_algorithm(
             "RMA",
@@ -120,6 +110,7 @@ def main() -> None:
         print(f"  wall-clock:          {fast_run.running_time_seconds:10.2f}s")
         print(f"  pool spawns:         {rt.pool_spawn_count} (per-call pools would pay one per round)")
     print("  (equivalent CLI: python -m repro.cli solve --policy fast --jobs 2)")
+    print("  (serial reproducible CLI: python -m repro.cli solve --policy seed)")
 
 
 if __name__ == "__main__":

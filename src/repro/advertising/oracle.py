@@ -84,8 +84,9 @@ class MonteCarloOracle(RevenueOracle):
     policy:
         :class:`repro.runtime.ExecutionPolicy` selecting the cascade engine
         (``mc_engine``), the per-query sharding (``n_jobs``) and the batch
-        size.  Defaults to :meth:`ExecutionPolicy.seed` — the sequential
-        path that reproduces the seed tree's RNG stream exactly.  Sharding
+        size.  ``None`` resolves to :meth:`ExecutionPolicy.fast` — batched
+        cascades across all cores; pass :meth:`ExecutionPolicy.seed` to
+        reproduce the seed tree's sequential RNG stream exactly.  Sharding
         only engages when ``num_simulations >= MIN_SHARDED_SIMULATIONS``:
         the greedy loops issue many small queries whose serial cost is below
         the pool dispatch overhead — honouring ``n_jobs`` there would make
@@ -94,10 +95,6 @@ class MonteCarloOracle(RevenueOracle):
         :class:`repro.runtime.Runtime` whose persistent worker pool sharded
         queries run on (falls back to the ambient runtime, then to per-call
         pools).
-    use_batched_mc:
-        Deprecated — ``policy.mc_engine == "batched"`` replaces it.
-    n_jobs:
-        Deprecated — ``policy.n_jobs`` replaces it.
     """
 
     #: Minimum per-query simulation count before ``n_jobs`` engages (below
@@ -109,23 +106,17 @@ class MonteCarloOracle(RevenueOracle):
         instance: RMInstance,
         num_simulations: int = 500,
         seed: RandomSource = None,
-        use_batched_mc: Optional[bool] = None,
-        n_jobs: Optional[int] = None,
         policy: Optional["ExecutionPolicy"] = None,
         runtime: Optional["Runtime"] = None,
     ):
-        from repro.parallel import validate_n_jobs
-        from repro.runtime import coerce_policy
+        from repro.runtime import resolve_policy
 
         if num_simulations <= 0:
             raise SolverError("num_simulations must be positive")
-        validate_n_jobs(n_jobs, SolverError)
         self._instance = instance
         self._num_simulations = num_simulations
         self._rng = as_rng(seed)
-        self._policy = coerce_policy(
-            policy, "MonteCarloOracle", use_batched_mc=use_batched_mc, n_jobs=n_jobs
-        )
+        self._policy = resolve_policy(policy)
         self._runtime = runtime
         self._cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
 
@@ -152,7 +143,7 @@ class MonteCarloOracle(RevenueOracle):
                 seed_set,
                 num_simulations=self._num_simulations,
                 rng=self._rng,
-                use_batched=self._policy.use_batched_mc,
+                use_batched=self._policy.mc_engine == "batched",
                 batch_size=self._policy.mc_batch_size,
                 n_jobs=self._policy.n_jobs if sharded else None,
                 runtime=self._runtime,

@@ -33,18 +33,18 @@ def ca_greedy(
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> SolverResult:
     """Run CA-Greedy and return a :class:`SolverResult`.
 
-    A batched-greedy ``policy`` opts the element heap into the batched
+    A batched-greedy ``policy`` (the ``fast`` default — ``None`` resolves to
+    :meth:`ExecutionPolicy.fast`) runs the element heap on the batched
     coverage engine (RR-set oracles only; other oracles keep the seed scalar
-    path).  ``use_batched_greedy`` is the deprecated flag equivalent.
+    path).  Both engines select bit-identical allocations.
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(policy, "ca_greedy", use_batched_greedy=use_batched_greedy)
+    policy = resolve_policy(policy)
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")
@@ -52,7 +52,7 @@ def ca_greedy(
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
 
-    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.greedy_engine == "batched" and supports_batched_greedy(oracle, instance):
         allocation, closed = batched_budgeted_allocation(
             instance, oracle, budget_array, candidates, rank_by_rate=False
         )

@@ -34,7 +34,7 @@ from repro.core.result import SolverResult
 from repro.exceptions import SolverError
 from repro.rrsets.collection import CoverageState, RRCollection
 from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
-from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_params_policy
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_policy
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 from repro.utils.rng import RandomSource, as_rng
 
@@ -50,7 +50,7 @@ class TIParameters:
     requirement is always reported in the result metadata (it is what the
     Figure 4 memory comparison uses).
 
-    ``policy`` is the preferred configuration channel
+    ``policy`` is the configuration channel
     (:class:`repro.runtime.ExecutionPolicy`): ``rr_engine`` selects the pool
     generator, ``greedy_engine="batched"`` runs the allocation loop on the
     batched coverage engine — the per-advertiser pools are merged into one
@@ -58,47 +58,24 @@ class TIParameters:
     stale CELF candidates are refreshed through vectorized gathers on its
     coverage marginal matrix (same floats, same tie-breaking, bit-identical
     allocations) — and ``n_jobs`` shards the bulk pool fill across worker
-    processes (the small pilot pools stay serial).  The ``use_subsim`` /
-    ``use_batched_greedy`` / ``n_jobs`` fields are deprecated equivalents;
-    setting both channels raises :class:`~repro.exceptions.PolicyError`.
+    processes (the small pilot pools stay serial).  ``None`` defaults to
+    :meth:`ExecutionPolicy.fast`; pass :meth:`ExecutionPolicy.seed` for the
+    serial seed-stream reference path.
     """
 
     epsilon: float = 0.1
     delta: float = 0.01
     pilot_size: int = 256
     max_rr_sets_per_advertiser: int = 4096
-    use_subsim: bool = False
-    use_batched_greedy: bool = False
-    n_jobs: Optional[int] = None
     seed: RandomSource = None
     policy: Optional[ExecutionPolicy] = None
 
-    def __post_init__(self) -> None:
-        resolve_params_policy(
-            "TIParameters",
-            self.policy,
-            self.use_subsim,
-            self.use_batched_greedy,
-            self.n_jobs,
-            warn=True,
-            fold=False,
-        )
-
     def resolved_policy(self) -> ExecutionPolicy:
-        """The effective :class:`ExecutionPolicy` (legacy fields folded in)."""
-        return resolve_params_policy(
-            "TIParameters",
-            self.policy,
-            self.use_subsim,
-            self.use_batched_greedy,
-            self.n_jobs,
-        )
+        """The effective :class:`ExecutionPolicy` (``None`` → ``fast``)."""
+        return resolve_policy(self.policy)
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on inconsistent settings."""
-        from repro.parallel import validate_n_jobs
-
-        validate_n_jobs(self.n_jobs, SolverError)
         if self.epsilon <= 0:
             raise SolverError("epsilon must be positive")
         if not 0 < self.delta < 1:
@@ -149,7 +126,7 @@ def _build_pools(
     rng,
     runtime: Optional[Runtime],
 ) -> tuple[Dict[int, _AdvertiserPool], Dict[str, object]]:
-    generator_cls = SubsimRRGenerator if policy.use_subsim else RRSetGenerator
+    generator_cls = SubsimRRGenerator if policy.rr_engine == "subsim" else RRSetGenerator
     pools: Dict[int, _AdvertiserPool] = {}
     required_total = 0
     generated_total = 0
@@ -317,7 +294,7 @@ def run_ti_baseline(
             fraction_error, params.epsilon
         )
 
-    if policy.use_batched_greedy:
+    if policy.greedy_engine == "batched":
         allocation, closed, per_advertiser = _run_allocation_batched(
             instance, pools, penalties, budgets, cost_sensitive
         )

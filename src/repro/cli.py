@@ -96,29 +96,22 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         "--policy",
         default=None,
         choices=sorted(POLICY_PRESETS),
-        help="execution-policy preset: 'seed' (bit-reproducible engines, the "
-        "default) or 'fast' (SUBSIM + batched MC + batched greedy + all "
-        "cores); combine with --jobs to pin the worker count",
+        help="execution-policy preset: 'fast' (SUBSIM + batched MC + batched "
+        "greedy + all cores; the default) or 'seed' (the serial "
+        "bit-reproducible escape hatch that replays the original seed "
+        "tree's RNG streams); combine with --jobs to pin the worker count",
     )
-    parser.add_argument("--subsim", action="store_true", help="use the SUBSIM RR-set generator")
-    parser.add_argument(
-        "--batched-greedy",
-        action="store_true",
-        help="use the batched lazy-greedy coverage engine (bit-identical allocations)",
-    )
+    parser.add_argument("--subsim", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--batched-greedy", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument(
         "--jobs",
         type=int,
         default=None,
         metavar="N",
         help="shard RR generation and MC estimation across N worker processes "
-        "(-1: all cores; default: serial)",
+        "(-1: all cores, the default via --policy fast; 1: serial)",
     )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="shorthand for --policy fast",
-    )
+    parser.add_argument("--fast", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument(
         "--shard-timeout",
         type=float,
@@ -138,15 +131,30 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
-    """The ``--policy`` vs per-engine-flag conflict message, or ``None``.
+    """The retired per-engine-flag error message, or ``None``.
 
-    ``--policy`` and the per-engine flags are separate channels; mixing them
-    is rejected the same way ``run_algorithm`` rejects ``policy=`` plus
-    legacy kwargs.  ``main`` reports this through ``parser.error`` (usage
-    text, exit code 2).
+    ``--subsim`` / ``--batched-greedy`` / ``--fast`` are gone; ``--policy``
+    is the only engine-selection channel (and ``fast`` is already the
+    default).  The flags are still parsed (hidden) so users get a pointed
+    message instead of argparse's generic "unrecognized arguments".
+    ``main`` reports this through ``parser.error`` (usage text, exit
+    code 2).
     """
-    if args.policy is not None and (args.subsim or args.batched_greedy or args.fast):
-        return "--policy conflicts with --subsim/--batched-greedy/--fast"
+    retired = [
+        flag
+        for flag, set_ in (
+            ("--subsim", args.subsim),
+            ("--batched-greedy", args.batched_greedy),
+            ("--fast", args.fast),
+        )
+        if set_
+    ]
+    if retired:
+        return (
+            f"{'/'.join(retired)} has been removed; the fast engines are the "
+            "default — use --policy seed for the bit-reproducible serial "
+            "path, or --policy fast --jobs N to pin the worker count"
+        )
     return None
 
 
@@ -166,24 +174,22 @@ def _resolve_failure(args: argparse.Namespace) -> Optional[FailurePolicy]:
 
 
 def _resolve_policy(args: argparse.Namespace) -> ExecutionPolicy:
-    """Build the effective :class:`ExecutionPolicy` from the CLI flags."""
+    """Build the effective :class:`ExecutionPolicy` from the CLI flags.
+
+    ``--policy fast`` is the default; ``--jobs`` and the failure knobs
+    layer on top of whichever preset was selected.
+    """
+    conflict = _policy_flag_conflict(args)
+    if conflict is not None:  # direct programmatic use, bypassing main()
+        raise PolicyError(conflict)
     failure = _resolve_failure(args)
-    if args.policy is not None:
-        conflict = _policy_flag_conflict(args)
-        if conflict is not None:  # direct programmatic use, bypassing main()
-            raise PolicyError(conflict)
-        policy = ExecutionPolicy.preset(args.policy)
-        if args.jobs is not None:
-            policy = policy.evolve(n_jobs=args.jobs)
-        if failure is not None:
-            policy = policy.evolve(failure=failure)
-        return policy
-    policy = ExecutionPolicy.from_flags(
-        fast=args.fast or None,
-        use_subsim=args.subsim or None,
-        use_batched_greedy=args.batched_greedy or None,
-        n_jobs=args.jobs,
+    policy = (
+        ExecutionPolicy.preset(args.policy)
+        if args.policy is not None
+        else ExecutionPolicy.fast()
     )
+    if args.jobs is not None:
+        policy = policy.evolve(n_jobs=args.jobs)
     if failure is not None:
         policy = policy.evolve(failure=failure)
     return policy
@@ -260,7 +266,11 @@ def command_solve(args: argparse.Namespace) -> int:
     print(f"effective policy: {policy.describe()}")
     with Runtime(policy) as runtime:
         evaluator = independent_evaluator(
-            data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+            data.instance,
+            num_rr_sets=args.evaluation_rr_sets,
+            seed=args.seed + 1,
+            policy=policy,
+            runtime=runtime,
         )
         row = _run_row(args, data, args.algorithm, sampling, ti, evaluator, runtime)
         _report_recovery(runtime)
@@ -282,7 +292,11 @@ def command_compare(args: argparse.Namespace) -> int:
     print(f"effective policy: {policy.describe()}")
     with Runtime(policy) as runtime:
         evaluator = independent_evaluator(
-            data.instance, num_rr_sets=args.evaluation_rr_sets, seed=args.seed + 1
+            data.instance,
+            num_rr_sets=args.evaluation_rr_sets,
+            seed=args.seed + 1,
+            policy=policy,
+            runtime=runtime,
         )
         rows = [
             _run_row(args, data, algorithm, sampling, ti, evaluator, runtime)

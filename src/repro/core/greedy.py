@@ -47,7 +47,6 @@ def greedy_single_advertiser(
     advertiser: int,
     candidates: Optional[Iterable[int]] = None,
     budget: Optional[float] = None,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Set[int], Set[int], Set[int]]:
     """Run ``Greedy(U, i)`` and return ``(S_i*, S_i, D_i)``.
@@ -67,14 +66,12 @@ def greedy_single_advertiser(
         ``(1 + ϱ/2)·B_i`` here).
     policy:
         :class:`repro.runtime.ExecutionPolicy`; its ``greedy_engine`` field
-        selects between per-element oracle callbacks (``"scalar"``, the seed
-        default) and the batched coverage engine
-        (:mod:`repro.core.batched_greedy`) — which requires an
-        :class:`~repro.advertising.oracle.RRSetOracle` and silently falls
-        back to the scalar path otherwise.  Both paths return bit-identical
-        sets.
-    use_batched_greedy:
-        Deprecated — ``policy.greedy_engine == "batched"`` replaces it.
+        selects between the batched coverage engine
+        (:mod:`repro.core.batched_greedy`, the ``fast`` default) — which
+        requires an :class:`~repro.advertising.oracle.RRSetOracle` and
+        silently falls back to the scalar path otherwise — and per-element
+        oracle callbacks (``"scalar"``).  Both paths return bit-identical
+        sets.  ``None`` resolves to :meth:`ExecutionPolicy.fast`.
 
     Returns
     -------
@@ -82,17 +79,15 @@ def greedy_single_advertiser(
         ``(best, selected, stopple)`` where ``best`` is the higher-revenue of
         ``selected`` (= ``S_i``) and ``stopple`` (= ``D_i``).
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(
-        policy, "greedy_single_advertiser", use_batched_greedy=use_batched_greedy
-    )
+    policy = resolve_policy(policy)
     if not 0 <= advertiser < instance.num_advertisers:
         raise SolverError(f"advertiser {advertiser} out of range")
     budget_i = instance.budget(advertiser) if budget is None else float(budget)
     if budget_i <= 0:
         raise SolverError("budget must be positive")
-    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.greedy_engine == "batched" and supports_batched_greedy(oracle, instance):
         return _greedy_single_advertiser_batched(
             instance, oracle, advertiser, candidates, budget_i
         )

@@ -46,7 +46,6 @@ def rm_with_oracle(
     tau: float = 0.1,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> SolverResult:
     """Algorithm 5 — solve the RM problem given a revenue oracle.
@@ -62,11 +61,11 @@ def rm_with_oracle(
         Optional candidate node pool (defaults to all nodes).
     policy:
         :class:`repro.runtime.ExecutionPolicy`; ``greedy_engine="batched"``
-        runs every greedy inner loop on the batched coverage engine
-        (:mod:`repro.core.batched_greedy`) — effective only with an RR-set
-        oracle, other oracles keep the seed scalar path.
-    use_batched_greedy:
-        Deprecated — ``policy.greedy_engine`` replaces it.
+        (the ``fast`` default — ``None`` resolves to
+        :meth:`ExecutionPolicy.fast`) runs every greedy inner loop on the
+        batched coverage engine (:mod:`repro.core.batched_greedy`) —
+        effective only with an RR-set oracle, other oracles keep the seed
+        scalar path.  Both engines select bit-identical allocations.
 
     Returns
     -------
@@ -74,11 +73,9 @@ def rm_with_oracle(
         Allocation, revenue (as measured by ``oracle``) and, for ``h ≥ 2``,
         the :class:`SearchByproducts` consumed by ``SeekUB``.
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(
-        policy, "rm_with_oracle", use_batched_greedy=use_batched_greedy
-    )
+    policy = resolve_policy(policy)
     h = instance.num_advertisers
     if oracle.num_advertisers != h:
         raise SolverError("oracle and instance disagree on the number of advertisers")

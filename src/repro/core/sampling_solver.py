@@ -30,7 +30,7 @@ the caller can see how far the guarantee was actually driven.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -50,7 +50,7 @@ from repro.core.seek_ub import seek_upper_bound
 from repro.exceptions import SolverError
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.uniform import UniformRRSampler
-from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_params_policy
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_policy
 from repro.utils.rng import RandomSource, as_rng
 
 
@@ -84,21 +84,12 @@ class SamplingParameters:
     policy:
         :class:`repro.runtime.ExecutionPolicy` selecting the engines (RR
         generator, greedy inner loop) and the ``n_jobs`` sharding.  ``None``
-        defaults to :meth:`ExecutionPolicy.seed` — every seed-stream
-        compatible engine, serial.  This replaces the deprecated
-        ``use_subsim`` / ``use_batched_greedy`` / ``n_jobs`` fields below
-        (setting both raises :class:`~repro.exceptions.PolicyError`).
-    use_subsim:
-        Deprecated — ``policy.rr_engine == "subsim"`` replaces it.
-    use_batched_greedy:
-        Deprecated — ``policy.greedy_engine == "batched"`` replaces it (the
-        batched engine selects **bit-identical allocations**; it replays the
-        scalar heap's refresh schedule and tie-breaking exactly).
-    n_jobs:
-        Deprecated — ``policy.n_jobs`` replaces it.  Fixed ``(seed,
-        n_jobs)`` runs are bit-reproducible; ``n_jobs>1`` draws different
-        RNG substreams than the serial run (statistically equivalent
-        collections).
+        defaults to :meth:`ExecutionPolicy.fast` — SUBSIM RR generation,
+        batched MC and greedy engines, all cores.  Pass
+        :meth:`ExecutionPolicy.seed` to pin the serial seed-stream
+        reference path.  Fixed ``(seed, policy)`` runs are
+        bit-reproducible; ``n_jobs>1`` draws different RNG substreams than
+        the serial run (statistically equivalent collections).
     """
 
     epsilon: float = 0.1
@@ -111,38 +102,15 @@ class SamplingParameters:
     validation_ratio_check: bool = False
     validation_ratio: float = 0.8
     validation_growth_factor: float = 4.0
-    use_subsim: bool = False
-    use_batched_greedy: bool = False
-    n_jobs: Optional[int] = None
     seed: RandomSource = None
     policy: Optional[ExecutionPolicy] = None
 
-    def __post_init__(self) -> None:
-        resolve_params_policy(
-            "SamplingParameters",
-            self.policy,
-            self.use_subsim,
-            self.use_batched_greedy,
-            self.n_jobs,
-            warn=True,
-            fold=False,
-        )
-
     def resolved_policy(self) -> ExecutionPolicy:
-        """The effective :class:`ExecutionPolicy` (legacy fields folded in)."""
-        return resolve_params_policy(
-            "SamplingParameters",
-            self.policy,
-            self.use_subsim,
-            self.use_batched_greedy,
-            self.n_jobs,
-        )
+        """The effective :class:`ExecutionPolicy` (``None`` → ``fast``)."""
+        return resolve_policy(self.policy)
 
     def validate(self) -> None:
         """Raise :class:`SolverError` on any inconsistent setting."""
-        from repro.parallel import validate_n_jobs
-
-        validate_n_jobs(self.n_jobs, SolverError)
         if self.epsilon <= 0:
             raise SolverError("epsilon must be positive")
         if not 0 < self.delta < 1:

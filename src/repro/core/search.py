@@ -32,25 +32,25 @@ def gamma_max(
     oracle: RevenueOracle,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> float:
     """``γ_max = max{B_j · ζ_j(v | ∅) : v ∈ V, j ∈ [h]}`` (Eq. 6).
 
     A threshold above this value rejects every node, so the binary search
     never needs to look beyond ``(1+τ)·γ_max``.  With a batched-greedy
-    policy and an RR-set oracle the ``h·n`` singleton rates come from one
-    vectorized pass over the membership-count matrix (the same floats the
-    scalar loop computes, so the maximum is unchanged bit for bit).
-    ``use_batched_greedy`` is the deprecated flag equivalent.
+    policy (the ``fast`` default — ``None`` resolves to
+    :meth:`ExecutionPolicy.fast`) and an RR-set oracle the ``h·n``
+    singleton rates come from one vectorized pass over the
+    membership-count matrix (the same floats the scalar loop computes, so
+    the maximum is unchanged bit for bit).
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(policy, "gamma_max", use_batched_greedy=use_batched_greedy)
+    policy = resolve_policy(policy)
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
     )
-    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.greedy_engine == "batched" and supports_batched_greedy(oracle, instance):
         node_array = (
             np.asarray([int(node) for node in candidates], dtype=np.int64)
             if candidates is not None
@@ -98,7 +98,6 @@ def search_threshold(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     max_iterations: int = 64,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Allocation, float, SearchByproducts, dict]:
     """Algorithm 4 — returns ``(best allocation, its revenue, byproducts, diagnostics)``.
@@ -118,14 +117,12 @@ def search_threshold(
     policy:
         :class:`repro.runtime.ExecutionPolicy` forwarded to ``gamma_max``
         and every ``threshold_greedy`` invocation (its ``greedy_engine``
-        field selects the batched coverage engine, RR-set oracles only).
-        ``use_batched_greedy`` is the deprecated flag equivalent.
+        field selects the batched coverage engine, RR-set oracles only;
+        ``None`` resolves to :meth:`ExecutionPolicy.fast`).
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(
-        policy, "search_threshold", use_batched_greedy=use_batched_greedy
-    )
+    policy = resolve_policy(policy)
     if not 0.0 < tau < 1.0:
         raise SolverError("tau must lie in (0, 1)")
     if b_min not in (1, 2):

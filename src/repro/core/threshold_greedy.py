@@ -136,7 +136,6 @@ def threshold_greedy(
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
     run_fill: bool = True,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> Tuple[Allocation, int]:
     """Algorithm 2 — returns ``(allocation S⃗*, b)``.
@@ -155,17 +154,15 @@ def threshold_greedy(
         ablation benchmarks.
     policy:
         :class:`repro.runtime.ExecutionPolicy`; ``greedy_engine="batched"``
-        drives the element heap through the batched coverage engine
-        (:mod:`repro.core.batched_greedy`) — RR-set oracles only, falls back
-        to the seed scalar path otherwise.  Bit-identical allocations.
-    use_batched_greedy:
-        Deprecated — ``policy.greedy_engine`` replaces it.
+        (the ``fast`` default — ``None`` resolves to
+        :meth:`ExecutionPolicy.fast`) drives the element heap through the
+        batched coverage engine (:mod:`repro.core.batched_greedy`) — RR-set
+        oracles only, falls back to the seed scalar path otherwise.
+        Bit-identical allocations.
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(
-        policy, "threshold_greedy", use_batched_greedy=use_batched_greedy
-    )
+    policy = resolve_policy(policy)
     if gamma < 0:
         raise SolverError("gamma must be non-negative")
     h = instance.num_advertisers
@@ -179,7 +176,7 @@ def threshold_greedy(
 
     state = _GreedyState(instance, oracle, budget_array)
     depleted: Set[int] = set()
-    batched = policy.use_batched_greedy and supports_batched_greedy(oracle, instance)
+    batched = policy.greedy_engine == "batched" and supports_batched_greedy(oracle, instance)
 
     if batched:
         engine = CoverageGreedyEngine(instance, oracle)
@@ -315,20 +312,19 @@ def fill(
     allocation: Allocation,
     budgets: Optional[np.ndarray] = None,
     candidates: Optional[Iterable[int]] = None,
-    use_batched_greedy: Optional[bool] = None,
     policy: Optional["ExecutionPolicy"] = None,
 ) -> Allocation:
     """Algorithm 3 — greedily spend leftover budget by maximum marginal rate.
 
     Returns a new allocation extending ``allocation`` (the input is copied,
-    not mutated).  ``policy.greedy_engine == "batched"`` opts into the
-    batched coverage engine (RR-set oracles only; falls back to the scalar
-    path otherwise); the ``use_batched_greedy`` keyword is the deprecated
-    equivalent.
+    not mutated).  ``policy.greedy_engine == "batched"`` (the ``fast``
+    default — ``None`` resolves to :meth:`ExecutionPolicy.fast`) selects
+    the batched coverage engine (RR-set oracles only; falls back to the
+    scalar path otherwise).
     """
-    from repro.runtime import coerce_policy
+    from repro.runtime import resolve_policy
 
-    policy = coerce_policy(policy, "fill", use_batched_greedy=use_batched_greedy)
+    policy = resolve_policy(policy)
     h = instance.num_advertisers
     budget_array = (
         np.asarray(budgets, dtype=np.float64) if budgets is not None else instance.budgets()
@@ -343,7 +339,7 @@ def fill(
         revenue[advertiser] = oracle.revenue(advertiser, seeds) if seeds else 0.0
         cost[advertiser] = instance.cost_of_set(advertiser, seeds)
 
-    if policy.use_batched_greedy and supports_batched_greedy(oracle, instance):
+    if policy.greedy_engine == "batched" and supports_batched_greedy(oracle, instance):
         return _fill_batched(
             instance, oracle, result, budget_array, candidates, revenue, cost
         )

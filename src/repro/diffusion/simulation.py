@@ -121,7 +121,7 @@ def monte_carlo_spread(
 
     if policy is not None:
         if use_batched is None:
-            use_batched = policy.use_batched_mc
+            use_batched = policy.mc_engine == "batched"
         batch_size = batch_size if batch_size is not None else policy.mc_batch_size
         n_jobs = n_jobs if n_jobs is not None else policy.n_jobs
     if use_batched or resolve_n_jobs(n_jobs) > 1:
@@ -260,7 +260,7 @@ def singleton_spreads_monte_carlo(
 
     if policy is not None:
         if use_batched is None:
-            use_batched = policy.use_batched_mc
+            use_batched = policy.mc_engine == "batched"
         batch_size = batch_size if batch_size is not None else policy.mc_batch_size
         n_jobs = n_jobs if n_jobs is not None else policy.n_jobs
     if use_batched or resolve_n_jobs(n_jobs) > 1:

@@ -10,7 +10,7 @@ rate of return against it, which is exactly what Figures 1-10 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.advertising.oracle import RRSetOracle
 from repro.exceptions import ExperimentError
 from repro.rrsets.uniform import UniformRRSampler
 from repro.utils.rng import RandomSource, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy, Runtime
 
 
 @dataclass
@@ -49,12 +52,20 @@ def independent_evaluator(
     instance: RMInstance,
     num_rr_sets: int = 20000,
     seed: RandomSource = None,
+    policy: Optional["ExecutionPolicy"] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> RRSetOracle:
     """Build an RR-set oracle independent of any solver, for fair evaluation.
 
     The paper uses ``10^7`` RR-sets; the default here is sized for the
     scaled-down synthetic networks and can be raised by callers that want
     tighter estimates.
+
+    ``policy`` selects the sampler's RR engine and sharding (``None``
+    resolves to :meth:`repro.runtime.ExecutionPolicy.fast`); ``runtime``
+    supplies the persistent worker pool for the sharded path (falling back
+    to the ambient :func:`repro.runtime.current_runtime`, then to a
+    per-call pool).
     """
     if num_rr_sets <= 0:
         raise ExperimentError("num_rr_sets must be positive")
@@ -64,6 +75,8 @@ def independent_evaluator(
         instance.all_edge_probabilities(),
         instance.cpes(),
         seed=rng,
+        policy=policy,
+        runtime=runtime,
     )
     collection = sampler.generate_collection(num_rr_sets)
     return RRSetOracle(collection, instance.gamma)
@@ -93,10 +106,17 @@ def evaluate_allocation(
     evaluator: Optional[RRSetOracle] = None,
     num_rr_sets: int = 20000,
     seed: RandomSource = None,
+    policy: Optional["ExecutionPolicy"] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> EvaluationResult:
-    """Evaluate an allocation with an independent RR-set oracle."""
+    """Evaluate an allocation with an independent RR-set oracle.
+
+    ``policy`` / ``runtime`` configure the auto-built evaluator exactly as
+    in :func:`independent_evaluator`; both are ignored when an explicit
+    ``evaluator`` is passed.
+    """
     oracle = evaluator if evaluator is not None else independent_evaluator(
-        instance, num_rr_sets=num_rr_sets, seed=seed
+        instance, num_rr_sets=num_rr_sets, seed=seed, policy=policy, runtime=runtime
     )
     per_revenue: Dict[int, float] = {}
     per_cost: Dict[int, float] = {}

@@ -5,12 +5,16 @@ paper's figures ("RMA", "TI-CARM", "TI-CSRM", plus the oracle-setting
 algorithms), measures wall-clock time, and re-evaluates the returned
 allocation with an independent estimator so the reported revenue is
 comparable across algorithms.
+
+Every stage resolves :meth:`repro.runtime.ExecutionPolicy.fast` when no
+policy is given — SUBSIM RR generation, batched Monte-Carlo and greedy
+engines, all cores.  Pass ``policy=ExecutionPolicy.seed()`` to pin the
+serial seed-stream reference path instead.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
@@ -25,7 +29,7 @@ from repro.core.oracle_solver import rm_with_oracle
 from repro.core.result import SolverResult
 from repro.core.sampling_solver import SamplingParameters, one_batch_rm, rm_without_oracle
 from repro.exceptions import ExperimentError, PolicyError
-from repro.runtime import ExecutionPolicy, Runtime, current_runtime
+from repro.runtime import ExecutionPolicy, Runtime, current_runtime, resolve_policy
 from repro.utils.rng import RandomSource
 from repro.experiments.metrics import EvaluationResult, evaluate_allocation
 
@@ -56,63 +60,16 @@ SAMPLING_ALGORITHMS = ("RMA", "OneBatchRM", "TI-CARM", "TI-CSRM")
 ORACLE_ALGORITHMS = ("RM_with_Oracle", "CA-Greedy", "CS-Greedy")
 
 
-def _flags_to_overrides(
-    fast: bool,
-    use_batched_mc: Optional[bool],
-    use_batched_greedy: Optional[bool],
-    n_jobs: Optional[int],
-) -> Dict[str, object]:
-    """Partial :class:`ExecutionPolicy` overrides from the legacy kwargs.
-
-    Only explicitly passed flags produce overrides, so parameter objects
-    keep any engine choices the caller already made (the historical
-    semantics: ``n_jobs=4`` on top of ``use_subsim=True`` params keeps
-    SUBSIM).  Conflicting combinations were already rejected by
-    :meth:`ExecutionPolicy.from_flags` before this runs.
-    """
-    overrides: Dict[str, object] = {}
-    if fast:
-        overrides.update(
-            rr_engine="subsim", mc_engine="batched", greedy_engine="batched"
-        )
-        overrides["n_jobs"] = n_jobs if n_jobs is not None else -1
-        return overrides
-    if use_batched_mc is not None:
-        overrides["mc_engine"] = "batched" if use_batched_mc else "legacy"
-    if use_batched_greedy is not None:
-        overrides["greedy_engine"] = "batched" if use_batched_greedy else "scalar"
-    if n_jobs is not None:
-        overrides["n_jobs"] = n_jobs
-    return overrides
-
-
 def _reject_params_policy_conflict(name: str, params, policy: ExecutionPolicy) -> None:
-    """Refuse a run-level ``policy=`` that would override engine choices the
-    caller already baked into a parameter object.
+    """Refuse a run-level ``policy=`` that disagrees with a parameter object's.
 
     Silently discarding the parameter object's configuration would hand the
-    caller a different engine (and RNG stream) than they asked for; every
-    other mixed-channel combination raises, so this one does too.  An equal
+    caller a different engine (and RNG stream) than they asked for.  An equal
     ``params.policy`` is allowed — passing the same policy on both levels
     is redundant, not contradictory.
     """
     if params is None:
         return
-    legacy = [
-        field_name
-        for field_name, set_ in (
-            ("use_subsim", params.use_subsim),
-            ("use_batched_greedy", params.use_batched_greedy),
-            ("n_jobs", params.n_jobs is not None),
-        )
-        if set_
-    ]
-    if legacy:
-        raise PolicyError(
-            f"run_algorithm: policy= conflicts with the deprecated "
-            f"{name}.{'/'.join(legacy)} field(s); configure the engines "
-            "through one channel"
-        )
     if params.policy is not None and params.policy != policy:
         raise PolicyError(
             f"run_algorithm: policy= disagrees with {name}.policy; pass one "
@@ -130,10 +87,6 @@ def run_algorithm(
     one_batch_rr_sets: int = 2048,
     evaluation_rr_sets: int = 20000,
     mc_oracle_simulations: Optional[int] = None,
-    use_batched_mc: Optional[bool] = None,
-    use_batched_greedy: Optional[bool] = None,
-    n_jobs: Optional[int] = None,
-    fast: bool = False,
     policy: Optional[ExecutionPolicy] = None,
     runtime: Optional[Runtime] = None,
     seed: RandomSource = None,
@@ -156,107 +109,28 @@ def run_algorithm(
     policy:
         :class:`repro.runtime.ExecutionPolicy` applied to every stage —
         sampler engines and sharding (copied into the parameter objects,
-        which are never mutated), the auto-built Monte-Carlo oracle, and the
-        oracle-setting greedy loops.  ``ExecutionPolicy.seed()`` is
-        bit-identical to the historical defaults and
-        ``ExecutionPolicy.fast()`` to ``fast=True``.  Combining ``policy``
-        with any of the deprecated flags below raises
-        :class:`~repro.exceptions.PolicyError` (a :class:`ValueError`), as
-        does any internally conflicting flag combination such as
-        ``fast=True`` with an explicit ``use_batched_mc=False`` — or a
-        parameter object that already carries its own engine configuration
-        (legacy fields, or a different ``params.policy``).
+        which are never mutated), the auto-built Monte-Carlo oracle, the
+        independent evaluator, and the oracle-setting greedy loops.
+        ``None`` resolves to :meth:`ExecutionPolicy.fast` — SUBSIM RR
+        generation, batched MC and greedy engines, all cores; pass
+        :meth:`ExecutionPolicy.seed` for the serial seed-stream escape
+        hatch.  A ``policy=`` that disagrees with a parameter object's own
+        ``params.policy`` raises :class:`~repro.exceptions.PolicyError` (a
+        :class:`ValueError`).
     runtime:
         :class:`repro.runtime.Runtime` whose persistent worker pool every
         sharded stage reuses.  Defaults to the ambient runtime; when there
         is none, the call opens its own for its duration, so RMA's doubling
         rounds and the MC oracle's queries always share one pool.
-    use_batched_mc:
-        Deprecated — ``policy.mc_engine`` replaces it (the auto-built
-        Monte-Carlo oracle's engine).
-    use_batched_greedy:
-        Deprecated — ``policy.greedy_engine`` replaces it (the oracle-setting
-        greedy loops; sampling algorithms configure theirs through their
-        parameter objects).
-    n_jobs:
-        Deprecated — ``policy.n_jobs`` replaces it.
-    fast:
-        Deprecated — ``policy=ExecutionPolicy.fast()`` replaces it.
     """
-    flag_names = [
-        name
-        for name, value in (
-            ("use_batched_mc", use_batched_mc),
-            ("use_batched_greedy", use_batched_greedy),
-            ("n_jobs", n_jobs),
-            ("fast", fast or None),
-        )
-        if value is not None
-    ]
-    flags_policy: Optional[ExecutionPolicy] = None
-    if flag_names:
-        warnings.warn(
-            f"run_algorithm: the {', '.join(flag_names)} keyword(s) are "
-            "deprecated; pass policy=ExecutionPolicy.from_flags(...) (or a "
-            "preset such as ExecutionPolicy.fast()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        # Validates the combination (fast=True with an explicit False engine
-        # flag raises PolicyError) and doubles as the oracle-stage policy.
-        flags_policy = ExecutionPolicy.from_flags(
-            fast=fast or None,
-            use_batched_mc=use_batched_mc,
-            use_batched_greedy=use_batched_greedy,
-            n_jobs=n_jobs,
-        )
-        if policy is not None:
-            raise PolicyError(
-                "run_algorithm: pass either policy= or the legacy flags "
-                f"({', '.join(flag_names)}), not both"
-            )
-
-    effective = policy if policy is not None else flags_policy
+    effective = resolve_policy(policy)
     if policy is not None:
         _reject_params_policy_conflict("sampling_params", sampling_params, policy)
         _reject_params_policy_conflict("ti_params", ti_params, policy)
         sampling_params = replace(
-            sampling_params or SamplingParameters(),
-            policy=policy,
-            use_subsim=False,
-            use_batched_greedy=False,
-            n_jobs=None,
+            sampling_params or SamplingParameters(), policy=policy
         )
-        ti_params = replace(
-            ti_params or TIParameters(),
-            policy=policy,
-            use_subsim=False,
-            use_batched_greedy=False,
-            n_jobs=None,
-        )
-    elif flag_names:
-        overrides = _flags_to_overrides(fast, use_batched_mc, use_batched_greedy, n_jobs)
-        sampling_overrides = dict(overrides)
-        # use_batched_mc only concerns the MC oracle; the sampling params
-        # never consumed it, so don't force it into their policy.
-        if not fast:
-            sampling_overrides.pop("mc_engine", None)
-        sampling_params = replace(
-            sampling_params or SamplingParameters(),
-            policy=(sampling_params or SamplingParameters())
-            .resolved_policy()
-            .evolve(**sampling_overrides),
-            use_subsim=False,
-            use_batched_greedy=False,
-            n_jobs=None,
-        )
-        ti_params = replace(
-            ti_params or TIParameters(),
-            policy=(ti_params or TIParameters()).resolved_policy().evolve(**sampling_overrides),
-            use_subsim=False,
-            use_batched_greedy=False,
-            n_jobs=None,
-        )
+        ti_params = replace(ti_params or TIParameters(), policy=policy)
 
     owned_runtime: Optional[Runtime] = None
     if runtime is None:
@@ -309,6 +183,8 @@ def run_algorithm(
             evaluator=evaluator,
             num_rr_sets=evaluation_rr_sets,
             seed=seed,
+            policy=effective,
+            runtime=runtime,
         )
     finally:
         if owned_runtime is not None:

@@ -29,6 +29,7 @@ from repro.parallel.executor import (
     START_METHOD_ENV,
     PersistentPool,
     ShardedExecutor,
+    current_worker_cache,
     resolve_n_jobs,
     shard_counts,
     validate_n_jobs,
@@ -50,6 +51,7 @@ __all__ = [
     "RecoveryStats",
     "ShardedExecutor",
     "START_METHOD_ENV",
+    "current_worker_cache",
     "resolve_n_jobs",
     "shard_counts",
     "validate_n_jobs",

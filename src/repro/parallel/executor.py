@@ -179,6 +179,13 @@ def _default_start_method() -> str:
 
 _WORKER_PAYLOAD: Any = None
 _WORKER_PAYLOADS: dict = {}
+#: Worker-side scratch caches, one dict per broadcast payload token.  Task
+#: functions reach theirs through :func:`current_worker_cache` to keep
+#: expensive payload-derived state (e.g. RR generators with their CSR scratch
+#: buffers) alive across the many calls a persistent pool serves for the same
+#: payload.  Evicted in lockstep with ``_WORKER_PAYLOADS``.
+_WORKER_CACHES: dict = {}
+_CURRENT_PAYLOAD_TOKEN: Any = None
 _WORKER_BARRIER: Any = None
 
 #: Seconds a worker waits for its siblings during a payload broadcast before
@@ -241,6 +248,7 @@ def _init_persistent_worker(barrier: Any, fault_specs: Any = None) -> None:
     global _WORKER_BARRIER
     _WORKER_BARRIER = barrier
     _WORKER_PAYLOADS.clear()
+    _WORKER_CACHES.clear()
     faults.arm(fault_specs)
     _freeze_inherited_heap()
 
@@ -252,6 +260,7 @@ def _drop_payloads(_arg) -> None:
     every worker in the pool drops its cache exactly once.
     """
     _WORKER_PAYLOADS.clear()
+    _WORKER_CACHES.clear()
     _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
 
 
@@ -272,7 +281,27 @@ def _store_payload(token_and_payload) -> None:
 _MISSING = object()
 
 
+def current_worker_cache() -> Optional[dict]:
+    """The scratch cache for the payload of the task currently executing.
+
+    Inside a persistent-pool task this returns a per-``(worker, payload)``
+    dict that survives across calls until the payload is evicted — task
+    functions use it to memoise state that is expensive to rebuild from the
+    payload every call (RR generators, scratch buffers).  Outside a pool
+    task — the serial/inline path, or the ephemeral one-shot pool — it
+    returns ``None`` and callers must rebuild, which keeps the serial path's
+    behaviour (and memory profile) unchanged.
+
+    Determinism contract: anything cached here must be a pure function of
+    the payload, so a cache hit can never change what a shard computes.
+    """
+    if _CURRENT_PAYLOAD_TOKEN is None:
+        return None
+    return _WORKER_CACHES.setdefault(_CURRENT_PAYLOAD_TOKEN, {})
+
+
 def _call_task_by_token(task_token_shard_index) -> Any:
+    global _CURRENT_PAYLOAD_TOKEN
     task, token, shard, index = task_token_shard_index
     payload = _WORKER_PAYLOADS.get(token, _MISSING)
     if payload is _MISSING:
@@ -281,7 +310,11 @@ def _call_task_by_token(task_token_shard_index) -> Any:
             "(auto-respawned after a sibling crash?)"
         )
     faults.on_shard_start(index)
-    result = task(payload, shard)
+    _CURRENT_PAYLOAD_TOKEN = token
+    try:
+        result = task(payload, shard)
+    finally:
+        _CURRENT_PAYLOAD_TOKEN = None
     faults.on_shard_end(index)
     return result
 

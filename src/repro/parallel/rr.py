@@ -4,12 +4,15 @@ Worker tasks and merge helpers behind
 :meth:`repro.rrsets.generator.RRSetGenerator.generate_batch_parallel` and
 :meth:`repro.rrsets.uniform.UniformRRSampler.generate_collection`.
 
-Every shard re-creates its generator(s) against the fork-inherited (or
-pickled-once) CSR graph, draws from its own :func:`spawn_rngs` substream and
-returns its RR-sets as **flat arrays** — one concatenated member array plus a
-size array (and, for the uniform sampler, a tag array) — so the pickle back
-to the parent is two or three large buffers instead of thousands of tiny
-ones.  The parent merges shards by shard position (the supervised executor
+Each shard builds its generator(s) against the fork-inherited (or
+pickled-once) CSR graph — memoised per payload in the persistent pool's
+:func:`~repro.parallel.executor.current_worker_cache`, so RMA's doubling
+rounds reuse one generator (and its scratch buffers) per worker instead of
+rebuilding it every call — draws from its own :func:`spawn_rngs` substream
+and returns its RR-sets as **flat arrays** — one concatenated member array
+plus a size array (and, for the uniform sampler, a tag array) — so the
+pickle back to the parent is two or three large buffers instead of
+thousands of tiny ones.  The parent merges shards by shard position (the supervised executor
 returns results indexed by shard, regardless of completion order or
 crash-recovery retries), which is what makes a fixed ``(seed, n_jobs)``
 pair bit-reproducible — even when a worker died mid-call and its shards
@@ -28,7 +31,11 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple, Type
 import numpy as np
 
 from repro.graph.digraph import CSRDiGraph
-from repro.parallel.executor import ShardedExecutor, shard_counts
+from repro.parallel.executor import (
+    ShardedExecutor,
+    current_worker_cache,
+    shard_counts,
+)
 from repro.utils.rng import RandomSource, spawn_rngs
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -64,12 +71,24 @@ def _generate_shard(payload, shard) -> GenerationShard:
     generator_cls, graph, probabilities = payload
     count, rng = shard
     started = time.process_time()
-    generator = generator_cls(graph, probabilities)
+    cache = current_worker_cache()
+    if cache is None:
+        generator = generator_cls(graph, probabilities)
+    else:
+        generator = cache.get("generator")
+        if generator is None:
+            generator = cache["generator"] = generator_cls(graph, probabilities)
+    # A cached generator accumulates edges_examined across calls, so report
+    # this shard's cost as a delta rather than the counter's absolute value.
+    edges_before = generator.edges_examined
     rr_sets = generator.generate_batch(count, rng)
     sizes = np.fromiter((s.size for s in rr_sets), dtype=np.int64, count=len(rr_sets))
     members = np.concatenate(rr_sets) if rr_sets else _EMPTY
     return GenerationShard(
-        members, sizes, generator.edges_examined, time.process_time() - started
+        members,
+        sizes,
+        generator.edges_examined - edges_before,
+        time.process_time() - started,
     )
 
 
@@ -125,8 +144,19 @@ def _generate_uniform_shard(payload, shard) -> UniformShard:
     generator_cls, graph, probability_arrays, weights = payload
     count, rng = shard
     started = time.process_time()
-    generators = [generator_cls(graph, probs) for probs in probability_arrays]
+    cache = current_worker_cache()
+    if cache is None:
+        generators = [generator_cls(graph, probs) for probs in probability_arrays]
+    else:
+        generators = cache.get("generators")
+        if generators is None:
+            generators = cache["generators"] = [
+                generator_cls(graph, probs) for probs in probability_arrays
+            ]
     h = len(generators)
+    edges_before = np.fromiter(
+        (generator.edges_examined for generator in generators), dtype=np.int64, count=h
+    )
     choice = rng.choice
     tags = np.empty(count, dtype=np.int64)
     sizes = np.empty(count, dtype=np.int64)
@@ -140,8 +170,13 @@ def _generate_uniform_shard(payload, shard) -> UniformShard:
         sizes[index] = rr_set.size
         rr_sets.append(rr_set)
     members = np.concatenate(rr_sets) if rr_sets else _EMPTY
-    edges = np.fromiter(
-        (generator.edges_examined for generator in generators), dtype=np.int64, count=h
+    edges = (
+        np.fromiter(
+            (generator.edges_examined for generator in generators),
+            dtype=np.int64,
+            count=h,
+        )
+        - edges_before
     )
     return UniformShard(members, sizes, tags, edges, time.process_time() - started)
 

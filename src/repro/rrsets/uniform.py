@@ -43,8 +43,8 @@ class UniformRRSampler:
     generator_cls:
         RR-set generator class (:class:`RRSetGenerator` or
         :class:`SubsimRRGenerator`).  ``None`` (the default) resolves from
-        ``policy`` — SUBSIM when ``policy.use_subsim``, the legacy reverse
-        BFS otherwise.
+        ``policy`` — SUBSIM when ``policy.rr_engine == "subsim"`` (the
+        ``fast`` default), the legacy reverse BFS otherwise.
     n_jobs:
         Shard :meth:`generate_collection` across this many worker processes
         (``None``/1 → serial, untouched seed-compatible path; ``-1`` → all
@@ -56,7 +56,8 @@ class UniformRRSampler:
         ``policy.n_jobs`` when a policy is given.
     policy:
         :class:`repro.runtime.ExecutionPolicy` supplying the generator class
-        and ``n_jobs`` defaults; explicit arguments win over it.
+        and ``n_jobs`` defaults; explicit arguments win over it.  ``None``
+        resolves to :meth:`ExecutionPolicy.fast`.
     runtime:
         :class:`repro.runtime.Runtime` whose persistent worker pool the
         sharded path runs on (falls back to the ambient runtime, then to a
@@ -81,14 +82,17 @@ class UniformRRSampler:
         cpe_array = np.asarray(cpes, dtype=np.float64)
         if np.any(cpe_array <= 0):
             raise SamplingError("cpe values must be positive")
+        from repro.runtime import resolve_policy
+
+        policy = resolve_policy(policy)
         if generator_cls is None:
-            if policy is not None and policy.use_subsim:
+            if policy.rr_engine == "subsim":
                 from repro.rrsets.generator import SubsimRRGenerator
 
                 generator_cls = SubsimRRGenerator
             else:
                 generator_cls = RRSetGenerator
-        if n_jobs is None and policy is not None:
+        if n_jobs is None:
             n_jobs = policy.n_jobs
         self._runtime = runtime
         self._graph = graph

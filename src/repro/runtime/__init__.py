@@ -4,30 +4,29 @@ This package is the single source of truth for *how* the library executes:
 
 * :class:`ExecutionPolicy` — a frozen dataclass selecting the RR / MC /
   greedy engines, the ``n_jobs`` sharding knob and the MC batch size, with
-  named presets (:meth:`ExecutionPolicy.seed`, :meth:`ExecutionPolicy.fast`)
-  and a :meth:`ExecutionPolicy.from_flags` adapter for the legacy keyword
-  sprawl (``use_subsim`` / ``use_batched_mc`` / ``use_batched_greedy`` /
-  ``n_jobs`` / ``fast``);
+  named presets: :meth:`ExecutionPolicy.fast` (the default every entry point
+  resolves when no policy is given) and :meth:`ExecutionPolicy.seed` (the
+  bit-reproducible escape hatch);
 * :class:`FailurePolicy` — the fault-tolerance leg of the policy: shard
   timeouts, deterministic retry budgets and the degrade-vs-raise switch for
   the sharded stages (re-exported from :mod:`repro.parallel.failure`);
 * :class:`Runtime` — a context manager owning a persistent worker pool
   (:class:`~repro.parallel.executor.PersistentPool`) reused across RMA's
-  doubling rounds, OneBatch, TI pool fills and MC oracle queries;
+  doubling rounds, OneBatch, TI pool fills, MC oracle queries and the
+  independent evaluator;
 * :func:`current_runtime` / :func:`acquire_executor` — how the lower layers
   find the ambient pool without every call site threading it by hand.
 
 Every solver, baseline, sampler and oracle accepts ``policy=`` /
-``runtime=``; the old per-call flags keep working through thin deprecation
-shims (see :func:`repro.runtime.policy.coerce_policy`).
+``runtime=`` — the only configuration channel; a missing ``policy=``
+resolves to :meth:`ExecutionPolicy.fast` via :func:`resolve_policy`.
 """
 
 from repro.parallel.failure import FailurePolicy, RecoveryStats
 from repro.runtime.policy import (
     ExecutionPolicy,
     POLICY_PRESETS,
-    coerce_policy,
-    resolve_params_policy,
+    resolve_policy,
 )
 from repro.runtime.runtime import Runtime, acquire_executor, current_runtime
 
@@ -38,7 +37,6 @@ __all__ = [
     "RecoveryStats",
     "Runtime",
     "acquire_executor",
-    "coerce_policy",
     "current_runtime",
-    "resolve_params_policy",
+    "resolve_policy",
 ]

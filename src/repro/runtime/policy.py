@@ -1,10 +1,8 @@
 """The :class:`ExecutionPolicy` — one object for every engine knob.
 
 Four engine generations (vectorized RR, batched MC, batched greedy, sharded
-parallel) each introduced an opt-in flag, and the flags ended up hand-threaded
-through every consumer: ``use_subsim`` / ``use_batched_mc`` /
-``use_batched_greedy`` / ``n_jobs`` / ``batch_size`` / ``fast``.  The policy
-object is the single source of truth that replaces that sprawl:
+parallel) each started life behind an opt-in flag; the policy object is the
+single source of truth that replaced that sprawl:
 
 * **engine selection** — ``rr_engine`` (``"legacy"`` | ``"subsim"``),
   ``mc_engine`` (``"legacy"`` | ``"batched"``), ``greedy_engine``
@@ -20,19 +18,19 @@ object is the single source of truth that replaces that sprawl:
   guarantee it does not have.
 
 Named presets cover the two interesting points of the space:
-:meth:`ExecutionPolicy.seed` (the bit-reproducible default) and
-:meth:`ExecutionPolicy.fast` (every fast engine + all cores).
-:meth:`ExecutionPolicy.from_flags` adapts the legacy keyword sprawl — and is
-where conflicting combinations (``fast=True`` with an explicit
-``use_batched_mc=False``) are rejected with a :class:`PolicyError` instead of
-being silently overridden.
+:meth:`ExecutionPolicy.fast` (every fast engine + all cores — **the
+default** every entry point resolves when no policy is given) and
+:meth:`ExecutionPolicy.seed` (the bit-reproducible escape hatch that
+replays the original seed tree's RNG streams exactly).  ``policy=`` /
+``runtime=`` are the only configuration channel; the historical per-call
+boolean flags are gone, and passing them raises ``TypeError`` like any
+other unknown keyword.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from repro.exceptions import PolicyError
 from repro.parallel.executor import validate_n_jobs
@@ -136,24 +134,6 @@ class ExecutionPolicy:
         return self.rr_engine == "legacy" and self.mc_engine == "legacy" and serial
 
     # ------------------------------------------------------------------ #
-    # legacy-flag views (what the engine dispatch sites consume)
-    # ------------------------------------------------------------------ #
-    @property
-    def use_subsim(self) -> bool:
-        """``True`` when RR-sets come from the SUBSIM generator."""
-        return self.rr_engine == "subsim"
-
-    @property
-    def use_batched_mc(self) -> bool:
-        """``True`` when spreads come from the batched cascade engine."""
-        return self.mc_engine == "batched"
-
-    @property
-    def use_batched_greedy(self) -> bool:
-        """``True`` when greedy loops run on the batched coverage engine."""
-        return self.greedy_engine == "batched"
-
-    # ------------------------------------------------------------------ #
     # presets
     # ------------------------------------------------------------------ #
     @classmethod
@@ -162,7 +142,7 @@ class ExecutionPolicy:
         n_jobs: Optional[int] = None,
         failure: Optional[FailurePolicy] = None,
     ) -> "ExecutionPolicy":
-        """The default policy: every seed-compatible engine, serial by default.
+        """The reproducibility escape hatch: every seed-compatible engine.
 
         With ``n_jobs`` in ``(None, 1)`` the run is bit-identical to the
         seed tree; a larger ``n_jobs`` keeps the legacy engines but shards
@@ -180,10 +160,10 @@ class ExecutionPolicy:
         n_jobs: Optional[int] = -1,
         failure: Optional[FailurePolicy] = None,
     ) -> "ExecutionPolicy":
-        """Every fast engine — SUBSIM RR, batched MC, batched greedy — plus
-        all cores (override with ``n_jobs``).  Statistically equivalent to
-        :meth:`seed`, not bit-identical (see the RNG policy in
-        ``docs/architecture.md``).  ``failure`` overrides the
+        """The default policy: every fast engine — SUBSIM RR, batched MC,
+        batched greedy — plus all cores (override with ``n_jobs``).
+        Statistically equivalent to :meth:`seed`, not bit-identical (see the
+        RNG policy in ``docs/architecture.md``).  ``failure`` overrides the
         fault-tolerance behaviour of the sharded stages."""
         return cls(
             rr_engine="subsim",
@@ -195,7 +175,7 @@ class ExecutionPolicy:
 
     @classmethod
     def preset(cls, name: str, n_jobs: Optional[int] = _UNSET) -> "ExecutionPolicy":
-        """Look up a named preset (``"seed"`` or ``"fast"``)."""
+        """Look up a named preset (``"fast"``, the default, or ``"seed"``)."""
         try:
             factory = {"seed": cls.seed, "fast": cls.fast}[name]
         except KeyError:
@@ -203,50 +183,6 @@ class ExecutionPolicy:
                 f"unknown policy preset {name!r}; expected 'seed' or 'fast'"
             ) from None
         return factory() if n_jobs is _UNSET else factory(n_jobs=n_jobs)
-
-    @classmethod
-    def from_flags(
-        cls,
-        *,
-        fast: Optional[bool] = None,
-        use_subsim: Optional[bool] = None,
-        use_batched_mc: Optional[bool] = None,
-        use_batched_greedy: Optional[bool] = None,
-        n_jobs: Optional[int] = None,
-        batch_size: Optional[int] = None,
-    ) -> "ExecutionPolicy":
-        """Adapter from the legacy keyword sprawl to one policy.
-
-        ``None`` means "not specified"; explicit values win over the ``fast``
-        preset *unless they contradict it* — ``fast=True`` together with an
-        explicit ``False`` engine flag raises :class:`PolicyError` (which is
-        a :class:`ValueError`) instead of silently overriding either side.
-        """
-        if fast:
-            conflicts = [
-                name
-                for name, value in (
-                    ("use_subsim", use_subsim),
-                    ("use_batched_mc", use_batched_mc),
-                    ("use_batched_greedy", use_batched_greedy),
-                )
-                if value is False
-            ]
-            if conflicts:
-                raise PolicyError(
-                    "conflicting engine flags: fast=True enables every fast "
-                    f"engine but {', '.join(conflicts)} was explicitly set to "
-                    "False; drop fast=True or the explicit flag"
-                )
-            base = cls.fast(n_jobs=n_jobs if n_jobs is not None else -1)
-            return replace(base, mc_batch_size=batch_size, rng_compat=None)
-        return cls(
-            rr_engine="subsim" if use_subsim else "legacy",
-            mc_engine="batched" if use_batched_mc else "legacy",
-            greedy_engine="batched" if use_batched_greedy else "scalar",
-            n_jobs=n_jobs,
-            mc_batch_size=batch_size,
-        )
 
     # ------------------------------------------------------------------ #
     # derivation helpers
@@ -286,91 +222,17 @@ class ExecutionPolicy:
 POLICY_PRESETS = ("seed", "fast")
 
 
-def coerce_policy(
-    policy: Optional[ExecutionPolicy],
-    owner: str,
-    stacklevel: int = 3,
-    **legacy: Any,
-) -> ExecutionPolicy:
-    """Resolve ``policy`` against deprecated per-call engine flags.
+def resolve_policy(policy: Optional[ExecutionPolicy]) -> ExecutionPolicy:
+    """``policy``, or the library default :meth:`ExecutionPolicy.fast`.
 
-    The thin shim every refactored entry point delegates to: legacy keyword
-    flags still work, but emit a :class:`DeprecationWarning` naming the
-    replacement, and combining them with an explicit ``policy=`` raises
-    :class:`PolicyError` — the two configuration channels must not fight.
-    ``legacy`` values of ``None`` mean "not passed" and are ignored.
+    The one place the default is defined: every entry point — solvers,
+    baselines, samplers, oracles, diffusion dispatch, CLI — resolves a
+    missing ``policy=`` through this helper, so they all agree that "no
+    policy" means the fast engines on all cores.  Pass
+    :meth:`ExecutionPolicy.seed` explicitly to reproduce the original
+    seed-tree RNG streams bit for bit.
     """
-    flags: Dict[str, Any] = {k: v for k, v in legacy.items() if v is not None}
-    if not flags:
-        return policy if policy is not None else ExecutionPolicy.seed()
-    warnings.warn(
-        f"{owner}: the {', '.join(sorted(flags))} keyword(s) are deprecated; "
-        "pass policy=ExecutionPolicy.from_flags(...) (or a preset such as "
-        "ExecutionPolicy.fast()) instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-    if policy is not None:
-        raise PolicyError(
-            f"{owner}: pass either policy= or the legacy flags "
-            f"({', '.join(sorted(flags))}), not both"
-        )
-    return ExecutionPolicy.from_flags(**flags)
-
-
-def resolve_params_policy(
-    owner: str,
-    policy: Optional[ExecutionPolicy],
-    use_subsim: bool = False,
-    use_batched_greedy: bool = False,
-    n_jobs: Optional[int] = None,
-    *,
-    warn: bool = False,
-    fold: bool = True,
-    stacklevel: int = 4,
-) -> Optional[ExecutionPolicy]:
-    """Shared legacy-field → policy resolution for parameter dataclasses.
-
-    ``SamplingParameters`` and ``TIParameters`` both call this — from
-    ``__post_init__`` with ``warn=True, fold=False`` (emit the deprecation
-    shim warning once, at construction, and reject mixing ``policy=`` with
-    legacy fields — without yet building a policy, so an invalid ``n_jobs``
-    still surfaces as ``SolverError`` from ``validate()``, the historical
-    contract) and from ``resolved_policy()`` with the defaults (fold the
-    fields silently).  One implementation keeps the warning text and the
-    conflict rule identical across every parameter object.
-    """
-    legacy = [
-        name
-        for name, set_ in (
-            ("use_subsim", bool(use_subsim)),
-            ("use_batched_greedy", bool(use_batched_greedy)),
-            ("n_jobs", n_jobs is not None),
-        )
-        if set_
-    ]
-    if not legacy:
-        return policy if policy is not None else ExecutionPolicy.seed()
-    if warn:
-        warnings.warn(
-            f"{owner}: the {', '.join(legacy)} field(s) are deprecated; pass "
-            "policy=ExecutionPolicy.from_flags(...) (or a preset such as "
-            "ExecutionPolicy.fast()) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
-        )
-    if policy is not None:
-        raise PolicyError(
-            f"{owner}: pass either policy= or the legacy engine fields "
-            f"({', '.join(legacy)}), not both"
-        )
-    if not fold:
-        return None
-    return ExecutionPolicy.from_flags(
-        use_subsim=use_subsim or None,
-        use_batched_greedy=use_batched_greedy or None,
-        n_jobs=n_jobs,
-    )
+    return policy if policy is not None else ExecutionPolicy.fast()
 
 
 def policy_fields() -> tuple:

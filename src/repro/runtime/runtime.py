@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.parallel.executor import PersistentPool, ShardedExecutor
-from repro.runtime.policy import ExecutionPolicy
+from repro.runtime.policy import ExecutionPolicy, resolve_policy
 
 #: Stack of entered runtimes; the innermost ``with`` block wins.
 _ACTIVE: List["Runtime"] = []
@@ -41,9 +41,9 @@ class Runtime:
     ----------
     policy:
         The execution policy this runtime represents; defaults to
-        :meth:`ExecutionPolicy.seed`.  Purely descriptive — it never leaks
-        into :meth:`sharded_executor`, whose ``n_jobs`` (and therefore the
-        results) always comes from the caller.
+        :meth:`ExecutionPolicy.fast`, like every other entry point.  Purely
+        descriptive — it never leaks into :meth:`sharded_executor`, whose
+        ``n_jobs`` (and therefore the results) always comes from the caller.
     start_method:
         Multiprocessing start method for the pool (default: ``fork`` on
         Linux, overridable via ``REPRO_MP_START_METHOD``).
@@ -54,7 +54,7 @@ class Runtime:
         policy: Optional[ExecutionPolicy] = None,
         start_method: Optional[str] = None,
     ):
-        self._policy = policy if policy is not None else ExecutionPolicy.seed()
+        self._policy = resolve_policy(policy)
         self._pool = PersistentPool(start_method=start_method)
 
     @property

@@ -103,7 +103,11 @@ class TestTIBaselines:
             ti_carm(probabilistic_instance, TIParameters(pilot_size=0))
 
     def test_subsim_variant_runs(self, probabilistic_instance):
-        result = ti_csrm(probabilistic_instance, quick_ti(use_subsim=True))
+        from repro.runtime import ExecutionPolicy
+
+        result = ti_csrm(
+            probabilistic_instance, quick_ti(policy=ExecutionPolicy(rr_engine="subsim"))
+        )
         assert result.revenue >= 0.0
 
     def test_conservative_budget_usage_lower_than_rma(self, topic_instance):

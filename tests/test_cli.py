@@ -86,3 +86,59 @@ class TestCommands:
         assert exit_code == 0
         assert "Best revenue" in captured.out
         assert "TI-CSRM" in captured.out
+
+
+class TestPolicyFlags:
+    def test_solve_defaults_to_fast_policy(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--dataset", "lastfm_like",
+                "--advertisers", "2",
+                "--scale", "0.1",
+                "--seed", "1",
+                "--algorithm", "OneBatchRM",
+                "--initial-rr-sets", "128",
+                "--max-rr-sets", "256",
+                "--evaluation-rr-sets", "800",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "effective policy: fast:" in captured.out
+
+    def test_policy_seed_is_the_escape_hatch(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--dataset", "lastfm_like",
+                "--advertisers", "2",
+                "--scale", "0.1",
+                "--seed", "1",
+                "--algorithm", "OneBatchRM",
+                "--policy", "seed",
+                "--initial-rr-sets", "128",
+                "--max-rr-sets", "256",
+                "--evaluation-rr-sets", "800",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "effective policy: seed:" in captured.out
+
+    @pytest.mark.parametrize("flag", ["--subsim", "--batched-greedy", "--fast"])
+    def test_retired_engine_flags_exit_with_pointed_message(self, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", flag])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "has been removed" in captured.err
+        assert "--policy seed" in captured.err
+
+    def test_retired_flags_are_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--help"])
+        captured = capsys.readouterr()
+        assert "--policy" in captured.out
+        for retired in ("--subsim", "--batched-greedy", "--fast"):
+            assert retired not in captured.out

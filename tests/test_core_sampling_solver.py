@@ -99,7 +99,11 @@ class TestRMWithoutOracle:
         assert first.allocation.as_dict() == second.allocation.as_dict()
 
     def test_subsim_generator_path(self, probabilistic_instance):
-        result = rm_without_oracle(probabilistic_instance, quick_params(use_subsim=True))
+        from repro.runtime import ExecutionPolicy
+
+        result = rm_without_oracle(
+            probabilistic_instance, quick_params(policy=ExecutionPolicy(rr_engine="subsim"))
+        )
         assert result.revenue >= 0.0
 
     def test_validation_ratio_check_path(self, probabilistic_instance):

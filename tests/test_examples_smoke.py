@@ -3,9 +3,10 @@
 Each example is executed as a subprocess exactly the way the README tells
 users to run it (``PYTHONPATH=src python examples/<name>.py``); a test fails
 if the script crashes or stops printing the section its docstring promises.
-The two flag-demonstration examples additionally pin that the opt-in fast
-engines stay wired (``use_subsim`` / ``use_batched_greedy`` /
-``use_batched_mc``).
+The quickstart additionally pins that it demonstrates the two remaining
+execution knobs: the ``ExecutionPolicy.seed()`` escape hatch and the
+``Runtime`` pool-reuse context (the fast engines are the default and need
+no flags).
 """
 
 from __future__ import annotations
@@ -59,16 +60,17 @@ def test_example_runs(name):
     assert EXPECTED_OUTPUT[name] in result.stdout
 
 
-def test_quickstart_demonstrates_all_three_fast_engines():
+def test_quickstart_demonstrates_the_remaining_knobs():
     source = (EXAMPLES_DIR / "quickstart.py").read_text()
-    assert 'rr_engine="subsim"' in source
-    assert 'greedy_engine="batched"' in source
-    assert 'mc_engine="batched"' in source
+    assert "ExecutionPolicy.seed()" in source  # the escape hatch
     assert "ExecutionPolicy.fast" in source
     assert "Runtime(" in source
+    # the retired per-flag API must not resurface in the examples
+    for flag in ("use_subsim", "use_batched_mc", "use_batched_greedy"):
+        assert flag not in source
 
 
-def test_compare_algorithms_demonstrates_fast_engines():
+def test_compare_algorithms_runs_on_the_default_policy():
     source = (EXAMPLES_DIR / "compare_algorithms.py").read_text()
-    assert 'rr_engine="subsim"' in source
-    assert 'greedy_engine="batched"' in source
+    assert "ExecutionPolicy(" not in source  # no knobs needed: fast is the default
+    assert "ExecutionPolicy.seed()" in source  # the escape hatch is documented

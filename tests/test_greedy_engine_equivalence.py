@@ -38,9 +38,15 @@ from repro.diffusion.models import (
 from repro.graph.generators import preferential_attachment_digraph
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import RRSetGenerator
+from repro.runtime import ExecutionPolicy
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap
 
 MODELS = [IndependentCascadeModel, WeightedCascadeModel, TrivalencyModel]
+
+# Pin everything but the greedy engine so each pair differs in exactly one
+# dimension: the scalar heap vs the batched coverage engine.
+SCALAR = ExecutionPolicy.seed()
+BATCHED = ExecutionPolicy(greedy_engine="batched")
 
 
 @pytest.fixture(scope="module")
@@ -175,8 +181,8 @@ def test_cs_and_ca_greedy_bit_identical(graph, model_cls, seed):
     instance, oracle = _instance_and_oracle(graph, model_cls, seed=seed)
     h = instance.num_advertisers
     for solver in (cs_greedy, ca_greedy):
-        scalar = solver(instance, oracle)
-        batched = solver(instance, oracle, use_batched_greedy=True)
+        scalar = solver(instance, oracle, policy=SCALAR)
+        batched = solver(instance, oracle, policy=BATCHED)
         assert _allocations_equal(scalar.allocation, batched.allocation, h)
         assert scalar.revenue == batched.revenue
         assert scalar.depleted_budgets == batched.depleted_budgets
@@ -187,9 +193,9 @@ def test_greedy_single_advertiser_bit_identical(graph, seed):
     instance, oracle = _instance_and_oracle(graph, seed=seed)
     for advertiser in range(instance.num_advertisers):
         assert greedy_single_advertiser(
-            instance, oracle, advertiser
+            instance, oracle, advertiser, policy=SCALAR
         ) == greedy_single_advertiser(
-            instance, oracle, advertiser, use_batched_greedy=True
+            instance, oracle, advertiser, policy=BATCHED
         )
 
 
@@ -197,9 +203,9 @@ def test_greedy_single_advertiser_candidate_subset(graph):
     instance, oracle = _instance_and_oracle(graph)
     candidates = list(range(0, graph.num_nodes, 3))
     assert greedy_single_advertiser(
-        instance, oracle, 1, candidates=candidates
+        instance, oracle, 1, candidates=candidates, policy=SCALAR
     ) == greedy_single_advertiser(
-        instance, oracle, 1, candidates=candidates, use_batched_greedy=True
+        instance, oracle, 1, candidates=candidates, policy=BATCHED
     )
 
 
@@ -207,10 +213,8 @@ def test_greedy_single_advertiser_candidate_subset(graph):
 def test_threshold_greedy_bit_identical(graph, gamma):
     instance, oracle = _instance_and_oracle(graph)
     h = instance.num_advertisers
-    scalar, b_scalar = threshold_greedy(instance, oracle, gamma)
-    batched, b_batched = threshold_greedy(
-        instance, oracle, gamma, use_batched_greedy=True
-    )
+    scalar, b_scalar = threshold_greedy(instance, oracle, gamma, policy=SCALAR)
+    batched, b_batched = threshold_greedy(instance, oracle, gamma, policy=BATCHED)
     assert b_scalar == b_batched
     assert _allocations_equal(scalar, batched, h)
 
@@ -221,8 +225,8 @@ def test_fill_bit_identical_from_partial_allocation(graph):
     start = Allocation(h)
     for advertiser, node in [(0, 3), (0, 17), (1, 25), (2, 4)]:
         start.assign(node, advertiser)
-    scalar = fill(instance, oracle, start)
-    batched = fill(instance, oracle, start, use_batched_greedy=True)
+    scalar = fill(instance, oracle, start, policy=SCALAR)
+    batched = fill(instance, oracle, start, policy=BATCHED)
     assert _allocations_equal(scalar, batched, h)
 
 
@@ -230,8 +234,8 @@ def test_fill_bit_identical_from_partial_allocation(graph):
 def test_rm_with_oracle_bit_identical(graph, h):
     """Covers all three dispatch arms of Algorithm 5 (h=1, h≤3, h≥4)."""
     instance, oracle = _instance_and_oracle(graph, h=h)
-    scalar = rm_with_oracle(instance, oracle)
-    batched = rm_with_oracle(instance, oracle, use_batched_greedy=True)
+    scalar = rm_with_oracle(instance, oracle, policy=SCALAR)
+    batched = rm_with_oracle(instance, oracle, policy=BATCHED)
     assert _allocations_equal(scalar.allocation, batched.allocation, h)
     assert scalar.revenue == batched.revenue
     assert scalar.metadata == batched.metadata
@@ -239,12 +243,12 @@ def test_rm_with_oracle_bit_identical(graph, h):
 
 def test_gamma_max_bit_identical(graph):
     instance, oracle = _instance_and_oracle(graph)
-    scalar = gamma_max(instance, oracle)
-    batched = gamma_max(instance, oracle, use_batched_greedy=True)
+    scalar = gamma_max(instance, oracle, policy=SCALAR)
+    batched = gamma_max(instance, oracle, policy=BATCHED)
     assert scalar == batched
     subset = list(range(0, graph.num_nodes, 7))
-    assert gamma_max(instance, oracle, candidates=subset) == gamma_max(
-        instance, oracle, candidates=subset, use_batched_greedy=True
+    assert gamma_max(instance, oracle, candidates=subset, policy=SCALAR) == gamma_max(
+        instance, oracle, candidates=subset, policy=BATCHED
     )
 
 
@@ -291,10 +295,10 @@ def test_rma_solver_bit_identical():
     instance = _dataset_instance()
     h = instance.num_advertisers
     params = SamplingParameters(
-        epsilon=0.3, initial_rr_sets=512, max_rr_sets=2048, seed=9
+        epsilon=0.3, initial_rr_sets=512, max_rr_sets=2048, seed=9, policy=SCALAR
     )
     scalar = rm_without_oracle(instance, params)
-    batched = rm_without_oracle(instance, replace(params, use_batched_greedy=True))
+    batched = rm_without_oracle(instance, replace(params, policy=BATCHED))
     assert _allocations_equal(scalar.allocation, batched.allocation, h)
     assert scalar.revenue == batched.revenue
     assert scalar.metadata == batched.metadata
@@ -303,9 +307,9 @@ def test_rma_solver_bit_identical():
 def test_one_batch_rm_bit_identical():
     instance = _dataset_instance()
     h = instance.num_advertisers
-    params = SamplingParameters(epsilon=0.3, seed=9)
+    params = SamplingParameters(epsilon=0.3, seed=9, policy=SCALAR)
     scalar = one_batch_rm(instance, 800, params)
-    batched = one_batch_rm(instance, 800, replace(params, use_batched_greedy=True))
+    batched = one_batch_rm(instance, 800, replace(params, policy=BATCHED))
     assert _allocations_equal(scalar.allocation, batched.allocation, h)
     assert scalar.revenue == batched.revenue
 
@@ -315,10 +319,10 @@ def test_ti_baselines_bit_identical(solver):
     instance = _dataset_instance()
     h = instance.num_advertisers
     params = TIParameters(
-        epsilon=0.2, pilot_size=64, max_rr_sets_per_advertiser=512, seed=7
+        epsilon=0.2, pilot_size=64, max_rr_sets_per_advertiser=512, seed=7, policy=SCALAR
     )
     scalar = solver(instance, params)
-    batched = solver(instance, replace(params, use_batched_greedy=True))
+    batched = solver(instance, replace(params, policy=BATCHED))
     assert _allocations_equal(scalar.allocation, batched.allocation, h)
     assert scalar.revenue == batched.revenue
     assert scalar.metadata == batched.metadata
@@ -327,16 +331,16 @@ def test_ti_baselines_bit_identical(solver):
 # --------------------------------------------------------------------- #
 # fallback: non-RR-set oracles keep the seed scalar path
 # --------------------------------------------------------------------- #
-def test_flag_falls_back_for_monte_carlo_oracle():
+def test_batched_policy_falls_back_for_monte_carlo_oracle():
     tiny = preferential_attachment_digraph(30, out_degree=2, seed=2)
     model = WeightedCascadeModel(tiny)
     advertisers = [Advertiser(budget=25.0, cpe=1.0) for _ in range(2)]
     costs = np.full((2, tiny.num_nodes), 1.5)
     instance = RMInstance(tiny, model, advertisers, costs)
     results = []
-    for flag in (False, True):
-        oracle = MonteCarloOracle(instance, num_simulations=40, seed=11)
+    for policy in (SCALAR, BATCHED):
+        oracle = MonteCarloOracle(instance, num_simulations=40, seed=11, policy=SCALAR)
         assert not supports_batched_greedy(oracle, instance)
-        results.append(cs_greedy(instance, oracle, use_batched_greedy=flag))
+        results.append(cs_greedy(instance, oracle, policy=policy))
     assert _allocations_equal(results[0].allocation, results[1].allocation, 2)
     assert results[0].revenue == results[1].revenue

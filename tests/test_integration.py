@@ -90,12 +90,22 @@ class TestEndToEnd:
     def test_subsim_and_standard_generators_agree(self, lastfm_dataset, shared_evaluator):
         """Figure 10: SUBSIM acceleration must not change solution quality much."""
         instance = lastfm_dataset.instance
+        from repro.runtime import ExecutionPolicy
+
         standard = rm_without_oracle(
-            instance, SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=21)
+            instance,
+            SamplingParameters(
+                initial_rr_sets=512, max_rr_sets=1024, seed=21, policy=ExecutionPolicy.seed()
+            ),
         )
         subsim = rm_without_oracle(
             instance,
-            SamplingParameters(initial_rr_sets=512, max_rr_sets=1024, seed=21, use_subsim=True),
+            SamplingParameters(
+                initial_rr_sets=512,
+                max_rr_sets=1024,
+                seed=21,
+                policy=ExecutionPolicy(rr_engine="subsim"),
+            ),
         )
         revenue_standard = evaluate_allocation(
             instance, standard.allocation, evaluator=shared_evaluator

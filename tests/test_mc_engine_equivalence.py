@@ -54,6 +54,7 @@ from repro.graph.builders import from_edge_list
 from repro.graph.generators import preferential_attachment_digraph
 from repro.rrsets.estimators import estimate_spread
 from repro.rrsets.generator import RRSetGenerator
+from repro.runtime import ExecutionPolicy
 
 MODELS = [IndependentCascadeModel, WeightedCascadeModel, TrivalencyModel]
 
@@ -218,28 +219,34 @@ def test_batched_singleton_spreads_agree_with_exact():
         assert batched[index] == pytest.approx(exact, abs=band)
 
 
-def test_monte_carlo_oracle_batched_flag_is_statistically_equivalent():
+def test_monte_carlo_oracle_batched_policy_is_statistically_equivalent():
     graph = from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3)])
     model = IndependentCascadeModel(graph, probability=0.5)
     advertisers = [Advertiser(budget=10.0, cpe=2.0)]
     costs = np.full((1, graph.num_nodes), 1.0)
     instance = RMInstance(graph, model, advertisers, costs)
-    sequential = MonteCarloOracle(instance, num_simulations=6000, seed=3)
-    batched = MonteCarloOracle(instance, num_simulations=6000, seed=3, use_batched_mc=True)
+    sequential = MonteCarloOracle(
+        instance, num_simulations=6000, seed=3, policy=ExecutionPolicy.seed()
+    )
+    batched = MonteCarloOracle(
+        instance, num_simulations=6000, seed=3, policy=ExecutionPolicy(mc_engine="batched")
+    )
     exact = 2.0 * exact_spread(graph, model.edge_probabilities(), [0])
     assert sequential.revenue(0, [0]) == pytest.approx(exact, rel=0.05)
     assert batched.revenue(0, [0]) == pytest.approx(exact, rel=0.05)
 
 
-def test_monte_carlo_oracle_default_path_reproduces_seed_stream():
-    """With the flag off, the oracle's first query must equal the legacy
+def test_monte_carlo_oracle_seed_policy_reproduces_seed_stream():
+    """Under the seed policy, the oracle's first query must equal the legacy
     estimator driven from the same seed — the seed-compatibility contract."""
     graph = from_edge_list([(0, 1), (0, 2), (1, 3), (2, 3)])
     model = IndependentCascadeModel(graph, probability=0.5)
     advertisers = [Advertiser(budget=10.0, cpe=2.0)]
     costs = np.full((1, graph.num_nodes), 1.0)
     instance = RMInstance(graph, model, advertisers, costs)
-    oracle = MonteCarloOracle(instance, num_simulations=400, seed=9)
+    oracle = MonteCarloOracle(
+        instance, num_simulations=400, seed=9, policy=ExecutionPolicy.seed()
+    )
     expected = 2.0 * legacy_monte_carlo_spread(
         graph,
         np.asarray(model.edge_probabilities()),

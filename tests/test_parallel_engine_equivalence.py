@@ -29,7 +29,7 @@ from repro.diffusion.engine import (
     singleton_spreads_monte_carlo as engine_singleton_spreads,
 )
 from repro.diffusion.models import WeightedCascadeModel
-from repro.exceptions import SamplingError, SolverError
+from repro.exceptions import PolicyError, SamplingError, SolverError
 from repro.graph.builders import from_edge_list
 from repro.graph.generators import preferential_attachment_digraph
 from repro.parallel import (
@@ -45,6 +45,7 @@ from repro.parallel.rr import run_generation_shards, split_flat
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
 from repro.rrsets.uniform import UniformRRSampler
+from repro.runtime import ExecutionPolicy
 
 GENERATORS = [RRSetGenerator, SubsimRRGenerator]
 
@@ -351,6 +352,8 @@ class TestCollectionFromShards:
 # --------------------------------------------------------------------------- #
 class TestUniformSamplerSharded:
     def _sampler(self, graph, probabilities, seed, n_jobs):
+        # The seed policy keeps n_jobs=None meaning "serial" (the fast
+        # default would resolve it to all cores); explicit n_jobs wins.
         return UniformRRSampler(
             graph,
             [probabilities, probabilities * 0.8],
@@ -358,6 +361,7 @@ class TestUniformSamplerSharded:
             generator_cls=SubsimRRGenerator,
             seed=seed,
             n_jobs=n_jobs,
+            policy=ExecutionPolicy.seed(),
         )
 
     def test_n_jobs_one_bit_identical_to_serial(self, micro_graph, wc_probabilities):
@@ -568,21 +572,18 @@ class TestEndToEnd:
             initial_rr_sets=128,
             max_rr_sets=256,
             seed=1,
-            use_subsim=True,
-            n_jobs=n_jobs,
+            policy=ExecutionPolicy(rr_engine="subsim", n_jobs=n_jobs),
         )
 
     def test_n_jobs_validation(self):
-        with pytest.raises(SolverError):
-            SamplingParameters(n_jobs=0).validate()
-        with pytest.raises(SolverError):
-            SamplingParameters(n_jobs=-3).validate()
-        SamplingParameters(n_jobs=-1).validate()
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(n_jobs=0)
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(n_jobs=-3)
+        SamplingParameters(policy=ExecutionPolicy(n_jobs=-1)).validate()
         from repro.baselines.ti_common import TIParameters
 
-        with pytest.raises(SolverError):
-            TIParameters(n_jobs=0).validate()
-        TIParameters(n_jobs=4).validate()
+        TIParameters(policy=ExecutionPolicy(n_jobs=4)).validate()
 
     def test_rma_n_jobs_one_matches_serial(self, dataset):
         serial = rm_without_oracle(dataset.instance, self._params(None))
@@ -601,7 +602,7 @@ class TestEndToEnd:
         )
         assert first.metadata["rr_sets"] == second.metadata["rr_sets"]
 
-    def test_run_algorithm_fast_preset(self, dataset):
+    def test_run_algorithm_fast_policy(self, dataset):
         from repro.experiments.runner import run_algorithm
 
         params = SamplingParameters(initial_rr_sets=128, max_rr_sets=256, seed=1)
@@ -609,27 +610,26 @@ class TestEndToEnd:
             "RMA",
             dataset.instance,
             sampling_params=params,
-            fast=True,
-            n_jobs=2,
+            policy=ExecutionPolicy.fast(n_jobs=2),
             evaluation_rr_sets=1000,
             seed=3,
         )
         assert run.evaluation.revenue > 0
-        # fast=True copies the caller's parameters instead of mutating them.
-        assert params.use_subsim is False
-        assert params.use_batched_greedy is False
-        assert params.n_jobs is None
+        # an explicit policy copies the caller's parameters instead of mutating them
+        assert params.policy is None
 
-    def test_run_algorithm_n_jobs_only(self, dataset):
+    def test_run_algorithm_pinned_jobs(self, dataset):
         from repro.experiments.runner import run_algorithm
 
         run = run_algorithm(
             "RMA",
             dataset.instance,
             sampling_params=SamplingParameters(
-                initial_rr_sets=128, max_rr_sets=256, seed=1, use_subsim=True
+                initial_rr_sets=128,
+                max_rr_sets=256,
+                seed=1,
+                policy=ExecutionPolicy(rr_engine="subsim", n_jobs=2),
             ),
-            n_jobs=2,
             evaluation_rr_sets=1000,
             seed=3,
         )
@@ -639,8 +639,13 @@ class TestEndToEnd:
         from repro.advertising.oracle import MonteCarloOracle
 
         sims = MonteCarloOracle.MIN_SHARDED_SIMULATIONS  # large enough to shard
-        first = MonteCarloOracle(dataset.instance, num_simulations=sims, seed=5, n_jobs=2)
-        second = MonteCarloOracle(dataset.instance, num_simulations=sims, seed=5, n_jobs=2)
+        sharded = ExecutionPolicy.seed(n_jobs=2).evolve(mc_engine="batched")
+        first = MonteCarloOracle(
+            dataset.instance, num_simulations=sims, seed=5, policy=sharded
+        )
+        second = MonteCarloOracle(
+            dataset.instance, num_simulations=sims, seed=5, policy=sharded
+        )
         assert first.revenue(0, [0, 1]) == second.revenue(0, [0, 1])
 
     def test_monte_carlo_oracle_small_queries_stay_serial(self, dataset):
@@ -649,23 +654,35 @@ class TestEndToEnd:
         bit for bit."""
         from repro.advertising.oracle import MonteCarloOracle
 
-        sharded = MonteCarloOracle(dataset.instance, num_simulations=60, seed=5, n_jobs=4)
-        serial = MonteCarloOracle(dataset.instance, num_simulations=60, seed=5)
+        sharded = MonteCarloOracle(
+            dataset.instance,
+            num_simulations=60,
+            seed=5,
+            policy=ExecutionPolicy.fast(n_jobs=4),
+        )
+        serial = MonteCarloOracle(
+            dataset.instance, num_simulations=60, seed=5, policy=ExecutionPolicy.fast(n_jobs=1)
+        )
         assert sharded.revenue(0, [0, 1]) == serial.revenue(0, [0, 1])
 
     def test_monte_carlo_oracle_rejects_bad_n_jobs_eagerly(self, dataset):
         from repro.advertising.oracle import MonteCarloOracle
 
-        with pytest.raises(SolverError):
-            MonteCarloOracle(dataset.instance, n_jobs=0)
-        with pytest.raises(SolverError):
-            MonteCarloOracle(dataset.instance, n_jobs=-4)
+        with pytest.raises(PolicyError):
+            MonteCarloOracle(dataset.instance, policy=ExecutionPolicy(n_jobs=0))
+        with pytest.raises(PolicyError):
+            MonteCarloOracle(dataset.instance, policy=ExecutionPolicy(n_jobs=-4))
 
     def test_ti_baseline_sharded_reproducible(self, dataset):
         from repro.baselines.ti_common import TIParameters
         from repro.baselines.ti_carm import ti_carm
 
-        params = dict(pilot_size=32, max_rr_sets_per_advertiser=128, seed=2, n_jobs=2)
+        params = dict(
+            pilot_size=32,
+            max_rr_sets_per_advertiser=128,
+            seed=2,
+            policy=ExecutionPolicy.seed(n_jobs=2),
+        )
         first = ti_carm(dataset.instance, TIParameters(**params))
         second = ti_carm(dataset.instance, TIParameters(**params))
         assert first.revenue == second.revenue

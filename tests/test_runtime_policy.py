@@ -1,38 +1,30 @@
 """Policy & runtime equivalence tier.
 
-Pins the contracts of the :mod:`repro.runtime` layer:
+Pins the contracts of the :mod:`repro.runtime` layer after the default
+flip to :meth:`ExecutionPolicy.fast`:
 
-1. **Policy algebra** — presets, the ``from_flags`` adapter, conflict
-   rejection (``fast=True`` + an explicit ``False`` engine flag), and the
-   derived ``rng_compat`` guarantee.
-2. **Policy ↔ legacy-flag bit-identity** — every algorithm must return
-   bit-identical results when configured through ``policy=`` and through the
-   deprecated keyword flags: RMA, OneBatchRM, TI-CARM/TI-CSRM and the
-   oracle-setting algorithms.
+1. **Policy algebra** — presets, field validation, the derived
+   ``rng_compat`` guarantee, and :func:`resolve_policy` (the single place
+   "no policy" is defined to mean ``fast``).
+2. **Default resolution** — every entry point resolves ``policy=None`` to
+   the fast engines; ``ExecutionPolicy.seed()`` stays available as the
+   explicit bit-reproducible escape hatch.
 3. **Pool reuse** — a :class:`~repro.runtime.Runtime` block spawns its
    worker pool at most once across all of RMA's doubling rounds, and the
    persistent pool is bit-identical to per-call pools.
-4. **Deprecation shims** — every legacy flag still works but warns; this
-   suite runs under ``-W error::DeprecationWarning`` in CI, so any unshimmed
-   internal use of a legacy flag fails the build.
 
 All seeds are fixed; the suite is deterministic.
 """
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 import pytest
 
 from repro.advertising.oracle import MonteCarloOracle, RRSetOracle
-from repro.baselines.ca_greedy import ca_greedy
-from repro.baselines.cs_greedy import cs_greedy
 from repro.baselines.ti_carm import ti_carm
-from repro.baselines.ti_common import TIParameters
 from repro.baselines.ti_csrm import ti_csrm
-from repro.core.greedy import greedy_single_advertiser
+from repro.baselines.ti_common import TIParameters
 from repro.core.oracle_solver import rm_with_oracle
 from repro.core.sampling_solver import (
     SamplingParameters,
@@ -41,16 +33,17 @@ from repro.core.sampling_solver import (
 )
 from repro.datasets.registry import build_dataset
 from repro.diffusion.engine import monte_carlo_spread as engine_monte_carlo_spread
-from repro.exceptions import PolicyError, SolverError
+from repro.exceptions import PolicyError
 from repro.experiments.runner import run_algorithm
 from repro.parallel import MAX_JOBS_ENV
+from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
 from repro.rrsets.uniform import UniformRRSampler
 from repro.runtime import (
     ExecutionPolicy,
     Runtime,
     acquire_executor,
-    coerce_policy,
     current_runtime,
+    resolve_policy,
 )
 
 
@@ -68,6 +61,7 @@ def rr_oracle(dataset):
         dataset.instance.all_edge_probabilities(),
         dataset.instance.cpes(),
         seed=7,
+        policy=ExecutionPolicy.seed(),
     )
     return RRSetOracle(sampler.generate_collection(800), dataset.instance.gamma)
 
@@ -82,13 +76,6 @@ def _same_result(a, b, num_advertisers=3):
     assert all(a.allocation.seeds(i) == b.allocation.seeds(i) for i in range(num_advertisers))
 
 
-def _legacy_params(**kwargs):
-    """Build parameters with deprecated flags, swallowing the shim warning."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return kwargs.pop("cls", SamplingParameters)(**kwargs)
-
-
 # --------------------------------------------------------------------------- #
 # policy algebra
 # --------------------------------------------------------------------------- #
@@ -100,12 +87,12 @@ class TestExecutionPolicy:
         assert policy.greedy_engine == "scalar"
         assert policy.n_jobs is None
         assert policy.rng_compat is True
-        assert not policy.use_subsim and not policy.use_batched_mc
-        assert not policy.use_batched_greedy
 
     def test_fast_preset(self):
         policy = ExecutionPolicy.fast(n_jobs=4)
-        assert policy.use_subsim and policy.use_batched_mc and policy.use_batched_greedy
+        assert policy.rr_engine == "subsim"
+        assert policy.mc_engine == "batched"
+        assert policy.greedy_engine == "batched"
         assert policy.n_jobs == 4
         assert policy.rng_compat is False
 
@@ -116,28 +103,13 @@ class TestExecutionPolicy:
         with pytest.raises(PolicyError):
             ExecutionPolicy.preset("warp")
 
-    def test_from_flags_mapping(self):
-        policy = ExecutionPolicy.from_flags(
-            use_subsim=True, use_batched_mc=True, use_batched_greedy=True, n_jobs=3
-        )
-        assert policy == ExecutionPolicy.fast(n_jobs=3)
-        assert ExecutionPolicy.from_flags() == ExecutionPolicy.seed()
-        assert ExecutionPolicy.from_flags(batch_size=64).mc_batch_size == 64
+    def test_resolve_policy_defaults_to_fast(self):
+        assert resolve_policy(None) == ExecutionPolicy.fast()
+        pinned = ExecutionPolicy.seed()
+        assert resolve_policy(pinned) is pinned
 
-    def test_from_flags_fast_expands(self):
-        assert ExecutionPolicy.from_flags(fast=True) == ExecutionPolicy.fast()
-        assert ExecutionPolicy.from_flags(fast=True, n_jobs=2).n_jobs == 2
-
-    @pytest.mark.parametrize(
-        "conflicting", ["use_subsim", "use_batched_mc", "use_batched_greedy"]
-    )
-    def test_fast_conflicts_raise_value_error(self, conflicting):
-        with pytest.raises(ValueError, match="conflicting engine flags"):
-            ExecutionPolicy.from_flags(fast=True, **{conflicting: False})
-
-    def test_fast_with_redundant_true_flags_is_fine(self):
-        policy = ExecutionPolicy.from_flags(fast=True, use_batched_mc=True)
-        assert policy.use_batched_mc
+    def test_fast_default_uses_all_cores(self):
+        assert ExecutionPolicy.fast().n_jobs == -1
 
     def test_field_validation(self):
         with pytest.raises(PolicyError):
@@ -172,146 +144,90 @@ class TestExecutionPolicy:
         assert ExecutionPolicy.fast().describe().startswith("fast:")
         assert "n_jobs=serial" in ExecutionPolicy.seed().describe()
 
-    def test_coerce_policy_conflict(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PolicyError):
-                coerce_policy(ExecutionPolicy.seed(), "here", use_subsim=True)
-
 
 # --------------------------------------------------------------------------- #
 # parameter objects
 # --------------------------------------------------------------------------- #
 class TestParameterObjects:
-    def test_sampling_defaults_resolve_to_seed(self):
-        params = SamplingParameters()
-        assert params.use_subsim is False  # legacy field keeps its default
-        assert params.resolved_policy() == ExecutionPolicy.seed()
+    def test_sampling_defaults_resolve_to_fast(self):
+        assert SamplingParameters().resolved_policy() == ExecutionPolicy.fast()
 
     def test_sampling_policy_field_wins(self):
-        policy = ExecutionPolicy.fast(n_jobs=2)
+        policy = ExecutionPolicy.seed(n_jobs=2)
         assert SamplingParameters(policy=policy).resolved_policy() is policy
 
-    def test_sampling_legacy_fields_fold_in_and_warn(self):
-        with pytest.warns(DeprecationWarning, match="use_subsim"):
-            params = SamplingParameters(use_subsim=True, n_jobs=2)
-        resolved = params.resolved_policy()
-        assert resolved.use_subsim and resolved.n_jobs == 2
-        assert not resolved.use_batched_greedy
+    def test_ti_defaults_resolve_to_fast(self):
+        assert TIParameters().resolved_policy() == ExecutionPolicy.fast()
 
-    def test_sampling_both_channels_conflict(self):
-        # PolicyError is a ValueError, matching the documented contract.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PolicyError, match="not both"):
-                SamplingParameters(use_subsim=True, policy=ExecutionPolicy.seed())
+    def test_ti_policy_field_wins(self):
+        policy = ExecutionPolicy.seed()
+        assert TIParameters(policy=policy).resolved_policy() is policy
 
-    def test_ti_mirror(self):
-        assert TIParameters().resolved_policy() == ExecutionPolicy.seed()
-        with pytest.warns(DeprecationWarning, match="n_jobs"):
-            params = TIParameters(n_jobs=2)
-        assert params.resolved_policy().n_jobs == 2
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PolicyError, match="not both"):
-                TIParameters(use_batched_greedy=True, policy=ExecutionPolicy.seed())
-
-    def test_validate_still_rejects_bad_n_jobs_with_solver_error(self):
-        with pytest.warns(DeprecationWarning):
-            params = SamplingParameters(n_jobs=0)
-        with pytest.raises(SolverError):
-            params.validate()
+    def test_legacy_fields_are_gone(self):
+        with pytest.raises(TypeError):
+            SamplingParameters(use_subsim=True)
+        with pytest.raises(TypeError):
+            SamplingParameters(n_jobs=2)
+        with pytest.raises(TypeError):
+            TIParameters(use_batched_greedy=True)
 
 
 # --------------------------------------------------------------------------- #
-# policy ↔ legacy bit-identity, per algorithm
+# default resolution across entry points
 # --------------------------------------------------------------------------- #
-class TestPolicyEquivalence:
+class TestDefaultResolution:
     @staticmethod
-    def _sampling(policy=None, **legacy):
-        base = dict(initial_rr_sets=128, max_rr_sets=256, seed=1)
-        if legacy:
-            return _legacy_params(**base, **legacy)
-        return SamplingParameters(**base, policy=policy)
+    def _sampling(policy=None):
+        return SamplingParameters(
+            initial_rr_sets=128, max_rr_sets=256, seed=1, policy=policy
+        )
 
-    def test_rma_seed_policy_matches_default(self, dataset):
+    def test_rma_no_args_matches_explicit_fast(self, dataset):
         _same_result(
             rm_without_oracle(dataset.instance, self._sampling()),
-            rm_without_oracle(dataset.instance, self._sampling(ExecutionPolicy.seed())),
+            rm_without_oracle(dataset.instance, self._sampling(ExecutionPolicy.fast())),
         )
 
-    def test_rma_engine_policy_matches_legacy_flags(self, dataset):
-        legacy = rm_without_oracle(
-            dataset.instance,
-            self._sampling(use_subsim=True, use_batched_greedy=True),
+    def test_one_batch_no_args_matches_explicit_fast(self, dataset):
+        _same_result(
+            one_batch_rm(dataset.instance, 256, self._sampling()),
+            one_batch_rm(dataset.instance, 256, self._sampling(ExecutionPolicy.fast())),
         )
-        policy = rm_without_oracle(
-            dataset.instance,
-            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True)),
-        )
-        _same_result(legacy, policy)
-
-    def test_rma_sharded_policy_matches_legacy_flags(self, dataset):
-        legacy = rm_without_oracle(
-            dataset.instance, self._sampling(use_subsim=True, n_jobs=2)
-        )
-        policy = rm_without_oracle(
-            dataset.instance,
-            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, n_jobs=2)),
-        )
-        _same_result(legacy, policy)
-
-    def test_one_batch_policy_matches_legacy_flags(self, dataset):
-        legacy = one_batch_rm(
-            dataset.instance, 256, self._sampling(use_subsim=True, use_batched_greedy=True)
-        )
-        policy = one_batch_rm(
-            dataset.instance,
-            256,
-            self._sampling(ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True)),
-        )
-        _same_result(legacy, policy)
 
     @pytest.mark.parametrize("baseline", [ti_carm, ti_csrm])
-    def test_ti_policy_matches_legacy_flags(self, dataset, baseline):
+    def test_ti_no_args_matches_explicit_fast(self, dataset, baseline):
         base = dict(pilot_size=32, max_rr_sets_per_advertiser=128, seed=2)
-        legacy = baseline(
-            dataset.instance,
-            _legacy_params(cls=TIParameters, **base, use_subsim=True, use_batched_greedy=True),
+        _same_result(
+            baseline(dataset.instance, TIParameters(**base)),
+            baseline(dataset.instance, TIParameters(**base, policy=ExecutionPolicy.fast())),
         )
-        policy = baseline(
-            dataset.instance,
-            TIParameters(
-                **base,
-                policy=ExecutionPolicy.from_flags(use_subsim=True, use_batched_greedy=True),
-            ),
-        )
-        _same_result(legacy, policy)
 
-    def test_oracle_algorithms_policy_matches_legacy_flags(self, dataset, rr_oracle):
-        batched = ExecutionPolicy.from_flags(use_batched_greedy=True)
-        for solver in (rm_with_oracle, ca_greedy, cs_greedy):
-            with pytest.warns(DeprecationWarning):
-                legacy = solver(dataset.instance, rr_oracle, use_batched_greedy=True)
-            policy = solver(dataset.instance, rr_oracle, policy=batched)
-            _same_result(legacy, policy)
-        # scalar default equals explicit seed policy
+    def test_oracle_solver_no_args_matches_explicit_fast(self, dataset, rr_oracle):
         _same_result(
             rm_with_oracle(dataset.instance, rr_oracle),
-            rm_with_oracle(dataset.instance, rr_oracle, policy=ExecutionPolicy.seed()),
+            rm_with_oracle(dataset.instance, rr_oracle, policy=ExecutionPolicy.fast()),
         )
 
-    def test_greedy_single_advertiser_policy_matches_flag(self, dataset, rr_oracle):
-        with pytest.warns(DeprecationWarning):
-            legacy = greedy_single_advertiser(
-                dataset.instance, rr_oracle, 0, use_batched_greedy=True
-            )
-        policy = greedy_single_advertiser(
-            dataset.instance,
-            rr_oracle,
-            0,
-            policy=ExecutionPolicy.from_flags(use_batched_greedy=True),
+    def test_uniform_sampler_defaults_to_subsim(self, dataset):
+        instance = dataset.instance
+        sampler = UniformRRSampler(
+            instance.graph, instance.all_edge_probabilities(), instance.cpes(), seed=3
         )
-        assert legacy == policy
+        assert sampler._generator_cls is SubsimRRGenerator
+        pinned = UniformRRSampler(
+            instance.graph,
+            instance.all_edge_probabilities(),
+            instance.cpes(),
+            seed=3,
+            policy=ExecutionPolicy.seed(),
+        )
+        assert pinned._generator_cls is RRSetGenerator
 
-    def test_run_algorithm_seed_policy_matches_default(self, dataset):
+    def test_monte_carlo_oracle_defaults_to_batched(self, dataset):
+        oracle = MonteCarloOracle(dataset.instance, num_simulations=10, seed=5)
+        assert oracle._policy == ExecutionPolicy.fast()
+
+    def test_run_algorithm_no_args_matches_explicit_fast(self, dataset):
         default = run_algorithm(
             "RMA",
             dataset.instance,
@@ -319,6 +235,18 @@ class TestPolicyEquivalence:
             evaluation_rr_sets=1000,
             seed=3,
         )
+        fast = run_algorithm(
+            "RMA",
+            dataset.instance,
+            sampling_params=self._sampling(),
+            policy=ExecutionPolicy.fast(),
+            evaluation_rr_sets=1000,
+            seed=3,
+        )
+        assert default.evaluation.revenue == fast.evaluation.revenue
+        _same_result(default.solver_result, fast.solver_result)
+
+    def test_run_algorithm_seed_policy_is_the_escape_hatch(self, dataset):
         seeded = run_algorithm(
             "RMA",
             dataset.instance,
@@ -327,87 +255,23 @@ class TestPolicyEquivalence:
             evaluation_rr_sets=1000,
             seed=3,
         )
-        assert default.evaluation.revenue == seeded.evaluation.revenue
-        _same_result(default.solver_result, seeded.solver_result)
-
-    def test_run_algorithm_fast_policy_matches_fast_flag(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_algorithm(
-                "RMA",
-                dataset.instance,
-                sampling_params=self._sampling(),
-                fast=True,
-                n_jobs=2,
-                evaluation_rr_sets=1000,
-                seed=3,
-            )
-        policy = run_algorithm(
+        again = run_algorithm(
             "RMA",
             dataset.instance,
             sampling_params=self._sampling(),
-            policy=ExecutionPolicy.fast(n_jobs=2),
+            policy=ExecutionPolicy.seed(),
             evaluation_rr_sets=1000,
             seed=3,
         )
-        assert legacy.evaluation.revenue == policy.evaluation.revenue
-        _same_result(legacy.solver_result, policy.solver_result)
-
-    def test_run_algorithm_oracle_setting_policy(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_algorithm(
-                "CS-Greedy",
-                dataset.instance,
-                mc_oracle_simulations=40,
-                use_batched_mc=True,
-                evaluation_rr_sets=1000,
-                seed=3,
-            )
-        policy = run_algorithm(
-            "CS-Greedy",
-            dataset.instance,
-            mc_oracle_simulations=40,
-            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
-            evaluation_rr_sets=1000,
-            seed=3,
-        )
-        assert legacy.evaluation.revenue == policy.evaluation.revenue
-        _same_result(legacy.solver_result, policy.solver_result)
+        assert seeded.evaluation.revenue == again.evaluation.revenue
+        _same_result(seeded.solver_result, again.solver_result)
 
 
 # --------------------------------------------------------------------------- #
 # run_algorithm conflict handling
 # --------------------------------------------------------------------------- #
 class TestRunAlgorithmConflicts:
-    def test_fast_with_explicit_false_mc_raises(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="conflicting engine flags"):
-                run_algorithm("RMA", dataset.instance, fast=True, use_batched_mc=False)
-
-    def test_fast_with_explicit_false_greedy_raises(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="conflicting engine flags"):
-                run_algorithm(
-                    "RMA", dataset.instance, fast=True, use_batched_greedy=False
-                )
-
-    def test_policy_plus_legacy_flags_raises(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="not both"):
-                run_algorithm(
-                    "RMA", dataset.instance, policy=ExecutionPolicy.seed(), n_jobs=2
-                )
-
-    def test_policy_never_silently_overrides_params_engines(self, dataset):
-        legacy_params = _legacy_params(
-            initial_rr_sets=64, max_rr_sets=128, seed=1, use_subsim=True
-        )
-        with pytest.raises(ValueError, match="one channel"):
-            run_algorithm(
-                "RMA",
-                dataset.instance,
-                sampling_params=legacy_params,
-                policy=ExecutionPolicy.seed(),
-            )
+    def test_policy_never_silently_overrides_params_policy(self, dataset):
         conflicting = SamplingParameters(
             initial_rr_sets=64, max_rr_sets=128, seed=1, policy=ExecutionPolicy.fast(n_jobs=1)
         )
@@ -429,67 +293,13 @@ class TestRunAlgorithmConflicts:
         )
         assert run.evaluation.revenue > 0
 
-    def test_fast_true_with_redundant_true_flag_still_runs(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            run = run_algorithm(
-                "RMA",
-                dataset.instance,
-                sampling_params=SamplingParameters(
-                    initial_rr_sets=64, max_rr_sets=128, seed=1
-                ),
-                fast=True,
-                n_jobs=1,
-                use_batched_greedy=True,
-                evaluation_rr_sets=500,
-                seed=3,
-            )
-        assert run.evaluation.revenue > 0
-
-
-# --------------------------------------------------------------------------- #
-# deprecation shims
-# --------------------------------------------------------------------------- #
-class TestDeprecationShims:
-    def test_monte_carlo_oracle_legacy_kwargs_warn(self, dataset):
-        with pytest.warns(DeprecationWarning, match="use_batched_mc"):
-            MonteCarloOracle(dataset.instance, num_simulations=10, use_batched_mc=True)
-        with pytest.warns(DeprecationWarning, match="n_jobs"):
-            MonteCarloOracle(dataset.instance, num_simulations=10, n_jobs=2)
-
-    def test_monte_carlo_oracle_bad_n_jobs_keeps_solver_error(self, dataset):
-        with pytest.raises(SolverError):
-            MonteCarloOracle(dataset.instance, n_jobs=0)
-
-    def test_monte_carlo_oracle_policy_matches_legacy(self, dataset):
-        with pytest.warns(DeprecationWarning):
-            legacy = MonteCarloOracle(
-                dataset.instance, num_simulations=30, seed=5, use_batched_mc=True
-            )
-        policy = MonteCarloOracle(
-            dataset.instance,
-            num_simulations=30,
-            seed=5,
-            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
-        )
-        assert legacy.revenue(0, [0, 1]) == policy.revenue(0, [0, 1])
-
-    def test_explicit_false_flag_also_warns(self, dataset, rr_oracle):
-        # The kwarg itself is deprecated, whatever its value.
-        with pytest.warns(DeprecationWarning):
-            rm_with_oracle(dataset.instance, rr_oracle, use_batched_greedy=False)
-
-    def test_policy_path_is_warning_free(self, dataset, rr_oracle):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            rm_with_oracle(
-                dataset.instance, rr_oracle, policy=ExecutionPolicy.from_flags(use_batched_greedy=True)
-            )
-            rm_without_oracle(
-                dataset.instance,
-                SamplingParameters(
-                    initial_rr_sets=64, max_rr_sets=128, seed=1, policy=ExecutionPolicy.seed()
-                ),
-            )
+    def test_legacy_kwargs_raise_type_error(self, dataset):
+        with pytest.raises(TypeError):
+            run_algorithm("RMA", dataset.instance, fast=True)
+        with pytest.raises(TypeError):
+            run_algorithm("RMA", dataset.instance, n_jobs=2)
+        with pytest.raises(TypeError):
+            run_algorithm("RMA", dataset.instance, use_batched_mc=True)
 
 
 # --------------------------------------------------------------------------- #
@@ -504,6 +314,11 @@ class TestRuntime:
                 assert current_runtime() is inner
             assert current_runtime() is outer
         assert current_runtime() is None
+
+    def test_runtime_default_policy_is_fast(self):
+        rt = Runtime()
+        assert rt.policy == ExecutionPolicy.fast()
+        rt.close()
 
     def test_acquire_executor_prefers_explicit_then_ambient(self):
         ephemeral = acquire_executor(2)
@@ -625,7 +440,7 @@ class TestRuntime:
         runtime policy's n_jobs — MonteCarloOracle deliberately keeps
         queries below MIN_SHARDED_SIMULATIONS serial, runtime or not."""
         monkeypatch.setenv(MAX_JOBS_ENV, "2")
-        sharded_policy = ExecutionPolicy.from_flags(use_batched_mc=True, n_jobs=2)
+        sharded_policy = ExecutionPolicy(mc_engine="batched", n_jobs=2)
         sims = 60  # < MIN_SHARDED_SIMULATIONS
         baseline = MonteCarloOracle(
             dataset.instance, num_simulations=sims, seed=5, policy=sharded_policy
@@ -652,7 +467,7 @@ class TestRuntime:
             num_simulations=40,
             rng=9,
             use_batched=False,
-            policy=ExecutionPolicy.from_flags(use_batched_mc=True),
+            policy=ExecutionPolicy(mc_engine="batched"),
         )
         assert pinned == sequential  # bit-identical: the legacy engine ran
 
