@@ -12,6 +12,13 @@ Three sub-commands cover the common workflows:
     Print the structural statistics of one of the synthetic datasets
     (the Table 1 view).
 
+``python -m repro.cli refresh``
+    Exercise the incremental RR-store maintenance loop: build a dataset,
+    fill an :class:`~repro.rrsets.store.RRStore`, apply a synthetic batch
+    of graph deltas and report how many RR-sets had to be redrawn
+    (``--verify`` additionally checks bit-identity against a fresh store
+    generated on the post-delta graph).
+
 The CLI is a thin wrapper over :mod:`repro.experiments`; everything it does
 can also be done programmatically (see ``examples/``).
 """
@@ -20,7 +27,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.baselines.ti_common import TIParameters
 from repro.core.sampling_solver import SamplingParameters
@@ -30,8 +39,22 @@ from repro.experiments.metrics import independent_evaluator
 from repro.experiments.report import format_table
 from repro.experiments.runner import SAMPLING_ALGORITHMS, run_algorithm
 from repro.exceptions import PolicyError
+from repro.graph.deltas import (
+    AddEdge,
+    GraphDelta,
+    MutableGraphView,
+    RemoveEdge,
+    UpdateProbability,
+)
 from repro.parallel.failure import ON_POOL_FAILURE_MODES
-from repro.runtime import ExecutionPolicy, FailurePolicy, POLICY_PRESETS, Runtime
+from repro.rrsets.store import RRStore
+from repro.runtime import (
+    ExecutionPolicy,
+    FailurePolicy,
+    MAINTENANCE_MODES,
+    POLICY_PRESETS,
+    Runtime,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +90,46 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--name", default="lastfm_like", choices=sorted(DATASET_BUILDERS))
     dataset.add_argument("--scale", type=float, default=0.5)
     dataset.add_argument("--seed", type=int, default=7)
+
+    refresh = subparsers.add_parser(
+        "refresh", help="apply streaming graph deltas to an incremental RR-set store"
+    )
+    _add_instance_arguments(refresh)
+    refresh.add_argument(
+        "--rr-sets", type=int, default=2000, help="RR-sets to pre-generate in the store"
+    )
+    refresh.add_argument(
+        "--deltas", type=int, default=8, help="synthetic graph deltas per refresh round"
+    )
+    refresh.add_argument(
+        "--rounds", type=int, default=1, help="number of delta batches to apply"
+    )
+    refresh.add_argument(
+        "--policy",
+        default=None,
+        choices=sorted(POLICY_PRESETS),
+        help="execution-policy preset (default: fast)",
+    )
+    refresh.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for generation and maintenance re-draws",
+    )
+    refresh.add_argument(
+        "--maintenance",
+        default=None,
+        choices=sorted(MAINTENANCE_MODES),
+        help="where invalidation re-draws run: 'pool' (default) or 'inline'; "
+        "bit-identical either way",
+    )
+    refresh.add_argument(
+        "--verify",
+        action="store_true",
+        help="after each round, regenerate a fresh store on the post-delta "
+        "graph and assert it is bit-identical to the maintained store",
+    )
 
     return parser
 
@@ -143,9 +206,9 @@ def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
     retired = [
         flag
         for flag, set_ in (
-            ("--subsim", args.subsim),
-            ("--batched-greedy", args.batched_greedy),
-            ("--fast", args.fast),
+            ("--subsim", getattr(args, "subsim", False)),
+            ("--batched-greedy", getattr(args, "batched_greedy", False)),
+            ("--fast", getattr(args, "fast", False)),
         )
         if set_
     ]
@@ -324,6 +387,127 @@ def command_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthesize_deltas(
+    view: MutableGraphView, count: int, seed: int
+) -> List[GraphDelta]:
+    """A deterministic batch of valid deltas for the ``refresh`` demo.
+
+    Mostly per-advertiser probability updates (the localized case), with a
+    sprinkle of edge insertions and removals.  Tracks the evolving edge set
+    while synthesizing so the batch stays valid when applied in order.
+    """
+    rng = np.random.default_rng(seed)
+    graph = view.graph
+    edges = {
+        (int(u), int(v)) for u, v in zip(graph.sources, graph.targets)
+    }
+    h = view.num_advertisers
+    n = graph.num_nodes
+    deltas: List[GraphDelta] = []
+    while len(deltas) < count:
+        roll = float(rng.random())
+        if roll < 0.7 and edges:
+            edge_id = int(rng.integers(0, graph.num_edges))
+            u, v = int(graph.sources[edge_id]), int(graph.targets[edge_id])
+            if (u, v) not in edges:
+                continue
+            advertiser = int(rng.integers(0, h))
+            deltas.append(
+                UpdateProbability(
+                    u, v, float(rng.uniform(0.01, 0.5)), advertiser=advertiser
+                )
+            )
+        elif roll < 0.85:
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u == v or (u, v) in edges:
+                continue
+            probabilities = tuple(float(p) for p in rng.uniform(0.01, 0.5, h))
+            deltas.append(AddEdge(u, v, probabilities))
+            edges.add((u, v))
+        else:
+            edge_id = int(rng.integers(0, graph.num_edges))
+            u, v = int(graph.sources[edge_id]), int(graph.targets[edge_id])
+            if (u, v) not in edges:
+                continue
+            deltas.append(RemoveEdge(u, v))
+            edges.discard((u, v))
+    return deltas
+
+
+def _verify_refresh(store: RRStore, runtime: Runtime) -> None:
+    """Assert the maintained store matches a fresh one on the current graph."""
+    fresh_view = MutableGraphView(
+        store.view.graph, store.view.advertiser_edge_probabilities
+    )
+    fresh = RRStore(
+        fresh_view,
+        store.cpes,
+        seed=store.seed,
+        policy=store.policy,
+        runtime=runtime,
+    )
+    fresh.generate(len(store.collection))
+    maintained, regenerated = store.collection, fresh.collection
+    identical = (
+        np.array_equal(maintained.member_array, regenerated.member_array)
+        and np.array_equal(maintained.set_offsets, regenerated.set_offsets)
+        and np.array_equal(maintained.tag_array, regenerated.tag_array)
+        and np.array_equal(np.asarray(store.roots()), np.asarray(fresh.roots()))
+    )
+    if not identical:
+        raise SystemExit(
+            "verification FAILED: maintained store differs from fresh regeneration"
+        )
+    print("verify: maintained store is bit-identical to fresh regeneration")
+
+
+def command_refresh(args: argparse.Namespace) -> int:
+    """Handle ``repro refresh``."""
+    data = build_dataset(
+        args.dataset,
+        num_advertisers=args.advertisers,
+        incentive=args.incentive,
+        alpha=args.alpha,
+        scale=args.scale,
+        seed=args.seed,
+        singleton_rr_sets=128,
+    )
+    instance = data.instance
+    policy = (
+        ExecutionPolicy.preset(args.policy)
+        if args.policy is not None
+        else ExecutionPolicy.fast()
+    )
+    if args.jobs is not None:
+        policy = policy.evolve(n_jobs=args.jobs)
+    if args.maintenance is not None:
+        policy = policy.evolve(maintenance=args.maintenance)
+    print(f"effective policy: {policy.describe()}")
+    with Runtime(policy) as runtime:
+        view = MutableGraphView(instance.graph, instance.all_edge_probabilities())
+        store = RRStore(
+            view, instance.cpes(), seed=args.seed, policy=policy, runtime=runtime
+        )
+        store.generate(args.rr_sets)
+        print(
+            f"store: {len(store.collection)} RR-sets over "
+            f"{view.num_nodes} nodes / {view.num_edges} edges"
+        )
+        for round_id in range(args.rounds):
+            deltas = _synthesize_deltas(
+                view, args.deltas, seed=args.seed + 1 + round_id
+            )
+            report = store.apply_deltas(deltas)
+            print(
+                f"round {round_id + 1}: {len(deltas)} deltas -> epoch "
+                f"{report.epoch}, redrawn {report.redrawn}/{report.total} "
+                f"({report.reason}, kept {report.kept})"
+            )
+            if args.verify:
+                _verify_refresh(store, runtime)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -335,6 +519,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "solve": command_solve,
         "compare": command_compare,
         "dataset": command_dataset,
+        "refresh": command_refresh,
     }
     return handlers[args.command](args)
 

@@ -1,6 +1,15 @@
 """Directed-graph substrate used by the diffusion and sampling layers."""
 
 from repro.graph.digraph import CSRDiGraph
+from repro.graph.deltas import (
+    AddEdge,
+    AddNode,
+    DeltaEffect,
+    MutableGraphView,
+    RemoveEdge,
+    RemoveNode,
+    UpdateProbability,
+)
 from repro.graph.builders import from_edge_array, from_edge_list, from_networkx, to_networkx
 from repro.graph.generators import (
     erdos_renyi_digraph,
@@ -13,6 +22,13 @@ from repro.graph.stats import GraphStats, compute_stats
 
 __all__ = [
     "CSRDiGraph",
+    "AddEdge",
+    "AddNode",
+    "DeltaEffect",
+    "MutableGraphView",
+    "RemoveEdge",
+    "RemoveNode",
+    "UpdateProbability",
     "from_edge_array",
     "from_edge_list",
     "from_networkx",

@@ -1,0 +1,407 @@
+"""Streaming graph deltas over an immutable :class:`CSRDiGraph`.
+
+:class:`CSRDiGraph` is frozen by design — the traversal engines depend on its
+CSR arrays never moving underneath them.  :class:`MutableGraphView` is the
+mutability layer on top: it owns the *current* graph together with the
+per-advertiser edge-probability arrays, accepts **typed delta batches**
+(:class:`AddEdge`, :class:`RemoveEdge`, :class:`UpdateProbability`,
+:class:`AddNode`, :class:`RemoveNode`), and rebuilds a fresh frozen CSR
+snapshot per batch.  Every applied batch advances an epoch counter and is
+appended to a delta log, so downstream consumers (the incremental RR-set
+store in :mod:`repro.rrsets.store`) can reason about *what changed* instead
+of diffing graphs.
+
+The dirty-region contract
+-------------------------
+Reverse-reachability traversals only ever examine the **in-neighbourhood of
+nodes they visit**: an RR-set's replay is a pure function of the root draw,
+the advertiser draw, and the in-CSR blocks of its member nodes.  A delta
+batch therefore dirties exactly the nodes whose in-blocks it touches:
+
+* ``AddEdge(u, v)`` / ``RemoveEdge(u, v)`` dirty ``v`` (for every
+  advertiser — the block's degree and content change);
+* ``UpdateProbability(u, v, advertiser=i)`` dirties ``v`` *for advertiser
+  i only* (other advertisers' probability arrays are untouched);
+* ``RemoveNode(x)`` removes all incident edges, dirtying every out-neighbour
+  of ``x`` (their in-blocks lose the edge from ``x``) and ``x`` itself when
+  it had in-edges.  The node *id* survives as an isolated node — removal is
+  **isolation**, which keeps the id space (and the root-draw domain) stable;
+* ``AddNode`` grows the id space, which changes the root-draw domain for
+  every RR-set — reported as ``num_nodes_changed`` so consumers know the
+  delta is global, not localized.
+
+:meth:`MutableGraphView.apply` returns a :class:`DeltaEffect` carrying this
+dirty region; the RR store intersects it with each RR-set's member signature
+to decide what to invalidate.  Canonical edge order of the rebuilt snapshot
+is the same lexicographic ``(source, target)`` order :class:`CSRDiGraph`
+derives itself, so the probability arrays stay aligned with
+``graph.sources`` / ``graph.targets`` by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import CSRDiGraph
+
+_EMPTY_NODES = np.empty(0, dtype=np.int64)
+_EMPTY_NODES.setflags(write=False)
+
+
+# ---------------------------------------------------------------------- #
+# typed deltas
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AddEdge:
+    """Insert the directed edge ``source -> target``.
+
+    ``probabilities`` carries one activation probability per advertiser for
+    the new edge (length ``h``); the edge must not already exist.
+    """
+
+    source: int
+    target: int
+    probabilities: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Delete the directed edge ``source -> target`` (must exist)."""
+
+    source: int
+    target: int
+
+
+@dataclass(frozen=True)
+class UpdateProbability:
+    """Set the activation probability of an existing edge.
+
+    ``advertiser=None`` updates every advertiser's probability for the edge
+    (dirtying the target globally); an explicit index updates — and dirties —
+    only that advertiser's view of the edge.
+    """
+
+    source: int
+    target: int
+    probability: float
+    advertiser: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AddNode:
+    """Append ``count`` fresh isolated nodes (ids ``n .. n + count - 1``)."""
+
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class RemoveNode:
+    """Isolate ``node``: delete all incident edges, keep the id.
+
+    True id compaction would renumber every surviving node and invalidate
+    all recorded RR-sets; isolation keeps the id space stable so the delta
+    stays localized.  The isolated id remains a valid (degree-0) node.
+    """
+
+    node: int
+
+
+GraphDelta = Union[AddEdge, RemoveEdge, UpdateProbability, AddNode, RemoveNode]
+
+
+@dataclass(frozen=True)
+class DeltaEffect:
+    """What one applied batch dirtied — the invalidation input of consumers.
+
+    Attributes
+    ----------
+    epoch:
+        The view's epoch *after* the batch was applied.
+    num_deltas:
+        Number of deltas in the batch.
+    dirty_nodes:
+        Sorted node ids whose in-neighbourhood changed for **every**
+        advertiser (structural edge changes and all-advertiser probability
+        updates).
+    dirty_nodes_by_advertiser:
+        Per-advertiser sorted node ids dirtied only for that advertiser
+        (single-advertiser probability updates); advertisers with no
+        private dirt are absent.
+    num_nodes_changed:
+        ``True`` when the batch grew the node id space (``AddNode``) —
+        a global delta for consumers whose draws depend on ``num_nodes``.
+    """
+
+    epoch: int
+    num_deltas: int
+    dirty_nodes: np.ndarray
+    dirty_nodes_by_advertiser: Mapping[int, np.ndarray] = field(default_factory=dict)
+    num_nodes_changed: bool = False
+
+    @property
+    def is_global(self) -> bool:
+        """Whether the batch invalidates consumers regardless of locality."""
+        return self.num_nodes_changed
+
+
+class MutableGraphView:
+    """A mutable (graph, per-advertiser probabilities) pair with a delta log.
+
+    Parameters
+    ----------
+    graph:
+        The initial frozen snapshot.
+    advertiser_edge_probabilities:
+        One probability array per advertiser, aligned with the graph's
+        canonical edge order (exactly what
+        :meth:`~repro.advertising.instance.RMInstance.all_edge_probabilities`
+        returns).  Copied — the view never aliases caller arrays.
+    """
+
+    def __init__(
+        self,
+        graph: CSRDiGraph,
+        advertiser_edge_probabilities: Sequence[np.ndarray],
+    ):
+        if len(advertiser_edge_probabilities) == 0:
+            raise GraphError("at least one advertiser probability array is required")
+        self._num_advertisers = len(advertiser_edge_probabilities)
+        self._num_nodes = graph.num_nodes
+        sources = graph.sources
+        targets = graph.targets
+        matrix = np.empty((self._num_advertisers, graph.num_edges), dtype=np.float64)
+        for row, probabilities in enumerate(advertiser_edge_probabilities):
+            probabilities = np.asarray(probabilities, dtype=np.float64)
+            if probabilities.shape != (graph.num_edges,):
+                raise GraphError(
+                    "every probability array must have one entry per edge"
+                )
+            if probabilities.size and (
+                probabilities.min() < 0 or probabilities.max() > 1
+            ):
+                raise GraphError("edge probabilities must lie in [0, 1]")
+            matrix[row] = probabilities
+        # Edge registry: (u, v) -> per-advertiser probability vector.  The
+        # canonical (lexicographic) order is recovered by sorting the keys at
+        # snapshot time, which matches CSRDiGraph's own edge order.
+        self._edges: Dict[Tuple[int, int], np.ndarray] = {
+            (int(sources[k]), int(targets[k])): matrix[:, k].copy()
+            for k in range(graph.num_edges)
+        }
+        self._out_map: Dict[int, Set[int]] = {}
+        self._in_map: Dict[int, Set[int]] = {}
+        for u, v in self._edges:
+            self._out_map.setdefault(u, set()).add(v)
+            self._in_map.setdefault(v, set()).add(u)
+        self._epoch = 0
+        self._log: List[Tuple[int, GraphDelta]] = []
+        self._graph = graph
+        self._probabilities = [
+            np.asarray(p, dtype=np.float64).copy()
+            for p in advertiser_edge_probabilities
+        ]
+        for array in self._probabilities:
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRDiGraph:
+        """The current frozen CSR snapshot."""
+        return self._graph
+
+    @property
+    def advertiser_edge_probabilities(self) -> List[np.ndarray]:
+        """Per-advertiser probability arrays aligned with the current snapshot."""
+        return list(self._probabilities)
+
+    @property
+    def num_advertisers(self) -> int:
+        """Number of advertisers ``h`` (fixed at construction)."""
+        return self._num_advertisers
+
+    @property
+    def num_nodes(self) -> int:
+        """Current node count (grows under :class:`AddNode`)."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Current edge count."""
+        return len(self._edges)
+
+    @property
+    def epoch(self) -> int:
+        """Number of delta batches applied so far."""
+        return self._epoch
+
+    @property
+    def log(self) -> Tuple[Tuple[int, GraphDelta], ...]:
+        """Every applied delta as ``(epoch, delta)``, in application order."""
+        return tuple(self._log)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge currently exists."""
+        return (int(source), int(target)) in self._edges
+
+    def edge_probability(self, source: int, target: int, advertiser: int) -> float:
+        """Current activation probability of an edge for one advertiser."""
+        key = (int(source), int(target))
+        if key not in self._edges:
+            raise GraphError(f"edge {key} does not exist")
+        if not 0 <= advertiser < self._num_advertisers:
+            raise GraphError(f"advertiser {advertiser} out of range")
+        return float(self._edges[key][advertiser])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Current edges in canonical (lexicographic) order."""
+        return sorted(self._edges)
+
+    # ------------------------------------------------------------------ #
+    # delta application
+    # ------------------------------------------------------------------ #
+    def apply(self, deltas: Iterable[GraphDelta]) -> DeltaEffect:
+        """Apply one batch of deltas, rebuild the snapshot, return the effect.
+
+        Deltas are validated and applied **in order** against the evolving
+        state, so a batch may add an edge and remove it again (an inverse
+        pair — still dirties the target conservatively).  Validation failures
+        raise :class:`~repro.exceptions.GraphError` *before* any state is
+        mutated for that batch: the batch is applied onto a scratch copy and
+        committed atomically.
+        """
+        deltas = list(deltas)
+        edges = dict(self._edges)
+        out_map = {node: set(peers) for node, peers in self._out_map.items()}
+        in_map = {node: set(peers) for node, peers in self._in_map.items()}
+        num_nodes = self._num_nodes
+        dirty: Set[int] = set()
+        dirty_by_advertiser: Dict[int, Set[int]] = {}
+        nodes_changed = False
+        h = self._num_advertisers
+
+        def check_node(node: int) -> int:
+            node = int(node)
+            if not 0 <= node < num_nodes:
+                raise GraphError(f"node {node} is out of range [0, {num_nodes})")
+            return node
+
+        for delta in deltas:
+            if isinstance(delta, AddEdge):
+                u, v = check_node(delta.source), check_node(delta.target)
+                if u == v:
+                    raise GraphError("self-loops are not supported")
+                if (u, v) in edges:
+                    raise GraphError(f"edge ({u}, {v}) already exists")
+                probabilities = np.asarray(delta.probabilities, dtype=np.float64)
+                if probabilities.shape != (h,):
+                    raise GraphError(
+                        f"AddEdge needs one probability per advertiser ({h})"
+                    )
+                if probabilities.min() < 0 or probabilities.max() > 1:
+                    raise GraphError("edge probabilities must lie in [0, 1]")
+                edges[(u, v)] = probabilities
+                out_map.setdefault(u, set()).add(v)
+                in_map.setdefault(v, set()).add(u)
+                dirty.add(v)
+            elif isinstance(delta, RemoveEdge):
+                u, v = check_node(delta.source), check_node(delta.target)
+                if (u, v) not in edges:
+                    raise GraphError(f"edge ({u}, {v}) does not exist")
+                del edges[(u, v)]
+                out_map[u].discard(v)
+                in_map[v].discard(u)
+                dirty.add(v)
+            elif isinstance(delta, UpdateProbability):
+                u, v = check_node(delta.source), check_node(delta.target)
+                if (u, v) not in edges:
+                    raise GraphError(f"edge ({u}, {v}) does not exist")
+                p = float(delta.probability)
+                if not 0.0 <= p <= 1.0:
+                    raise GraphError("edge probabilities must lie in [0, 1]")
+                vector = edges[(u, v)].copy()
+                if delta.advertiser is None:
+                    vector[:] = p
+                    dirty.add(v)
+                else:
+                    if not 0 <= delta.advertiser < h:
+                        raise GraphError(
+                            f"advertiser {delta.advertiser} out of range [0, {h})"
+                        )
+                    vector[delta.advertiser] = p
+                    dirty_by_advertiser.setdefault(int(delta.advertiser), set()).add(v)
+                edges[(u, v)] = vector
+            elif isinstance(delta, AddNode):
+                if int(delta.count) <= 0:
+                    raise GraphError("AddNode.count must be positive")
+                num_nodes += int(delta.count)
+                nodes_changed = True
+            elif isinstance(delta, RemoveNode):
+                x = check_node(delta.node)
+                for v in sorted(out_map.get(x, ())):
+                    del edges[(x, v)]
+                    in_map[v].discard(x)
+                    dirty.add(v)
+                in_edges = sorted(in_map.get(x, ()))
+                for u in in_edges:
+                    del edges[(u, x)]
+                    out_map[u].discard(x)
+                if in_edges:
+                    dirty.add(x)
+                out_map[x] = set()
+                in_map[x] = set()
+            else:
+                raise GraphError(f"unknown delta type: {type(delta).__name__}")
+
+        # Commit: rebuild the frozen snapshot in canonical order.
+        keys = sorted(edges)
+        if keys:
+            sources = np.fromiter((u for u, _ in keys), dtype=np.int64, count=len(keys))
+            targets = np.fromiter((v for _, v in keys), dtype=np.int64, count=len(keys))
+            matrix = np.stack([edges[key] for key in keys], axis=1)
+        else:
+            sources = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+            matrix = np.empty((h, 0), dtype=np.float64)
+        graph = CSRDiGraph(num_nodes, sources, targets)
+        assert graph.num_edges == len(keys)  # canonical order already unique
+        self._edges = edges
+        self._out_map = out_map
+        self._in_map = in_map
+        self._num_nodes = num_nodes
+        self._graph = graph
+        self._probabilities = [matrix[row].copy() for row in range(h)]
+        for array in self._probabilities:
+            array.setflags(write=False)
+        self._epoch += 1
+        self._log.extend((self._epoch, delta) for delta in deltas)
+
+        def frozen(nodes: Set[int]) -> np.ndarray:
+            if not nodes:
+                return _EMPTY_NODES
+            array = np.fromiter(sorted(nodes), dtype=np.int64, count=len(nodes))
+            array.setflags(write=False)
+            return array
+
+        return DeltaEffect(
+            epoch=self._epoch,
+            num_deltas=len(deltas),
+            dirty_nodes=frozen(dirty),
+            dirty_nodes_by_advertiser={
+                advertiser: frozen(nodes)
+                for advertiser, nodes in sorted(dirty_by_advertiser.items())
+            },
+            num_nodes_changed=nodes_changed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableGraphView(num_nodes={self._num_nodes}, "
+            f"num_edges={len(self._edges)}, h={self._num_advertisers}, "
+            f"epoch={self._epoch})"
+        )

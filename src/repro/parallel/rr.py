@@ -60,6 +60,17 @@ class UniformShard(NamedTuple):
     cpu_seconds: float
 
 
+class StoreShard(NamedTuple):
+    """Flat result of one RR-store slot-drawing shard (see :mod:`repro.rrsets.store`)."""
+
+    slots: np.ndarray  #: absolute slot indices this shard drew
+    members: np.ndarray  #: all drawn members concatenated, slot order
+    sizes: np.ndarray  #: per-slot cardinalities aligned with ``members``
+    tags: np.ndarray  #: advertiser tag per slot
+    roots: np.ndarray  #: recorded root per slot (provenance)
+    cpu_seconds: float
+
+
 def split_flat(members: np.ndarray, sizes: np.ndarray) -> List[np.ndarray]:
     """Views of ``members`` per RR-set (no copies; the CSR inverse of a shard)."""
     if sizes.size == 0:
@@ -179,6 +190,61 @@ def _generate_uniform_shard(payload, shard) -> UniformShard:
         - edges_before
     )
     return UniformShard(members, sizes, tags, edges, time.process_time() - started)
+
+
+def _draw_store_shard(payload, shard) -> StoreShard:
+    generator_cls, graph, probability_arrays, weights, entropy = payload
+    slots = np.asarray(shard, dtype=np.int64)
+    started = time.process_time()
+    cache = current_worker_cache()
+    if cache is None:
+        generators = [generator_cls(graph, probs) for probs in probability_arrays]
+    else:
+        generators = cache.get("store_generators")
+        if generators is None:
+            generators = cache["store_generators"] = [
+                generator_cls(graph, probs) for probs in probability_arrays
+            ]
+    from repro.rrsets.store import draw_slot
+
+    tags = np.empty(slots.size, dtype=np.int64)
+    roots = np.empty(slots.size, dtype=np.int64)
+    sizes = np.empty(slots.size, dtype=np.int64)
+    rr_sets: List[np.ndarray] = []
+    for index, slot in enumerate(slots.tolist()):
+        members, advertiser, root = draw_slot(generators, weights, entropy, slot)
+        tags[index] = advertiser
+        roots[index] = root
+        sizes[index] = members.size
+        rr_sets.append(members)
+    members = np.concatenate(rr_sets) if rr_sets else _EMPTY
+    return StoreShard(slots, members, sizes, tags, roots, time.process_time() - started)
+
+
+def run_store_shards(
+    generator_cls: Type,
+    graph: CSRDiGraph,
+    probability_arrays: Sequence[np.ndarray],
+    weights: np.ndarray,
+    entropy: int,
+    slots: np.ndarray,
+    executor: ShardedExecutor,
+) -> List[StoreShard]:
+    """Draw the given RR-store slots across the executor's shards.
+
+    Each slot draws from its own ``SeedSequence(entropy, spawn_key=(slot,))``
+    substream (:func:`repro.rrsets.store.draw_slot`), so the shard layout —
+    and therefore ``n_jobs``, pool reuse, crash recovery — can never change
+    the result: the merged slots are bit-identical to a serial draw.
+    """
+    counts = shard_counts(int(slots.size), executor.n_jobs)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    shards = [slots[offsets[i]: offsets[i + 1]] for i in range(counts.size)]
+    if not isinstance(probability_arrays, list):
+        probability_arrays = list(probability_arrays)
+    payload = (generator_cls, graph, probability_arrays, weights, entropy)
+    return executor.run(_draw_store_shard, payload, shards)
 
 
 def run_uniform_shards(

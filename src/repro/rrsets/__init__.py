@@ -30,8 +30,9 @@ yields bit-identical RR-sets — ``tests/test_rr_engine_equivalence.py`` pins
 this and ``benchmarks/bench_rr_engine.py`` tracks the speedup.
 """
 
-from repro.rrsets.generator import RRSetGenerator, SubsimRRGenerator
+from repro.rrsets.generator import RRProvenance, RRSetGenerator, SubsimRRGenerator
 from repro.rrsets.collection import RRCollection, CoverageState
+from repro.rrsets.store import MaintenanceReport, RRStore, SlotProvenance
 from repro.rrsets.uniform import UniformRRSampler, PerAdvertiserRRSampler
 from repro.rrsets.estimators import (
     estimate_total_revenue,
@@ -40,10 +41,14 @@ from repro.rrsets.estimators import (
 )
 
 __all__ = [
+    "RRProvenance",
     "RRSetGenerator",
     "SubsimRRGenerator",
     "RRCollection",
     "CoverageState",
+    "MaintenanceReport",
+    "RRStore",
+    "SlotProvenance",
     "UniformRRSampler",
     "PerAdvertiserRRSampler",
     "estimate_total_revenue",

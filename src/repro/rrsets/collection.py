@@ -41,7 +41,7 @@ fit together.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -193,6 +193,64 @@ class RRCollection:
             self._build_csr(flat, sizes, tags)
         else:
             self._csr_size = -1
+
+    def compact(
+        self,
+        replacements: Optional[Mapping[int, Tuple[Sequence[int], int]]] = None,
+        drop: Iterable[int] = (),
+    ) -> "RRCollection":
+        """Tombstone-aware compaction: rebuild the collection on the flat layout.
+
+        ``drop`` tombstones RR-set indices out of the result; ``replacements``
+        maps indices to ``(members, advertiser)`` pairs substituted in place.
+        Surviving sets keep their relative order (replaced sets keep their
+        exact index when nothing is dropped), so an incremental store that
+        replaces invalidated sets slot-for-slot stays index-aligned with a
+        freshly generated collection.  The result is built through the
+        :meth:`extend_from_shards` flat-array path — one concatenation, one
+        eager CSR/inverted-index build, no per-set ``add`` calls.
+        """
+        count = len(self._sets)
+        drop_set = {int(index) for index in drop}
+        for index in drop_set:
+            if not 0 <= index < count:
+                raise SamplingError(f"drop index {index} out of range")
+        normalized: dict = {}
+        if replacements:
+            for index, (members, advertiser) in replacements.items():
+                index = int(index)
+                if not 0 <= index < count:
+                    raise SamplingError(f"replacement index {index} out of range")
+                if index in drop_set:
+                    raise SamplingError(
+                        f"index {index} cannot be both dropped and replaced"
+                    )
+                normalized[index] = (
+                    np.unique(np.asarray(members, dtype=np.int64)),
+                    int(advertiser),
+                )
+        kept: List[np.ndarray] = []
+        sizes: List[int] = []
+        tags: List[int] = []
+        for index in range(count):
+            if index in drop_set:
+                continue
+            members, tag = normalized.get(index, (None, None))
+            if members is None:
+                members, tag = self._sets[index], self._tags[index]
+            kept.append(members)
+            sizes.append(int(members.size))
+            tags.append(int(tag))
+        compacted = RRCollection(self._num_nodes, self._num_advertisers)
+        flat = np.concatenate(kept) if kept else _EMPTY_INDEX
+        compacted.extend_from_shards(
+            [(
+                flat,
+                np.asarray(sizes, dtype=np.int64),
+                np.asarray(tags, dtype=np.int64),
+            )]
+        )
+        return compacted
 
     def _ensure_csr(self) -> None:
         """(Re)build the frozen CSR view and inverted index if stale."""

@@ -41,7 +41,7 @@ matrix downstream.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, NamedTuple, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -51,6 +51,20 @@ from repro.utils.rng import RandomSource, as_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime import Runtime
+
+
+class RRProvenance(NamedTuple):
+    """Per-RR-set generation provenance (optional :meth:`generate_batch` capture).
+
+    ``root`` plus the returned member array are the full traversal signature:
+    reverse traversal examines exactly the in-neighbourhoods of the members,
+    so consumers like :class:`repro.rrsets.store.RRStore` can test staleness
+    against a dirty region without re-running the traversal.
+    ``edges_examined`` is the per-set slice of the generator's cost counter.
+    """
+
+    root: int
+    edges_examined: int
 
 
 class RRSetGenerator:
@@ -126,12 +140,19 @@ class RRSetGenerator:
         """Generate ``count`` independent RR-sets."""
         return self.generate_batch(count, rng)
 
-    def generate_batch(self, count: int, rng: RandomSource = None) -> List[np.ndarray]:
+    def generate_batch(
+        self,
+        count: int,
+        rng: RandomSource = None,
+        provenance: Optional[List[RRProvenance]] = None,
+    ) -> List[np.ndarray]:
         """Generate ``count`` RR-sets, amortising buffer setup across the batch.
 
         Equivalent to ``count`` calls to :meth:`generate` on the same RNG
         stream (and bit-identical to them), but resolves the RNG and hot
-        array references once for the whole batch.
+        array references once for the whole batch.  Passing a list as
+        ``provenance`` appends one :class:`RRProvenance` record per generated
+        set (root, edges examined) without touching the draw order.
         """
         if count < 0:
             raise SamplingError("count must be non-negative")
@@ -143,7 +164,17 @@ class RRSetGenerator:
             raise SamplingError("cannot generate RR-sets on an empty graph")
         traverse = self._reverse_traverse
         integers = generator.integers
-        return [traverse(int(integers(0, n)), generator) for _ in range(count)]
+        if provenance is None:
+            return [traverse(int(integers(0, n)), generator) for _ in range(count)]
+        rr_sets: List[np.ndarray] = []
+        for _ in range(count):
+            root = int(integers(0, n))
+            edges_before = self._edges_examined
+            rr_sets.append(traverse(root, generator))
+            provenance.append(
+                RRProvenance(root=root, edges_examined=self._edges_examined - edges_before)
+            )
+        return rr_sets
 
     def generate_batch_parallel(
         self,

@@ -1,0 +1,438 @@
+"""Incrementally maintained RR-set store over a streaming graph.
+
+:class:`RRStore` is the enabler for allocation-as-a-service: a long-lived,
+advertiser-tagged RR-set collection that absorbs streaming graph deltas
+(:mod:`repro.graph.deltas`) by invalidating and redrawing **only** the
+RR-sets whose traversal touched the dirty region, instead of regenerating
+the whole collection.
+
+Determinism contract (the bit-identity invariant)
+-------------------------------------------------
+Every RR-set slot ``i`` is drawn from its **own seed substream**
+``SeedSequence(seed, spawn_key=(i,))``, consuming draws in a fixed order:
+one advertiser draw (cpe-weighted, as in
+:class:`~repro.rrsets.uniform.UniformRRSampler`), one root draw
+(``integers(0, num_nodes)``), then the traversal's Bernoulli blocks.  A
+slot's content is therefore a pure function of
+``(seed, slot, graph, probabilities, weights, rr_engine)`` — independent of
+every other slot, of ``n_jobs``, and of whether the slot was drawn at
+generation time or redrawn during maintenance.
+
+That purity is what makes the equivalence exact: a store that has absorbed
+delta batches ``D`` is **bit-identical** (members, tags, roots, coverage
+state) to a store generated fresh on ``graph + D`` under the same
+``(seed, policy)``, because
+
+* a slot whose member signature does not intersect the dirty region replays
+  identically on the new graph — reverse traversal only examines the
+  in-neighbourhoods of its members, and those blocks are unchanged;
+* a stale slot is redrawn from the *same* substream the fresh store would
+  use for that slot.
+
+The invalidation rule — stale iff ``members ∩ dirty ≠ ∅`` (globally, or for
+the slot's advertiser under per-advertiser probability dirt), or the node id
+space changed — is conservative but sound; the delta-fuzzing suite
+(``tests/test_rr_store_incremental.py``) pins the equivalence over random
+delta scripts and the redraw counter proves locality.
+
+Maintenance execution is governed by ``ExecutionPolicy.maintenance``:
+``"pool"`` (the default) shards redraws across the persistent worker pool of
+the ambient/passed :class:`~repro.runtime.Runtime` when ``n_jobs`` allows,
+``"inline"`` forces in-process redraws — bit-identical either way, exactly
+because slots own their substreams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.deltas import DeltaEffect, GraphDelta, MutableGraphView
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.estimators import estimate_total_revenue
+from repro.rrsets.generator import RRSetGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import ExecutionPolicy, Runtime
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class SlotProvenance(NamedTuple):
+    """Per-slot generation provenance recorded by the store.
+
+    The traversal signature itself is the slot's member array (every member's
+    in-neighbourhood was examined — that *is* the touched-edge region), so it
+    lives in the collection; this tuple carries the remaining replay inputs.
+    """
+
+    slot: int  #: substream index (``spawn_key``) the slot draws from
+    root: int  #: root node of the recorded traversal
+    tag: int  #: advertiser the slot was drawn for
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one :meth:`RRStore.apply_deltas` call."""
+
+    epoch: int  #: view epoch after the batch
+    total: int  #: RR-set slots in the store
+    invalidated: int  #: slots whose signature intersected the dirty region
+    redrawn: int  #: slots redrawn (== invalidated; the store keeps |R| fixed)
+    reason: str  #: "clean" | "localized" | "node-space-changed"
+
+    @property
+    def kept(self) -> int:
+        """Slots that survived the batch untouched."""
+        return self.total - self.redrawn
+
+
+def _slot_rng(entropy: int, slot: int) -> np.random.Generator:
+    """The dedicated RNG substream of slot ``slot``."""
+    return np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=(int(slot),)))
+
+
+def draw_slot(
+    generators: Sequence[RRSetGenerator],
+    weights: np.ndarray,
+    entropy: int,
+    slot: int,
+) -> Tuple[np.ndarray, int, int]:
+    """Draw one store slot: ``(members, advertiser, root)``.
+
+    The single definition of the per-slot draw order — the serial path, the
+    pool workers (:func:`repro.parallel.rr.run_store_shards`) and any fresh
+    regeneration all call this, which is what makes them bit-identical.
+    """
+    rng = _slot_rng(entropy, slot)
+    advertiser = int(rng.choice(len(generators), p=weights))
+    generator = generators[advertiser]
+    root = int(rng.integers(0, generator.graph.num_nodes))
+    members = generator.generate(rng, root=root)
+    return members, advertiser, root
+
+
+class RRStore:
+    """A delta-maintained, advertiser-tagged RR-set collection.
+
+    Parameters
+    ----------
+    view:
+        The :class:`~repro.graph.deltas.MutableGraphView` this store follows.
+        All deltas must flow through :meth:`apply_deltas` — the store detects
+        out-of-band ``view.apply`` calls and refuses to serve a stale
+        collection.
+    cpes:
+        Cost-per-engagement per advertiser; advertiser draws are
+        cpe-weighted exactly like :class:`~repro.rrsets.uniform.UniformRRSampler`.
+    seed:
+        Base entropy of the per-slot substreams.  ``None`` draws fresh
+        entropy once; read it back via :attr:`seed` to reproduce the store.
+    policy:
+        :class:`~repro.runtime.ExecutionPolicy` supplying the RR engine
+        (``rr_engine``), the ``n_jobs`` shard count and the ``maintenance``
+        execution mode.  ``None`` resolves to ``ExecutionPolicy.fast()``.
+    runtime:
+        Optional :class:`~repro.runtime.Runtime` whose persistent pool the
+        sharded generation/maintenance paths run on (falls back to the
+        ambient runtime, then per-call pools; results identical either way).
+    """
+
+    def __init__(
+        self,
+        view: MutableGraphView,
+        cpes: Sequence[float],
+        seed: Optional[int] = None,
+        policy: Optional["ExecutionPolicy"] = None,
+        runtime: Optional["Runtime"] = None,
+    ):
+        from repro.runtime import resolve_policy
+
+        if len(cpes) != view.num_advertisers:
+            raise SamplingError("one cpe per advertiser is required")
+        cpe_array = np.asarray(cpes, dtype=np.float64)
+        if cpe_array.size == 0 or np.any(cpe_array <= 0):
+            raise SamplingError("cpe values must be positive")
+        self._view = view
+        self._policy = resolve_policy(policy)
+        self._runtime = runtime
+        self._cpes = cpe_array
+        self._gamma = float(cpe_array.sum())
+        self._weights = cpe_array / self._gamma
+        if seed is None:
+            seed = int(np.random.SeedSequence().entropy)
+        self._entropy = int(seed)
+        if self._policy.rr_engine == "subsim":
+            from repro.rrsets.generator import SubsimRRGenerator
+
+            self._generator_cls = SubsimRRGenerator
+        else:
+            self._generator_cls = RRSetGenerator
+        self._members: List[np.ndarray] = []
+        self._tags: List[int] = []
+        self._roots: List[int] = []
+        self._collection: Optional[RRCollection] = None
+        self._generators: Optional[List[RRSetGenerator]] = None
+        self._payload_probabilities: Optional[List[np.ndarray]] = None
+        self._synced_epoch = view.epoch
+        self._redraws_total = 0
+        self._epochs_absorbed = 0
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def view(self) -> MutableGraphView:
+        """The graph view this store follows."""
+        return self._view
+
+    @property
+    def seed(self) -> int:
+        """Base entropy of the per-slot substreams (reproduces the store)."""
+        return self._entropy
+
+    @property
+    def cpes(self) -> np.ndarray:
+        """Per-advertiser cpe values (a copy; the store's weights are fixed)."""
+        return self._cpes.copy()
+
+    @property
+    def gamma(self) -> float:
+        """``Γ = Σ_i cpe(i)`` — the estimator scale factor numerator."""
+        return self._gamma
+
+    @property
+    def policy(self) -> "ExecutionPolicy":
+        """The resolved execution policy."""
+        return self._policy
+
+    @property
+    def epoch(self) -> int:
+        """The view epoch the store is synchronized with."""
+        return self._synced_epoch
+
+    @property
+    def redraws_total(self) -> int:
+        """RR-sets redrawn by maintenance over the store's lifetime."""
+        return self._redraws_total
+
+    @property
+    def collection(self) -> RRCollection:
+        """The current tagged collection (rebuilt lazily after maintenance)."""
+        self._check_sync()
+        if self._collection is None:
+            count = len(self._members)
+            sizes = np.fromiter(
+                (m.size for m in self._members), dtype=np.int64, count=count
+            )
+            flat = np.concatenate(self._members) if count else _EMPTY
+            tags = np.asarray(self._tags, dtype=np.int64)
+            self._collection = RRCollection.from_shards(
+                self._view.num_nodes,
+                self._view.num_advertisers,
+                [(flat, sizes, tags)],
+            )
+        return self._collection
+
+    def provenance(self, index: int) -> SlotProvenance:
+        """Replay provenance of RR-set slot ``index``."""
+        return SlotProvenance(
+            slot=index, root=self._roots[index], tag=self._tags[index]
+        )
+
+    def roots(self) -> np.ndarray:
+        """Recorded root node per slot."""
+        return np.asarray(self._roots, dtype=np.int64)
+
+    def estimate_total_revenue(self, allocation) -> float:
+        """Estimate ``π(S⃗)`` on the current collection (Lemma 4.1 estimator)."""
+        return estimate_total_revenue(self.collection, allocation, self._gamma)
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(self, count: int) -> None:
+        """Draw ``count`` additional RR-set slots (substreams keyed by index).
+
+        Slot substreams are keyed by absolute slot index, so a store filled
+        by several ``generate`` calls is bit-identical to one filled by a
+        single call for the total count.
+        """
+        if count < 0:
+            raise SamplingError("count must be non-negative")
+        self._check_sync()
+        if count == 0:
+            return
+        if self._view.num_nodes == 0:
+            raise SamplingError("cannot generate RR-sets on an empty graph")
+        start = len(self._members)
+        slots = np.arange(start, start + count, dtype=np.int64)
+        drawn = self._draw_slots(slots)
+        for members, tag, root in drawn:
+            self._members.append(members)
+            self._tags.append(tag)
+            self._roots.append(root)
+        self._collection = None
+
+    def _ensure_generators(self) -> List[RRSetGenerator]:
+        if self._generators is None:
+            graph = self._view.graph
+            self._payload_probabilities = self._view.advertiser_edge_probabilities
+            self._generators = [
+                self._generator_cls(graph, probabilities)
+                for probabilities in self._payload_probabilities
+            ]
+        return self._generators
+
+    def _draw_slots(self, slots: np.ndarray) -> List[Tuple[np.ndarray, int, int]]:
+        """Draw the given slots, sharding across the pool when allowed."""
+        from repro.parallel import resolve_n_jobs
+        from repro.runtime import acquire_executor
+
+        n_jobs = resolve_n_jobs(self._policy.n_jobs)
+        if (
+            self._policy.maintenance == "pool"
+            and n_jobs > 1
+            and slots.size > 1
+        ):
+            from repro.parallel.rr import run_store_shards
+
+            self._ensure_generators()
+            executor = acquire_executor(self._policy.n_jobs, self._runtime)
+            shards = run_store_shards(
+                self._generator_cls,
+                self._view.graph,
+                self._payload_probabilities,
+                self._weights,
+                self._entropy,
+                slots,
+                executor,
+            )
+            drawn: List[Tuple[np.ndarray, int, int]] = []
+            for shard in shards:
+                offsets = np.cumsum(shard.sizes[:-1])
+                for members, tag, root in zip(
+                    np.split(shard.members, offsets) if shard.sizes.size else [],
+                    shard.tags.tolist(),
+                    shard.roots.tolist(),
+                ):
+                    # Detach from the shard buffer: collection compaction
+                    # assumes per-set arrays it can hold onto.
+                    drawn.append((np.ascontiguousarray(members), int(tag), int(root)))
+            return drawn
+        generators = self._ensure_generators()
+        return [
+            draw_slot(generators, self._weights, self._entropy, int(slot))
+            for slot in slots
+        ]
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def apply_deltas(self, deltas: Iterable[GraphDelta]) -> MaintenanceReport:
+        """Absorb one delta batch: invalidate intersecting slots, redraw them.
+
+        Applies the batch to the underlying view, computes the stale slot
+        set — slots whose member signature intersects the batch's dirty
+        region (globally, or for the slot's advertiser under per-advertiser
+        probability updates) — and redraws exactly those slots from their
+        own substreams against the post-delta snapshot.  The resulting store
+        is bit-identical to full regeneration on the new graph.
+        """
+        self._check_sync()
+        effect = self._view.apply(deltas)
+        self._synced_epoch = self._view.epoch
+        self._epochs_absorbed += 1
+        self._generators = None  # graph snapshot changed
+        self._payload_probabilities = None
+        total = len(self._members)
+        if total == 0:
+            return MaintenanceReport(
+                epoch=effect.epoch, total=0, invalidated=0, redrawn=0, reason="clean"
+            )
+        stale, reason = self._stale_slots(effect)
+        if stale.size == 0:
+            return MaintenanceReport(
+                epoch=effect.epoch,
+                total=total,
+                invalidated=0,
+                redrawn=0,
+                reason="clean",
+            )
+        drawn = self._draw_slots(stale)
+        replacements: Dict[int, Tuple[np.ndarray, int]] = {}
+        for slot, (members, tag, root) in zip(stale.tolist(), drawn):
+            self._members[slot] = members
+            self._tags[slot] = tag
+            self._roots[slot] = root
+            replacements[slot] = (members, tag)
+        if effect.num_nodes_changed or self._collection is None:
+            # Node-space changes alter the collection's (h, n) shape — the
+            # cached view cannot be compacted in place.
+            self._collection = None
+        else:
+            self._collection = self._collection.compact(replacements=replacements)
+        self._redraws_total += int(stale.size)
+        return MaintenanceReport(
+            epoch=effect.epoch,
+            total=total,
+            invalidated=int(stale.size),
+            redrawn=int(stale.size),
+            reason=reason,
+        )
+
+    def _stale_slots(self, effect: DeltaEffect) -> Tuple[np.ndarray, str]:
+        """Slot indices invalidated by ``effect`` and the reason label."""
+        total = len(self._members)
+        if effect.num_nodes_changed:
+            # The root draw domain (integers(0, n)) changed: every slot's
+            # replay differs, so the whole store is invalidated.
+            return np.arange(total, dtype=np.int64), "node-space-changed"
+        if (
+            effect.dirty_nodes.size == 0
+            and not effect.dirty_nodes_by_advertiser
+        ):
+            return _EMPTY, "clean"
+        # Signature intersection, vectorized over the flat member layout.
+        sizes = np.fromiter((m.size for m in self._members), dtype=np.int64, count=total)
+        flat = np.concatenate(self._members)
+        starts = np.zeros(total, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        n = self._view.num_nodes
+        tags = np.asarray(self._tags, dtype=np.int64)
+        stale_mask = np.zeros(total, dtype=bool)
+        if effect.dirty_nodes.size:
+            mask = np.zeros(n, dtype=bool)
+            mask[effect.dirty_nodes] = True
+            stale_mask |= np.bitwise_or.reduceat(mask[flat], starts)
+        for advertiser, nodes in effect.dirty_nodes_by_advertiser.items():
+            if nodes.size == 0:
+                continue
+            mask = np.zeros(n, dtype=bool)
+            mask[nodes] = True
+            stale_mask |= np.bitwise_or.reduceat(mask[flat], starts) & (
+                tags == advertiser
+            )
+        return np.flatnonzero(stale_mask).astype(np.int64), "localized"
+
+    # ------------------------------------------------------------------ #
+    def _check_sync(self) -> None:
+        if self._synced_epoch != self._view.epoch:
+            raise SamplingError(
+                "the graph view advanced out-of-band (view.epoch="
+                f"{self._view.epoch}, store epoch={self._synced_epoch}); "
+                "apply deltas through RRStore.apply_deltas so the store can "
+                "invalidate affected RR-sets"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"RRStore(slots={len(self._members)}, epoch={self._synced_epoch}, "
+            f"redraws_total={self._redraws_total}, seed={self._entropy})"
+        )

@@ -25,6 +25,7 @@ resolves to :meth:`ExecutionPolicy.fast` via :func:`resolve_policy`.
 from repro.parallel.failure import FailurePolicy, RecoveryStats
 from repro.runtime.policy import (
     ExecutionPolicy,
+    MAINTENANCE_MODES,
     POLICY_PRESETS,
     resolve_policy,
 )
@@ -33,6 +34,7 @@ from repro.runtime.runtime import Runtime, acquire_executor, current_runtime
 __all__ = [
     "ExecutionPolicy",
     "FailurePolicy",
+    "MAINTENANCE_MODES",
     "POLICY_PRESETS",
     "RecoveryStats",
     "Runtime",

@@ -41,6 +41,14 @@ RR_ENGINES = ("legacy", "subsim")
 MC_ENGINES = ("legacy", "batched")
 GREEDY_ENGINES = ("scalar", "batched")
 
+#: Execution modes for incremental RR-store maintenance
+#: (:meth:`repro.rrsets.store.RRStore.apply_deltas`): ``"pool"`` shards
+#: invalidation re-draws across the persistent worker pool whenever
+#: ``n_jobs`` allows, ``"inline"`` keeps them in-process.  Never influences
+#: results — store slots draw from their own seed substreams, so both modes
+#: are bit-identical (and neither participates in ``rng_compat``).
+MAINTENANCE_MODES = ("pool", "inline")
+
 #: Sentinel distinguishing "not passed" from an explicit value in
 #: :meth:`ExecutionPolicy.evolve`.
 _UNSET = object()
@@ -86,6 +94,13 @@ class ExecutionPolicy:
         then in-process serial execution).  Never influences results — the
         determinism contract makes recovered runs bit-identical — so it does
         not participate in ``rng_compat``.
+    maintenance:
+        How :class:`~repro.rrsets.store.RRStore` executes invalidation
+        re-draws when absorbing graph deltas: ``"pool"`` (default) shards
+        them across the persistent worker pool when ``n_jobs`` allows,
+        ``"inline"`` keeps them in-process.  Bit-identical either way —
+        store slots own their seed substreams — so it never participates in
+        ``rng_compat``.
     """
 
     rr_engine: str = "legacy"
@@ -95,6 +110,7 @@ class ExecutionPolicy:
     mc_batch_size: Optional[int] = None
     rng_compat: Optional[bool] = None
     failure: FailurePolicy = DEFAULT_FAILURE_POLICY
+    maintenance: str = "pool"
 
     def __post_init__(self) -> None:
         if self.rr_engine not in RR_ENGINES:
@@ -117,6 +133,11 @@ class ExecutionPolicy:
         if not isinstance(self.failure, FailurePolicy):
             raise PolicyError(
                 f"failure must be a FailurePolicy, got {type(self.failure).__name__}"
+            )
+        if self.maintenance not in MAINTENANCE_MODES:
+            raise PolicyError(
+                f"maintenance must be one of {MAINTENANCE_MODES}, "
+                f"got {self.maintenance!r}"
             )
         derived = self._derive_rng_compat()
         if self.rng_compat is None:
@@ -211,10 +232,11 @@ class ExecutionPolicy:
             if self.failure == DEFAULT_FAILURE_POLICY
             else f" failure={self.failure.describe()}"
         )
+        upkeep = "" if self.maintenance == "pool" else f" maintenance={self.maintenance}"
         return (
             f"{name}rr={self.rr_engine} mc={self.mc_engine} "
             f"greedy={self.greedy_engine} n_jobs={jobs}{batch} "
-            f"rng_compat={'yes' if self.rng_compat else 'no'}{fail}"
+            f"rng_compat={'yes' if self.rng_compat else 'no'}{fail}{upkeep}"
         )
 
 

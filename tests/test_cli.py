@@ -142,3 +142,39 @@ class TestPolicyFlags:
         assert "--policy" in captured.out
         for retired in ("--subsim", "--batched-greedy", "--fast"):
             assert retired not in captured.out
+
+
+class TestRefresh:
+    def test_refresh_parser_defaults(self):
+        args = build_parser().parse_args(["refresh"])
+        assert args.command == "refresh"
+        assert args.rr_sets == 2000
+        assert args.deltas == 8
+        assert args.rounds == 1
+        assert args.maintenance is None
+        assert not args.verify
+
+    def test_refresh_rejects_unknown_maintenance_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["refresh", "--maintenance", "warp"])
+
+    def test_refresh_command_runs_and_verifies(self, capsys):
+        exit_code = main(
+            [
+                "refresh",
+                "--scale", "0.05",
+                "--rr-sets", "150",
+                "--deltas", "4",
+                "--rounds", "2",
+                "--seed", "3",
+                "--jobs", "1",
+                "--maintenance", "inline",
+                "--verify",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "effective policy:" in captured.out
+        assert "maintenance=inline" in captured.out
+        assert "redrawn" in captured.out
+        assert captured.out.count("bit-identical") == 2

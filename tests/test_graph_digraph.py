@@ -116,6 +116,13 @@ class TestTransformations:
         with pytest.raises(GraphError):
             diamond_graph.subgraph([0, 99])
 
+    def test_subgraph_duplicate_node_ids_are_deduplicated(self, diamond_graph):
+        # Regression: duplicated ids must not inflate the node count or
+        # change the relabelling.
+        sub = diamond_graph.subgraph([0, 1, 1, 3, 0])
+        assert sub.num_nodes == 3
+        assert sub == diamond_graph.subgraph([0, 1, 3])
+
     def test_equality(self, path_graph):
         same = from_edge_list([(0, 1), (1, 2), (2, 3)])
         assert path_graph == same

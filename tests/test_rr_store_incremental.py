@@ -1,0 +1,472 @@
+"""Delta-fuzzing equivalence harness for the incremental RR-set store.
+
+The contract under test (``docs/architecture.md``, "Incremental
+maintenance"): an :class:`RRStore` that absorbs a stream of graph delta
+batches through :meth:`~repro.rrsets.store.RRStore.apply_deltas` must be
+**bit-identical** — members, tags, roots, inverted index, coverage state —
+to a store generated from scratch on the post-delta graph under the same
+``(seed, policy)``, while redrawing strictly fewer RR-sets than full
+regeneration on localized deltas.
+
+The fuzz seeds are parametrized and extendable without a code change:
+``REPRO_DELTA_FUZZ_SEEDS="0-7"`` (ranges and comma lists) widens the sweep,
+as the CI delta-fuzz job does.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import WeightedCascadeModel
+from repro.exceptions import GraphError, SamplingError
+from repro.graph import preferential_attachment_digraph
+from repro.graph.deltas import (
+    AddEdge,
+    AddNode,
+    MutableGraphView,
+    RemoveEdge,
+    RemoveNode,
+    UpdateProbability,
+)
+from repro.rrsets.collection import CoverageState
+from repro.rrsets.estimators import empirical_coverage_fraction
+from repro.rrsets.store import RRStore
+from repro.runtime import ExecutionPolicy, Runtime
+
+
+def _fuzz_seeds():
+    """Fuzz-seed matrix: ``REPRO_DELTA_FUZZ_SEEDS="0-3,7"`` style override."""
+    spec = os.environ.get("REPRO_DELTA_FUZZ_SEEDS", "0-2")
+    seeds = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part[1:]:
+            low, high = part.rsplit("-", 1)
+            seeds.extend(range(int(low), int(high) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+FUZZ_SEEDS = _fuzz_seeds()
+ENGINES = ("legacy", "subsim")
+
+#: Serial in-process policy — the fuzz loops regenerate constantly, and the
+#: pool/inline equivalence has its own dedicated test below.
+INLINE = ExecutionPolicy(maintenance="inline")
+
+
+@pytest.fixture(scope="module")
+def micro_graph():
+    """A 30-node preferential-attachment micro-graph."""
+    return preferential_attachment_digraph(30, out_degree=3, seed=2)
+
+
+def _ic_probabilities(graph):
+    return [
+        np.full(graph.num_edges, 0.2, dtype=np.float64),
+        np.full(graph.num_edges, 0.35, dtype=np.float64),
+    ]
+
+
+def _make_store(graph, seed=17, policy=INLINE, count=300, runtime=None):
+    view = MutableGraphView(graph, _ic_probabilities(graph))
+    store = RRStore(view, [1.0, 1.5], seed=seed, policy=policy, runtime=runtime)
+    store.generate(count)
+    return store
+
+
+def _fresh_clone(store, runtime=None):
+    """A store generated from scratch on ``store``'s *current* graph state."""
+    view = MutableGraphView(
+        store.view.graph, store.view.advertiser_edge_probabilities
+    )
+    clone = RRStore(
+        view, store.cpes, seed=store.seed, policy=store.policy, runtime=runtime
+    )
+    clone.generate(len(store))
+    return clone
+
+
+def _assert_bit_identical(maintained, fresh):
+    """Full structural equality: collection, roots, index, coverage state."""
+    a, b = maintained.collection, fresh.collection
+    assert np.array_equal(a.member_array, b.member_array)
+    assert np.array_equal(a.set_offsets, b.set_offsets)
+    assert np.array_equal(a.tag_array, b.tag_array)
+    assert np.array_equal(maintained.roots(), fresh.roots())
+    assert np.array_equal(a.membership_counts(), b.membership_counts())
+    # Inverted-index consistency on a deterministic sample of keys.
+    h = a.membership_counts().shape[0]
+    probe = np.random.default_rng(0)
+    for _ in range(20):
+        advertiser = int(probe.integers(0, h))
+        node = int(probe.integers(0, a.num_nodes))
+        assert np.array_equal(
+            a.sets_containing_array(advertiser, node),
+            b.sets_containing_array(advertiser, node),
+        )
+    # Coverage bookkeeping built on both collections agrees step for step.
+    state_a, state_b = CoverageState(a), CoverageState(b)
+    for advertiser, node in ((0, 0), (1, 1), (0, 2)):
+        assert state_a.add_seed(advertiser, node) == state_b.add_seed(advertiser, node)
+    assert state_a.covered_count == state_b.covered_count
+
+
+def _pick_edge(rng, edges):
+    ordered = sorted(edges)
+    return ordered[int(rng.integers(0, len(ordered)))]
+
+
+def _random_batch(rng, view, allow_node_ops=False):
+    """One valid delta batch against ``view``'s current state.
+
+    Tracks the evolving edge set while synthesizing (batches apply in
+    order), mixing localized probability updates with structural edits and
+    — when ``allow_node_ops`` — node-space changes.
+    """
+    edges = set(view.edges())
+    h = view.num_advertisers
+    n = view.num_nodes
+    batch = []
+    size = int(rng.integers(2, 7))
+    while len(batch) < size:
+        roll = float(rng.random())
+        if roll < 0.55 and edges:
+            u, v = _pick_edge(rng, edges)
+            advertiser = int(rng.integers(0, h))
+            batch.append(
+                UpdateProbability(
+                    u, v, float(rng.uniform(0.05, 0.6)), advertiser=advertiser
+                )
+            )
+        elif roll < 0.7:
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u == v or (u, v) in edges:
+                continue
+            probabilities = tuple(float(p) for p in rng.uniform(0.05, 0.6, h))
+            batch.append(AddEdge(u, v, probabilities))
+            edges.add((u, v))
+        elif roll < 0.85 and len(edges) > 5:
+            u, v = _pick_edge(rng, edges)
+            batch.append(RemoveEdge(u, v))
+            edges.discard((u, v))
+        elif allow_node_ops and roll < 0.92:
+            batch.append(AddNode())
+            n += 1
+        elif allow_node_ops:
+            x = int(rng.integers(0, n))
+            batch.append(RemoveNode(x))
+            edges = {(u, v) for (u, v) in edges if u != x and v != x}
+        else:
+            continue
+    return batch
+
+
+# --------------------------------------------------------------------------- #
+# 1. the delta-fuzzing equivalence harness
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+def test_fuzzed_delta_scripts_match_full_regeneration(
+    micro_graph, engine, fuzz_seed
+):
+    """Random localized scripts: incremental ≡ fresh after every batch."""
+    policy = INLINE.evolve(rr_engine=engine)
+    store = _make_store(micro_graph, seed=100 + fuzz_seed, policy=policy)
+    rng = np.random.default_rng(fuzz_seed)
+    redrawn = 0
+    for _ in range(4):
+        report = store.apply_deltas(_random_batch(rng, store.view))
+        assert report.reason in ("localized", "clean")
+        assert report.redrawn < report.total
+        assert report.kept == report.total - report.redrawn
+        redrawn += report.redrawn
+        _assert_bit_identical(store, _fresh_clone(store))
+    assert store.redraws_total == redrawn
+
+
+@pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+def test_fuzzed_scripts_with_node_ops_match_full_regeneration(
+    micro_graph, fuzz_seed
+):
+    """Scripts that also grow/isolate nodes stay equivalent (globally)."""
+    store = _make_store(micro_graph, seed=300 + fuzz_seed, count=200)
+    rng = np.random.default_rng(1000 + fuzz_seed)
+    for _ in range(3):
+        report = store.apply_deltas(
+            _random_batch(rng, store.view, allow_node_ops=True)
+        )
+        assert report.redrawn <= report.total
+        _assert_bit_identical(store, _fresh_clone(store))
+
+
+def test_noop_and_inverse_delta_pairs_keep_identity(micro_graph):
+    """No-op updates and remove/re-add inverse pairs leave the graph — and
+    the regenerated store — exactly where they started."""
+    store = _make_store(micro_graph, seed=42)
+    view = store.view
+    u, v = view.edges()[0]
+    before_edges = view.edges()
+    before_probability = view.edge_probability(u, v, 0)
+    batch = [
+        # No-op: rewrite an existing probability to its current value.
+        UpdateProbability(u, v, before_probability, advertiser=0),
+        # Inverse pair inside one batch: remove then re-add identically.
+        RemoveEdge(u, v),
+        AddEdge(u, v, tuple(view.edge_probability(u, v, i) for i in range(2))),
+    ]
+    report = store.apply_deltas(batch)
+    # The graph is unchanged; invalidation is conservative but localized.
+    assert view.edges() == before_edges
+    assert view.edge_probability(u, v, 0) == before_probability
+    assert report.reason == "localized"
+    assert report.redrawn < report.total
+    _assert_bit_identical(store, _fresh_clone(store))
+
+
+def test_generate_in_chunks_matches_single_call(micro_graph):
+    """Slot substreams are keyed by absolute index, not by generate() call."""
+    chunked = _make_store(micro_graph, seed=7, count=0)
+    chunked.generate(20)
+    chunked.generate(40)
+    single = _make_store(micro_graph, seed=7, count=60)
+    _assert_bit_identical(chunked, single)
+
+
+# --------------------------------------------------------------------------- #
+# 2. invalidation semantics
+# --------------------------------------------------------------------------- #
+def test_localized_probability_update_redraws_strict_subset(micro_graph):
+    store = _make_store(micro_graph, seed=5)
+    u, v = store.view.edges()[0]
+    report = store.apply_deltas([UpdateProbability(u, v, 0.9, advertiser=1)])
+    assert report.reason == "localized"
+    assert 0 < report.redrawn < report.total
+    _assert_bit_identical(store, _fresh_clone(store))
+
+
+def test_add_node_invalidates_the_whole_store(micro_graph):
+    """Growing the id space changes the root-draw domain for every slot."""
+    store = _make_store(micro_graph, seed=5)
+    report = store.apply_deltas([AddNode(count=2)])
+    assert report.reason == "node-space-changed"
+    assert report.redrawn == report.total
+    assert store.view.num_nodes == micro_graph.num_nodes + 2
+    assert store.collection.num_nodes == micro_graph.num_nodes + 2
+    _assert_bit_identical(store, _fresh_clone(store))
+
+
+def test_remove_node_isolates_and_stays_localized(micro_graph):
+    store = _make_store(micro_graph, seed=5)
+    report = store.apply_deltas([RemoveNode(0)])
+    assert report.reason == "localized"
+    assert report.redrawn < report.total
+    # Isolation semantics: the id space is stable, node 0 has no edges left.
+    assert store.view.num_nodes == micro_graph.num_nodes
+    assert not any(0 in (u, v) for u, v in store.view.edges())
+    _assert_bit_identical(store, _fresh_clone(store))
+
+
+def test_clean_batch_on_empty_store_reports_clean(micro_graph):
+    store = _make_store(micro_graph, seed=5, count=0)
+    u, v = store.view.edges()[0]
+    report = store.apply_deltas([UpdateProbability(u, v, 0.4)])
+    assert (report.total, report.redrawn, report.reason) == (0, 0, "clean")
+
+
+def test_out_of_band_view_mutation_raises(micro_graph):
+    """Mutating the view behind the store's back must fail loudly."""
+    store = _make_store(micro_graph, seed=5)
+    u, v = store.view.edges()[0]
+    store.view.apply([UpdateProbability(u, v, 0.4)])
+    with pytest.raises(SamplingError, match="out-of-band"):
+        store.collection
+    with pytest.raises(SamplingError, match="out-of-band"):
+        store.generate(1)
+    with pytest.raises(SamplingError, match="out-of-band"):
+        store.apply_deltas([UpdateProbability(u, v, 0.5)])
+
+
+def test_provenance_records_roots_and_tags(micro_graph):
+    store = _make_store(micro_graph, seed=5, count=50)
+    roots = store.roots()
+    for index in (0, 13, 49):
+        record = store.provenance(index)
+        assert record.slot == index
+        assert record.root == roots[index]
+        assert record.tag == store.collection.tag(index)
+        assert record.root in store.collection.rr_set(index)
+
+
+# --------------------------------------------------------------------------- #
+# 3. execution-policy equivalence (pool vs inline)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pool_and_inline_maintenance_are_bit_identical(micro_graph, engine):
+    inline_policy = ExecutionPolicy(rr_engine=engine, maintenance="inline")
+    pool_policy = ExecutionPolicy(rr_engine=engine, n_jobs=2, maintenance="pool")
+    inline_store = _make_store(micro_graph, seed=9, policy=inline_policy)
+    rng = np.random.default_rng(3)
+    script = [_random_batch(rng, inline_store.view) for _ in range(2)]
+    for batch in script:
+        inline_store.apply_deltas(batch)
+    with Runtime(pool_policy) as runtime:
+        pool_store = _make_store(
+            micro_graph, seed=9, policy=pool_policy, runtime=runtime
+        )
+        for batch in script:
+            pool_store.apply_deltas(batch)
+        _assert_bit_identical(inline_store, pool_store)
+
+
+# --------------------------------------------------------------------------- #
+# 4. statistical guardrail: maintained ≡ fresh in distribution
+# --------------------------------------------------------------------------- #
+def _ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (no scipy dependency)."""
+    grid = np.union1d(sample_a, sample_b)
+    cdf_a = np.searchsorted(np.sort(sample_a), grid, side="right") / sample_a.size
+    cdf_b = np.searchsorted(np.sort(sample_b), grid, side="right") / sample_b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def _ks_threshold(n: int, m: int, alpha: float = 1e-3) -> float:
+    """Critical KS distance at significance ``alpha`` (asymptotic form)."""
+    c = np.sqrt(-0.5 * np.log(alpha / 2.0))
+    return float(c * np.sqrt((n + m) / (n * m)))
+
+
+@pytest.mark.parametrize("model", ["ic", "wc"])
+def test_maintained_store_is_statistically_equivalent_to_fresh(model):
+    """A delta-maintained store and an *independently seeded* fresh store on
+    the same final graph must agree in distribution: KS on RR-set sizes and
+    coverage fractions within 3σ of the pooled binomial."""
+    graph = preferential_attachment_digraph(30, out_degree=3, seed=2)
+    if model == "ic":
+        probabilities = _ic_probabilities(graph)
+    else:
+        wc = np.asarray(
+            WeightedCascadeModel(graph).edge_probabilities(), dtype=np.float64
+        )
+        probabilities = [wc, np.clip(wc * 0.8, 0.0, 1.0)]
+    count = 3000
+    view = MutableGraphView(graph, probabilities)
+    maintained = RRStore(view, [1.0, 1.5], seed=11, policy=INLINE)
+    maintained.generate(count)
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        maintained.apply_deltas(_random_batch(rng, view))
+    fresh = RRStore(
+        MutableGraphView(view.graph, view.advertiser_edge_probabilities),
+        [1.0, 1.5],
+        seed=9999,  # deliberately different substreams
+        policy=INLINE,
+    )
+    fresh.generate(count)
+    sizes_a = np.diff(maintained.collection.set_offsets).astype(np.float64)
+    sizes_b = np.diff(fresh.collection.set_offsets).astype(np.float64)
+    assert _ks_statistic(sizes_a, sizes_b) <= _ks_threshold(count, count)
+    allocation = {0: [0, 1], 1: [1, 2]}
+    fraction_a = empirical_coverage_fraction(maintained.collection, allocation)
+    fraction_b = empirical_coverage_fraction(fresh.collection, allocation)
+    pooled = 0.5 * (fraction_a + fraction_b)
+    sigma = np.sqrt(max(pooled * (1.0 - pooled), 1e-12) * (2.0 / count))
+    assert abs(fraction_a - fraction_b) <= 3.0 * sigma
+    # The revenue estimator is a fixed scaling of the coverage fraction, so
+    # the same bound transfers directly.
+    scale = view.num_nodes * maintained.gamma
+    assert abs(
+        maintained.estimate_total_revenue(allocation)
+        - fresh.estimate_total_revenue(allocation)
+    ) <= 3.0 * sigma * scale + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# 5. MutableGraphView semantics
+# --------------------------------------------------------------------------- #
+class TestMutableGraphView:
+    @pytest.fixture
+    def view(self, micro_graph):
+        return MutableGraphView(micro_graph, _ic_probabilities(micro_graph))
+
+    def test_snapshot_stays_canonically_ordered(self, view):
+        n = view.num_nodes
+        u, v = view.edges()[0]
+        view.apply(
+            [
+                RemoveEdge(u, v),
+                AddEdge(u, v, (0.5, 0.6)),
+                AddEdge(n - 1, 0, (0.1, 0.2)) if not view.has_edge(n - 1, 0)
+                else UpdateProbability(u, v, 0.5, advertiser=0),
+            ]
+        )
+        graph = view.graph
+        keys = list(zip(graph.sources.tolist(), graph.targets.tolist()))
+        assert keys == sorted(keys)
+        # Probability arrays stay aligned with the canonical edge order.
+        index = keys.index((u, v))
+        assert view.advertiser_edge_probabilities[0][index] == 0.5
+        assert view.advertiser_edge_probabilities[1][index] == 0.6
+
+    def test_epoch_and_log_advance_per_batch(self, view):
+        u, v = view.edges()[0]
+        assert view.epoch == 0
+        view.apply([UpdateProbability(u, v, 0.4)])
+        view.apply([UpdateProbability(u, v, 0.3, advertiser=1)])
+        assert view.epoch == 2
+        assert [epoch for epoch, _ in view.log] == [1, 2]
+
+    def test_dirty_region_per_delta_kind(self, view):
+        u, v = view.edges()[0]
+        effect = view.apply([UpdateProbability(u, v, 0.4, advertiser=1)])
+        assert effect.dirty_nodes.size == 0
+        assert effect.dirty_nodes_by_advertiser[1].tolist() == [v]
+        effect = view.apply([UpdateProbability(u, v, 0.4)])
+        assert effect.dirty_nodes.tolist() == [v]
+        effect = view.apply([AddNode()])
+        assert effect.num_nodes_changed and effect.is_global
+
+    def test_invalid_batches_are_rejected_atomically(self, view):
+        u, v = view.edges()[0]
+        epoch = view.epoch
+        edges = view.edges()
+        probability = view.edge_probability(u, v, 0)
+        with pytest.raises(GraphError):
+            # First delta is valid; second fails — nothing may commit.
+            view.apply([UpdateProbability(u, v, 0.9), AddEdge(u, v, (0.1, 0.1))])
+        assert view.epoch == epoch
+        assert view.edges() == edges
+        assert view.edge_probability(u, v, 0) == probability
+
+    def test_validation_errors(self, view):
+        u, v = view.edges()[0]
+        with pytest.raises(GraphError):
+            view.apply([AddEdge(0, 0, (0.1, 0.1))])  # self-loop
+        with pytest.raises(GraphError):
+            view.apply([AddEdge(u, v, (0.1,))])  # wrong arity
+        with pytest.raises(GraphError):
+            view.apply([UpdateProbability(u, v, 1.5)])  # out of [0, 1]
+        with pytest.raises(GraphError):
+            view.apply([UpdateProbability(u, v, 0.5, advertiser=9)])
+        missing = next(
+            (a, b)
+            for a in range(view.num_nodes)
+            for b in range(view.num_nodes)
+            if a != b and not view.has_edge(a, b)
+        )
+        with pytest.raises(GraphError):
+            view.apply([RemoveEdge(*missing)])
+        with pytest.raises(GraphError):
+            view.apply([AddNode(count=0)])
+        with pytest.raises(GraphError):
+            view.apply([RemoveNode(view.num_nodes)])
+
+    def test_remove_node_keeps_id_space(self, view):
+        n = view.num_nodes
+        view.apply([RemoveNode(1)])
+        assert view.num_nodes == n
+        assert not any(1 in (u, v) for u, v in view.edges())

@@ -76,6 +76,91 @@ class TestRRCollection:
             RRCollection(5, 0)
 
 
+class TestShardAndCompactAPI:
+    def _empty_shard(self):
+        empty = np.empty(0, dtype=np.int64)
+        return (empty, empty.copy(), empty.copy())
+
+    def test_extend_from_shards_skips_zero_length_shards(self):
+        coll = RRCollection(5, 2)
+        coll.extend_from_shards([self._empty_shard()])
+        assert len(coll) == 0
+        coll.extend_from_shards(
+            [
+                self._empty_shard(),
+                (
+                    np.array([0, 1, 2], dtype=np.int64),
+                    np.array([2, 1], dtype=np.int64),
+                    np.array([0, 1], dtype=np.int64),
+                ),
+                self._empty_shard(),
+            ]
+        )
+        assert len(coll) == 2
+        assert coll.rr_set(0).tolist() == [0, 1]
+        assert coll.rr_set(1).tolist() == [2]
+        assert coll.tags().tolist() == [0, 1]
+
+    def test_extend_from_shards_rejects_empty_member_sets(self):
+        coll = RRCollection(5, 2)
+        with pytest.raises(SamplingError):
+            coll.extend_from_shards(
+                [
+                    (
+                        np.array([0], dtype=np.int64),
+                        np.array([1, 0], dtype=np.int64),
+                        np.array([0, 0], dtype=np.int64),
+                    )
+                ]
+            )
+
+    def test_extend_from_shards_rejects_mismatched_sizes(self):
+        with pytest.raises(SamplingError):
+            RRCollection(5, 2).extend_from_shards(
+                [
+                    (
+                        np.array([0, 1], dtype=np.int64),
+                        np.array([1], dtype=np.int64),
+                        np.array([0], dtype=np.int64),
+                    )
+                ]
+            )
+
+    def test_compact_drop_preserves_order(self, collection):
+        compacted = collection.compact(drop=[1, 3])
+        assert len(compacted) == 2
+        assert compacted.rr_set(0).tolist() == [0, 1]
+        assert compacted.rr_set(1).tolist() == [3]
+        assert compacted.tags().tolist() == [0, 1]
+
+    def test_compact_replace_keeps_indices(self, collection):
+        compacted = collection.compact(replacements={1: ([4, 0], 1)})
+        assert len(compacted) == len(collection)
+        assert compacted.rr_set(1).tolist() == [0, 4]
+        assert compacted.tag(1) == 1
+        for index in (0, 2, 3):
+            assert compacted.rr_set(index).tolist() == collection.rr_set(index).tolist()
+            assert compacted.tag(index) == collection.tag(index)
+
+    def test_compact_rebuilds_inverted_index(self, collection):
+        compacted = collection.compact(drop=[0])
+        # Old set 1 ([1, 2], advertiser 0) is now index 0.
+        assert compacted.sets_containing(0, 1) == [0]
+        assert compacted.sets_containing(0, 0) == []
+
+    def test_compact_validation(self, collection):
+        with pytest.raises(SamplingError):
+            collection.compact(drop=[99])
+        with pytest.raises(SamplingError):
+            collection.compact(replacements={99: ([0], 0)})
+        with pytest.raises(SamplingError):
+            collection.compact(drop=[1], replacements={1: ([0], 0)})
+
+    def test_compact_everything_dropped_is_empty(self, collection):
+        compacted = collection.compact(drop=range(len(collection)))
+        assert len(compacted) == 0
+
+
 class TestCoverageState:
     def test_initial_marginals_match_membership(self, collection):
         state = CoverageState(collection)

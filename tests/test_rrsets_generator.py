@@ -55,6 +55,21 @@ class TestRRSetGenerator:
         generator.generate(rng=1, root=3)
         assert generator.edges_examined > before
 
+    def test_generate_batch_provenance_capture(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        records = []
+        rr_sets = generator.generate_batch(10, rng=3, provenance=records)
+        assert len(records) == len(rr_sets) == 10
+        for rr_set, record in zip(rr_sets, records):
+            assert record.root in rr_set
+            assert record.edges_examined >= 0
+
+    def test_generate_batch_provenance_does_not_change_draws(self, diamond_graph):
+        generator = RRSetGenerator(diamond_graph, np.full(diamond_graph.num_edges, 0.5))
+        plain = generator.generate_batch(10, rng=3)
+        captured = generator.generate_batch(10, rng=3, provenance=[])
+        assert all(np.array_equal(a, b) for a, b in zip(plain, captured))
+
     def test_spread_estimate_unbiased(self, diamond_graph):
         """n * Pr[seed hits RR-set] must approximate the exact spread."""
         probability = 0.5

@@ -144,6 +144,21 @@ class TestExecutionPolicy:
         assert ExecutionPolicy.fast().describe().startswith("fast:")
         assert "n_jobs=serial" in ExecutionPolicy.seed().describe()
 
+    def test_maintenance_knob(self):
+        assert ExecutionPolicy().maintenance == "pool"
+        assert ExecutionPolicy(maintenance="inline").maintenance == "inline"
+        with pytest.raises(PolicyError, match="maintenance"):
+            ExecutionPolicy(maintenance="warp")
+
+    def test_maintenance_never_participates_in_rng_compat(self):
+        # Store slots own their seed substreams, so the knob is result-neutral.
+        assert ExecutionPolicy(maintenance="inline").rng_compat is True
+        assert ExecutionPolicy.seed().evolve(maintenance="inline").rng_compat is True
+
+    def test_describe_mentions_non_default_maintenance_only(self):
+        assert "maintenance" not in ExecutionPolicy().describe()
+        assert "maintenance=inline" in ExecutionPolicy(maintenance="inline").describe()
+
 
 # --------------------------------------------------------------------------- #
 # parameter objects
