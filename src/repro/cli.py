@@ -19,6 +19,13 @@ Three sub-commands cover the common workflows:
     (``--verify`` additionally checks bit-identity against a fresh store
     generated on the post-delta graph).
 
+``python -m repro.cli serve``
+    Run the long-lived allocation server: a warm runtime + RR-store
+    answering line-delimited JSON requests (``allocate`` / ``spread`` /
+    ``refresh`` / ``stats`` / ...) over stdio, TCP or a Unix socket, with
+    bounded admission, per-request deadlines, graceful SIGTERM drain and
+    checkpointed crash recovery (``--checkpoint-dir``).
+
 The CLI is a thin wrapper over :mod:`repro.experiments`; everything it does
 can also be done programmatically (see ``examples/``).
 """
@@ -129,6 +136,93 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="after each round, regenerate a fresh store on the post-delta "
         "graph and assert it is bit-identical to the maintained store",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived allocation server (line-delimited JSON)"
+    )
+    _add_instance_arguments(serve)
+    serve.add_argument(
+        "--rr-sets", type=int, default=2000, help="RR-sets to generate in the store"
+    )
+    serve.add_argument(
+        "--policy",
+        default=None,
+        choices=sorted(POLICY_PRESETS),
+        help="execution-policy preset (default: fast)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for generation and maintenance re-draws",
+    )
+    serve.add_argument(
+        "--maintenance",
+        default=None,
+        choices=sorted(MAINTENANCE_MODES),
+        help="where invalidation re-draws run: 'pool' (default) or 'inline'",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override with their "
+        "own deadline_s field; default: none)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded admission queue; requests beyond it are shed with a "
+        "structured 'overloaded' error (default: 64)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="requests dispatched (and coalesced) per engine pass (default: 4)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="wall-clock budget for finishing in-flight requests on "
+        "SIGTERM/SIGINT/shutdown (default: 10)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the checksummed RR-store checkpoint and the "
+        "delta write-ahead journal; enables kill -9 crash recovery",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N accepted delta batches (0: only at startup, "
+        "on drain and on explicit checkpoint requests)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="listen on TCP 127.0.0.1:PORT instead of stdio (0: ephemeral, "
+        "announced on stderr)",
+    )
+    serve.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix-domain socket instead of stdio",
     )
 
     return parser
@@ -508,6 +602,100 @@ def command_refresh(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    """Handle ``repro serve``.
+
+    Protocol replies go to stdout (stdio mode) or the sockets; operational
+    banners and the final drain summary go to stderr so they never corrupt
+    the reply stream.
+    """
+    import signal
+    from pathlib import Path
+
+    from repro.serve import AllocationServer, ServicePolicy, SocketListener, serve_stdio
+
+    if args.port is not None and args.unix_socket is not None:
+        raise SystemExit("--port and --unix-socket are mutually exclusive")
+    data = build_dataset(
+        args.dataset,
+        num_advertisers=args.advertisers,
+        incentive=args.incentive,
+        alpha=args.alpha,
+        scale=args.scale,
+        seed=args.seed,
+        singleton_rr_sets=128,
+    )
+    policy = (
+        ExecutionPolicy.preset(args.policy)
+        if args.policy is not None
+        else ExecutionPolicy.fast()
+    )
+    if args.jobs is not None:
+        policy = policy.evolve(n_jobs=args.jobs)
+    if args.maintenance is not None:
+        policy = policy.evolve(maintenance=args.maintenance)
+    service = ServicePolicy(
+        deadline_s=args.deadline,
+        queue_depth=args.queue_depth,
+        max_inflight=args.max_inflight,
+        drain_grace_s=args.drain_grace,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = AllocationServer(
+        data.instance,
+        policy=policy,
+        service=service,
+        rr_sets=args.rr_sets,
+        seed=args.seed,
+        checkpoint_dir=Path(args.checkpoint_dir) if args.checkpoint_dir else None,
+    )
+    server.start()
+
+    def _drain_signal(signum, frame):
+        print(f"signal {signum}: draining", file=sys.stderr, flush=True)
+        server.initiate_drain()
+
+    # Handlers go in before the readiness banner: once "serving:" is out,
+    # a supervisor may signal at any moment.
+    signal.signal(signal.SIGTERM, _drain_signal)
+    signal.signal(signal.SIGINT, _drain_signal)
+    store = server.store
+    print(f"effective policy: {policy.describe()}", file=sys.stderr)
+    print(f"service policy: {service.describe()}", file=sys.stderr)
+    source = (
+        f"restored from checkpoint (replayed {server.replayed_batches} "
+        "journaled batches)"
+        if server.restored
+        else "generated fresh"
+    )
+    print(
+        f"serving: {len(store)} RR-sets over {store.view.num_nodes} nodes, "
+        f"epoch {server.epoch}, {source}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        if args.port is not None or args.unix_socket is not None:
+            listener = SocketListener(
+                server, port=args.port, unix_path=args.unix_socket
+            )
+            print(f"listening: {listener.address}", file=sys.stderr, flush=True)
+            listener.serve_until_stopped()
+        else:
+            serve_stdio(server, sys.stdin, sys.stdout)
+    finally:
+        server.close()
+    counters = server.stats.as_dict()
+    print(
+        f"drained: {counters['completed']} completed, "
+        f"{counters['failed']} failed, {counters['shed']} shed, "
+        f"{counters['rejected']} rejected",
+        file=sys.stderr,
+    )
+    _report_recovery(server.runtime)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -520,6 +708,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": command_compare,
         "dataset": command_dataset,
         "refresh": command_refresh,
+        "serve": command_serve,
     }
     return handlers[args.command](args)
 

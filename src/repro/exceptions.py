@@ -59,6 +59,34 @@ class ExecutionError(ReproError, RuntimeError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised by the allocation service layer (:mod:`repro.serve`).
+
+    Covers server lifecycle misuse (submitting to a stopped server, double
+    start) and unrecoverable service states; protocol- and storage-level
+    failures use the subclasses below."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or invalid service request.
+
+    Carries a machine-readable ``code`` (one of
+    :data:`repro.serve.protocol.ERROR_CODES`) so transports can reply with a
+    structured error instead of a stack trace."""
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+class CheckpointError(ServiceError):
+    """A checkpoint file or delta journal is missing, torn or corrupt.
+
+    Raised on checksum mismatches and structural damage; recovery treats a
+    torn *trailing* journal entry as a clean truncation point (the batch was
+    never acknowledged) rather than an error."""
+
+
 class WorkerCrashError(ExecutionError):
     """A worker process died mid-call (OOM kill, segfault, external kill).
 

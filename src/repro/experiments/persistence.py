@@ -4,16 +4,24 @@ The benchmark harness produces plain rows (lists of dictionaries).  This
 module persists them as JSON or CSV so that longer offline runs can be
 archived and re-plotted without re-running the solvers, and so that two runs
 can be diffed.
+
+Writes are crash-safe: the content is serialized in memory first and lands
+through :func:`repro.utils.atomic.atomic_write_text` (tmp file +
+``os.replace``), so a process killed mid-save — or a row that fails to
+serialize halfway through — can never leave a torn result file where a good
+one used to be.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
 from repro.exceptions import ExperimentError
+from repro.utils.atomic import atomic_write_text
 
 PathLike = Union[str, Path]
 Rows = List[Dict[str, object]]
@@ -22,8 +30,8 @@ Rows = List[Dict[str, object]]
 def save_rows_json(rows: Sequence[Dict[str, object]], path: PathLike, metadata: dict | None = None) -> None:
     """Write result rows (plus optional run metadata) to a JSON file."""
     payload = {"metadata": metadata or {}, "rows": list(rows)}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    atomic_write_text(path, text)
 
 
 def load_rows_json(path: PathLike) -> tuple[Rows, dict]:
@@ -45,11 +53,12 @@ def save_rows_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> None:
         for key in row:
             if key not in columns:
                 columns.append(key)
-    with open(path, "w", encoding="utf-8", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    atomic_write_text(path, buffer.getvalue())
 
 
 def load_rows_csv(path: PathLike) -> Rows:

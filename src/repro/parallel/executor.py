@@ -453,8 +453,8 @@ def _supervise(
             if failure.on_pool_failure == "raise":
                 adapter.discard()
                 raise WorkerCrashError(
-                    f"{label}: {broken_reason} with {len(pending)} shard(s) "
-                    "outstanding"
+                    f"{label}: {broken_reason} with shard(s) {sorted(pending)} "
+                    f"outstanding [recovery: {stats.describe()}]"
                 )
             recover(broken_reason)
             continue
@@ -470,7 +470,9 @@ def _supervise(
             )
             if failure.on_pool_failure == "raise":
                 adapter.discard()
-                raise ShardTimeoutError(f"{label}: {timeout_reason}")
+                raise ShardTimeoutError(
+                    f"{label}: {timeout_reason} [recovery: {stats.describe()}]"
+                )
             recover(timeout_reason)
             continue
         wakeup.wait(_POLL_INTERVAL_S)
@@ -772,7 +774,10 @@ class PersistentPool:
             adapter.attach()
         except _PoolBrokenError as exc:
             if failure.on_pool_failure == "raise":
-                raise WorkerCrashError(f"persistent pool: {exc}") from exc
+                raise WorkerCrashError(
+                    f"persistent pool: {exc} "
+                    f"[recovery: {self._recovery.describe()}]"
+                ) from exc
             self._recovery.serial_fallbacks += len(shards)
             warnings.warn(
                 f"persistent pool: {exc} and the retry budget is exhausted; "

@@ -143,3 +143,13 @@ class RecoveryStats:
             f"respawns={self.pool_respawns} reruns={self.shards_rerun} "
             f"serial_fallbacks={self.serial_fallbacks}"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-ready counter snapshot (the allocation server's reply field)."""
+        return {
+            "worker_crashes": self.worker_crashes,
+            "shard_timeouts": self.shard_timeouts,
+            "pool_respawns": self.pool_respawns,
+            "shards_rerun": self.shards_rerun,
+            "serial_fallbacks": self.serial_fallbacks,
+        }

@@ -108,20 +108,31 @@ class FaultInjector:
         self.faults.append(spec)
         return spec
 
-    def kill_worker(self, shard: int, when: str = "before", times: int = 1) -> FaultSpec:
+    def kill_worker(
+        self, shard: Optional[int], when: str = "before", times: int = 1
+    ) -> FaultSpec:
         """Kill the worker that picks up ``shard`` (``os._exit``, no cleanup).
 
         ``when="before"`` dies before any shard work runs; ``when="after"``
         dies after computing the result but before returning it — either way
         the parent never receives the shard and must re-execute it.
+        ``shard=None`` is a wildcard: the fault fires on whichever shard a
+        worker reaches first (callers that cannot predict the shard layout —
+        the allocation-server fault suite — target "any shard of the next
+        sharded call").
         """
         if when not in ("before", "after"):
             raise ValueError(f"when must be 'before' or 'after', got {when!r}")
         kind = KILL_BEFORE_SHARD if when == "before" else KILL_AFTER_SHARD
         return self._add(kind, shard=shard, times=times)
 
-    def delay_shard(self, shard: int, seconds: float, times: int = 1) -> FaultSpec:
-        """Sleep ``seconds`` before computing ``shard`` (to trip a timeout)."""
+    def delay_shard(
+        self, shard: Optional[int], seconds: float, times: int = 1
+    ) -> FaultSpec:
+        """Sleep ``seconds`` before computing ``shard`` (to trip a timeout).
+
+        ``shard=None`` delays whichever shard is reached first (wildcard).
+        """
         return self._add(DELAY_SHARD, shard=shard, seconds=seconds, times=times)
 
     def poison_broadcast(self, times: int = 1) -> FaultSpec:
@@ -175,10 +186,15 @@ def arm(specs: Optional[List[FaultSpec]]) -> None:
 # ---------------------------------------------------------------------- #
 # worker-side hooks (called from the executor's task wrappers)
 # ---------------------------------------------------------------------- #
+def _targets(spec: FaultSpec, index: int) -> bool:
+    """Whether ``spec`` applies to shard ``index`` (``None`` = any shard)."""
+    return spec.shard is None or spec.shard == index
+
+
 def on_shard_start(index: int) -> None:
     """Fire ``kill-before`` / ``delay`` faults targeting shard ``index``."""
     for spec in _ARMED:
-        if spec.shard != index:
+        if not _targets(spec, index):
             continue
         if spec.kind == KILL_BEFORE_SHARD and spec.fire():
             os._exit(FAULT_EXIT_CODE)
@@ -189,7 +205,7 @@ def on_shard_start(index: int) -> None:
 def on_shard_end(index: int) -> None:
     """Fire ``kill-after`` faults targeting shard ``index``."""
     for spec in _ARMED:
-        if spec.kind == KILL_AFTER_SHARD and spec.shard == index and spec.fire():
+        if spec.kind == KILL_AFTER_SHARD and _targets(spec, index) and spec.fire():
             os._exit(FAULT_EXIT_CODE)
 
 

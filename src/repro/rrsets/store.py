@@ -180,6 +180,9 @@ class RRStore:
         self._synced_epoch = view.epoch
         self._redraws_total = 0
         self._epochs_absorbed = 0
+        #: Interrupted maintenance state: ``(target_epoch, effect, stale,
+        #: reason)`` when a redraw failed mid-batch — see :meth:`retry_maintenance`.
+        self._pending_maintenance: Optional[Tuple[int, DeltaEffect, np.ndarray, str]] = None
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -344,20 +347,26 @@ class RRStore:
         probability updates) — and redraws exactly those slots from their
         own substreams against the post-delta snapshot.  The resulting store
         is bit-identical to full regeneration on the new graph.
+
+        Redraw failures are recoverable: nothing store-side is mutated until
+        every stale slot has been drawn, so an exception out of the sharded
+        redraw (a raise-mode :class:`~repro.exceptions.WorkerCrashError` /
+        :class:`~repro.exceptions.ShardTimeoutError`) leaves the store in a
+        *pending* state — serving is refused, but :meth:`retry_maintenance`
+        re-draws the same slots from the same substreams and commits,
+        bit-identically to an uninterrupted call.
         """
         self._check_sync()
         effect = self._view.apply(deltas)
-        self._synced_epoch = self._view.epoch
-        self._epochs_absorbed += 1
         self._generators = None  # graph snapshot changed
         self._payload_probabilities = None
         total = len(self._members)
-        if total == 0:
-            return MaintenanceReport(
-                epoch=effect.epoch, total=0, invalidated=0, redrawn=0, reason="clean"
-            )
-        stale, reason = self._stale_slots(effect)
+        stale, reason = (
+            self._stale_slots(effect) if total else (_EMPTY, "clean")
+        )
         if stale.size == 0:
+            self._synced_epoch = self._view.epoch
+            self._epochs_absorbed += 1
             return MaintenanceReport(
                 epoch=effect.epoch,
                 total=total,
@@ -365,7 +374,37 @@ class RRStore:
                 redrawn=0,
                 reason="clean",
             )
+        self._pending_maintenance = (self._view.epoch, effect, stale, reason)
+        return self._complete_maintenance()
+
+    @property
+    def maintenance_pending(self) -> bool:
+        """Whether an interrupted :meth:`apply_deltas` awaits :meth:`retry_maintenance`."""
+        return self._pending_maintenance is not None
+
+    def retry_maintenance(self) -> MaintenanceReport:
+        """Re-run the redraw of an interrupted :meth:`apply_deltas` and commit.
+
+        Slot draws are pure functions of ``(seed, slot, graph)``, so however
+        many times the redraw is retried — and wherever it runs — the
+        committed store is bit-identical to one whose maintenance never
+        failed.
+        """
+        if self._pending_maintenance is None:
+            raise SamplingError("no interrupted maintenance to retry")
+        return self._complete_maintenance()
+
+    def _complete_maintenance(self) -> MaintenanceReport:
+        """Draw the pending stale slots and commit; store untouched on failure."""
+        target_epoch, effect, stale, reason = self._pending_maintenance
+        if self._view.epoch != target_epoch:
+            raise SamplingError(
+                "the graph view advanced out-of-band while maintenance was "
+                f"pending (view.epoch={self._view.epoch}, expected "
+                f"{target_epoch}); the store cannot recover"
+            )
         drawn = self._draw_slots(stale)
+        total = len(self._members)
         replacements: Dict[int, Tuple[np.ndarray, int]] = {}
         for slot, (members, tag, root) in zip(stale.tolist(), drawn):
             self._members[slot] = members
@@ -379,6 +418,9 @@ class RRStore:
         else:
             self._collection = self._collection.compact(replacements=replacements)
         self._redraws_total += int(stale.size)
+        self._synced_epoch = target_epoch
+        self._epochs_absorbed += 1
+        self._pending_maintenance = None
         return MaintenanceReport(
             epoch=effect.epoch,
             total=total,
@@ -422,7 +464,88 @@ class RRStore:
         return np.flatnonzero(stale_mask).astype(np.int64), "localized"
 
     # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def export_slots(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(members, sizes, tags, roots)`` arrays of the current slots.
+
+        The checkpoint payload of the allocation server
+        (:mod:`repro.serve.checkpoint`): together with :attr:`seed` and the
+        view's graph snapshot these arrays reconstruct the store
+        bit-identically via :meth:`from_slots`.
+        """
+        self._check_sync()
+        count = len(self._members)
+        sizes = np.fromiter(
+            (m.size for m in self._members), dtype=np.int64, count=count
+        )
+        flat = np.concatenate(self._members) if count else _EMPTY.copy()
+        tags = np.asarray(self._tags, dtype=np.int64)
+        roots = np.asarray(self._roots, dtype=np.int64)
+        return flat, sizes, tags, roots
+
+    @classmethod
+    def from_slots(
+        cls,
+        view: MutableGraphView,
+        cpes: Sequence[float],
+        seed: int,
+        members: np.ndarray,
+        sizes: np.ndarray,
+        tags: np.ndarray,
+        roots: np.ndarray,
+        policy: Optional["ExecutionPolicy"] = None,
+        runtime: Optional["Runtime"] = None,
+    ) -> "RRStore":
+        """Rebuild a store from :meth:`export_slots` output (checkpoint restore).
+
+        The slot arrays are adopted verbatim — no redraw happens — so the
+        restored store is bit-identical to the one that exported them,
+        provided ``view`` holds the same graph snapshot.  Structural
+        inconsistencies (size/tag/member ranges) raise
+        :class:`~repro.exceptions.SamplingError`.
+        """
+        members = np.ascontiguousarray(np.asarray(members, dtype=np.int64))
+        sizes = np.asarray(sizes, dtype=np.int64)
+        tags = np.asarray(tags, dtype=np.int64)
+        roots = np.asarray(roots, dtype=np.int64)
+        if not (sizes.shape == tags.shape == roots.shape):
+            raise SamplingError("sizes, tags and roots must have equal length")
+        if sizes.size and sizes.min() < 0:
+            raise SamplingError("slot sizes must be non-negative")
+        if int(sizes.sum()) != members.size:
+            raise SamplingError(
+                f"member array length {members.size} does not match "
+                f"sum(sizes)={int(sizes.sum())}"
+            )
+        if tags.size and (
+            tags.min() < 0 or tags.max() >= view.num_advertisers
+        ):
+            raise SamplingError("slot tags must be valid advertiser indices")
+        if members.size and (
+            members.min() < 0 or members.max() >= view.num_nodes
+        ):
+            raise SamplingError("slot members must be valid node ids")
+        if roots.size and (roots.min() < 0 or roots.max() >= view.num_nodes):
+            raise SamplingError("slot roots must be valid node ids")
+        store = cls(view, cpes, seed=seed, policy=policy, runtime=runtime)
+        offsets = np.cumsum(sizes[:-1]) if sizes.size else sizes
+        store._members = [
+            np.ascontiguousarray(chunk)
+            for chunk in (np.split(members, offsets) if sizes.size else [])
+        ]
+        store._tags = [int(tag) for tag in tags]
+        store._roots = [int(root) for root in roots]
+        return store
+
+    # ------------------------------------------------------------------ #
     def _check_sync(self) -> None:
+        if self._pending_maintenance is not None:
+            raise SamplingError(
+                "RR-store maintenance was interrupted mid-redraw (epoch "
+                f"{self._pending_maintenance[0]}); call retry_maintenance() "
+                "to re-draw the invalidated slots before serving"
+            )
         if self._synced_epoch != self._view.epoch:
             raise SamplingError(
                 "the graph view advanced out-of-band (view.epoch="

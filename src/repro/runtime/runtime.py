@@ -25,9 +25,11 @@ same run with per-call pools.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.parallel.executor import PersistentPool, ShardedExecutor
+from repro.parallel.failure import FailurePolicy
 from repro.runtime.policy import ExecutionPolicy, resolve_policy
 
 #: Stack of entered runtimes; the innermost ``with`` block wins.
@@ -56,6 +58,7 @@ class Runtime:
     ):
         self._policy = resolve_policy(policy)
         self._pool = PersistentPool(start_method=start_method)
+        self._failure_override: Optional[FailurePolicy] = None
 
     @property
     def policy(self) -> ExecutionPolicy:
@@ -87,7 +90,11 @@ class Runtime:
         """
         return self._pool.recovery_stats
 
-    def sharded_executor(self, n_jobs: Optional[int] = None) -> ShardedExecutor:
+    def sharded_executor(
+        self,
+        n_jobs: Optional[int] = None,
+        failure: Optional[FailurePolicy] = None,
+    ) -> ShardedExecutor:
         """An executor bound to this runtime's pool.
 
         ``n_jobs`` fixes the shard layout (and therefore the results) and is
@@ -97,12 +104,40 @@ class Runtime:
         keep small queries serial).  Pool size only caps concurrency, so
         executors with different ``n_jobs`` share the pool without
         affecting each other's outputs.  The executor inherits the policy's
-        :class:`~repro.parallel.failure.FailurePolicy`, which governs
-        recovery but never results.
+        :class:`~repro.parallel.failure.FailurePolicy` — or an explicit
+        ``failure``, or the ambient :meth:`overriding_failure` policy —
+        which governs recovery but never results.
         """
-        return ShardedExecutor(
-            n_jobs, pool=self._pool, failure=self._policy.failure
-        )
+        if failure is None:
+            failure = (
+                self._failure_override
+                if self._failure_override is not None
+                else self._policy.failure
+            )
+        return ShardedExecutor(n_jobs, pool=self._pool, failure=failure)
+
+    @contextmanager
+    def overriding_failure(self, failure: FailurePolicy) -> Iterator["Runtime"]:
+        """Temporarily hand out executors under a different failure policy.
+
+        The allocation server uses this to enforce *per-request deadlines*
+        through the supervision machinery: the dispatch loop wraps each
+        request's engine work in ``overriding_failure(FailurePolicy.fail_fast(
+        shard_timeout_s=remaining))`` so every sharded stage reached inside —
+        however deep in the call tree — raises
+        :class:`~repro.exceptions.ShardTimeoutError` /
+        :class:`~repro.exceptions.WorkerCrashError` promptly instead of
+        retrying past the deadline.  Failure policies never influence
+        results, so an override cannot either.  Not safe for concurrent use
+        from multiple threads (the server's dispatch loop is single-threaded
+        by design); overrides nest, restoring the previous one on exit.
+        """
+        previous = self._failure_override
+        self._failure_override = failure
+        try:
+            yield self
+        finally:
+            self._failure_override = previous
 
     def close(self) -> None:
         """Release the worker processes (the runtime stays reusable)."""

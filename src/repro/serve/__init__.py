@@ -1,0 +1,42 @@
+"""Allocation-as-a-service: a long-lived server over a warm RR-store.
+
+The paper's motivating deployment is an ad platform answering allocation
+queries continuously while the social graph streams deltas underneath.
+This package is that deployment shape: ``repro serve`` holds one
+:class:`~repro.runtime.Runtime` (persistent worker pool) and one
+:class:`~repro.rrsets.store.RRStore` and answers line-delimited JSON
+requests over stdio, TCP or a Unix socket — with bounded admission,
+per-request deadlines, graceful drain and ``kill -9``-proof checkpointed
+durability.  See ``docs/architecture.md`` ("Allocation service") for the
+protocol and recovery semantics.
+"""
+
+from repro.serve.checkpoint import CheckpointManager, DeltaJournal, RestoredState
+from repro.serve.lifecycle import (
+    DRAINING,
+    SERVING,
+    STARTING,
+    STOPPED,
+    ServerStats,
+    ServicePolicy,
+    Ticket,
+)
+from repro.serve.server import AllocationServer
+from repro.serve.transport import SocketListener, request_over_socket, serve_stdio
+
+__all__ = [
+    "AllocationServer",
+    "CheckpointManager",
+    "DeltaJournal",
+    "RestoredState",
+    "ServerStats",
+    "ServicePolicy",
+    "SocketListener",
+    "Ticket",
+    "request_over_socket",
+    "serve_stdio",
+    "STARTING",
+    "SERVING",
+    "DRAINING",
+    "STOPPED",
+]

@@ -1,0 +1,356 @@
+"""Crash-recoverable persistence for the allocation server's RR-store.
+
+Two artifacts, one invariant:
+
+* **Checkpoint** (``store.ckpt``) — a full snapshot of the server's durable
+  state: the graph (edge lists + per-advertiser probabilities), the store's
+  slot arrays (``export_slots``), its seed entropy, the cpe vector and the
+  absolute delta epoch.  Written atomically (tmp + ``os.replace`` via
+  :mod:`repro.utils.atomic`) with a SHA-256 over the payload, so a reader
+  sees either the previous complete checkpoint or the new complete one —
+  never a torn file.
+* **Delta journal** (``deltas.wal``) — an append-only NDJSON write-ahead log
+  of accepted delta batches, one CRC-guarded line per batch, fsynced
+  *before* the batch is applied to the store.
+
+The invariant: **a batch is acknowledged only after its journal line is
+durable**.  Recovery therefore reloads the checkpoint, replays every journal
+entry newer than the checkpoint's epoch through
+:meth:`~repro.rrsets.store.RRStore.apply_deltas`, and — because slot redraws
+are pure functions of ``(seed, slot, graph)`` — lands on a store
+bit-identical to one that never crashed.  A ``kill -9`` can leave at most
+one torn trailing journal line; that batch was never acknowledged, and
+replay stops cleanly in front of it.  A bad CRC anywhere *before* the tail
+is real corruption and raises :class:`~repro.exceptions.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import io
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.graph.deltas import GraphDelta, MutableGraphView
+from repro.graph.digraph import CSRDiGraph
+from repro.serve.protocol import delta_from_json, delta_to_json
+from repro.utils.atomic import atomic_write_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rrsets.store import RRStore
+    from repro.runtime import ExecutionPolicy, Runtime
+
+#: First bytes of every checkpoint file; bumped on format changes.
+MAGIC = b"REPRO-CKPT v1\n"
+
+CHECKPOINT_NAME = "store.ckpt"
+JOURNAL_NAME = "deltas.wal"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A decoded checkpoint: everything needed to rebuild view + store."""
+
+    epoch: int  #: absolute delta epoch at snapshot time
+    entropy: int  #: RR-store seed (per-slot substream base)
+    num_nodes: int  #: node count (edge lists alone miss isolated nodes)
+    cpes: np.ndarray  #: (h,) cost-per-engagement vector
+    sources: np.ndarray  #: (E,) edge source ids, canonical order
+    targets: np.ndarray  #: (E,) edge target ids, canonical order
+    probabilities: np.ndarray  #: (h, E) per-advertiser edge probabilities
+    members: np.ndarray  #: flat slot member array (export_slots layout)
+    sizes: np.ndarray  #: (|R|,) per-slot member counts
+    tags: np.ndarray  #: (|R|,) per-slot advertiser tags
+    roots: np.ndarray  #: (|R|,) per-slot traversal roots
+
+
+@dataclass(frozen=True)
+class RestoredState:
+    """Outcome of :meth:`CheckpointManager.restore`."""
+
+    view: MutableGraphView  #: rebuilt graph view (epoch counts replayed batches)
+    store: "RRStore"  #: rebuilt store, synchronized with ``view``
+    base_epoch: int  #: absolute epoch of the checkpoint itself
+    replayed_batches: int  #: journal entries replayed on top of it
+    dropped_torn_tail: bool  #: whether a torn trailing journal line was skipped
+
+
+class DeltaJournal:
+    """CRC-guarded, fsynced NDJSON write-ahead log of delta batches.
+
+    Line format: ``<crc32 hex8> <json>\\n`` where the JSON object is
+    ``{"epoch": <absolute>, "deltas": [<tagged delta>, ...]}`` with sorted
+    keys.  Appends are flushed and fsynced before returning — the server
+    acknowledges a batch only after :meth:`append` comes back.
+    """
+
+    def __init__(self, path: Path):
+        self._path = Path(path)
+        self._handle: Optional[IO[bytes]] = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, epoch: int, deltas: List[GraphDelta]) -> None:
+        """Durably record one accepted batch (fsync before return)."""
+        record = {
+            "epoch": int(epoch),
+            "deltas": [delta_to_json(delta) for delta in deltas],
+        }
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        line = f"{zlib.crc32(body.encode('utf-8')):08x} {body}\n".encode("utf-8")
+        if self._handle is None:
+            self._handle = open(self._path, "ab")
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def entries(self) -> Tuple[List[Tuple[int, List[GraphDelta]]], bool]:
+        """Decode the journal: ``(entries, dropped_torn_tail)``.
+
+        A damaged **final** line (no newline, truncated JSON, CRC mismatch)
+        is the expected signature of a crash mid-append — the batch was
+        never acknowledged, so it is silently dropped and the flag is set.
+        Damage anywhere earlier means the log itself is corrupt and raises
+        :class:`~repro.exceptions.CheckpointError`.
+        """
+        if not self._path.exists():
+            return [], False
+        raw = self._path.read_bytes()
+        if not raw:
+            return [], False
+        lines = raw.split(b"\n")
+        # A well-formed log ends with a newline, leaving one empty tail item.
+        torn = lines[-1] != b""
+        complete = lines[:-1]
+        tail = lines[-1] if torn else None
+        entries: List[Tuple[int, List[GraphDelta]]] = []
+        for index, line in enumerate(complete):
+            try:
+                entries.append(self._decode_line(line))
+            except CheckpointError:
+                if index == len(complete) - 1 and tail is None:
+                    # Torn *content* on the final newline-terminated line —
+                    # possible when the newline of a partial write survived.
+                    torn = True
+                    break
+                raise CheckpointError(
+                    f"delta journal {self._path} is corrupt at line "
+                    f"{index + 1} of {len(complete)}"
+                )
+        if tail is not None:
+            try:
+                entries.append(self._decode_line(tail))
+                torn = False  # tail parsed fine; it merely lacked a newline
+            except CheckpointError:
+                pass  # torn trailing write from a crash mid-append: drop it
+        return entries, torn
+
+    @staticmethod
+    def _decode_line(line: bytes) -> Tuple[int, List[GraphDelta]]:
+        try:
+            text = line.decode("utf-8")
+            crc_hex, body = text.split(" ", 1)
+            if int(crc_hex, 16) != zlib.crc32(body.encode("utf-8")):
+                raise CheckpointError("journal line CRC mismatch")
+            record = json.loads(body)
+            epoch = int(record["epoch"])
+            deltas = [delta_from_json(obj) for obj in record["deltas"]]
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(f"undecodable journal line: {exc}") from exc
+        return epoch, deltas
+
+    def reset(self) -> None:
+        """Truncate the journal (after a successful checkpoint rotation)."""
+        self.close()
+        atomic_write_bytes(self._path, b"")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CheckpointManager:
+    """Owns the checkpoint file and delta journal of one server directory."""
+
+    def __init__(self, directory: Path):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._checkpoint_path = self._directory / CHECKPOINT_NAME
+        self.journal = DeltaJournal(self._directory / JOURNAL_NAME)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self._checkpoint_path
+
+    def has_checkpoint(self) -> bool:
+        return self._checkpoint_path.exists()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def save_state(
+        self, view: MutableGraphView, store: "RRStore", epoch: int
+    ) -> Path:
+        """Snapshot ``(view, store)`` at absolute ``epoch`` and rotate the journal.
+
+        The checkpoint lands atomically first; only then is the journal
+        truncated — a crash between the two leaves stale journal entries
+        whose epochs the replay filter (``> base_epoch``) discards.
+        """
+        graph = view.graph
+        members, sizes, tags, roots = store.export_slots()
+        payload = io.BytesIO()
+        np.savez_compressed(
+            payload,
+            cpes=store.cpes,
+            sources=np.asarray(graph.sources, dtype=np.int64),
+            targets=np.asarray(graph.targets, dtype=np.int64),
+            probabilities=np.vstack(view.advertiser_edge_probabilities)
+            if view.num_advertisers
+            else np.empty((0, 0)),
+            members=members,
+            sizes=sizes,
+            tags=tags,
+            roots=roots,
+        )
+        blob = payload.getvalue()
+        header = {
+            "epoch": int(epoch),
+            "entropy": int(store.seed),
+            "num_nodes": int(view.num_nodes),
+            "payload_sha256": hashlib.sha256(blob).hexdigest(),
+            "payload_bytes": len(blob),
+        }
+        data = (
+            MAGIC
+            + json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+            + b"\n"
+            + blob
+        )
+        atomic_write_bytes(self._checkpoint_path, data)
+        self.journal.reset()
+        return self._checkpoint_path
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def load(self) -> Checkpoint:
+        """Decode and verify the checkpoint file."""
+        if not self.has_checkpoint():
+            raise CheckpointError(f"no checkpoint at {self._checkpoint_path}")
+        raw = self._checkpoint_path.read_bytes()
+        if not raw.startswith(MAGIC):
+            raise CheckpointError(
+                f"{self._checkpoint_path} is not a repro checkpoint "
+                f"(bad magic)"
+            )
+        rest = raw[len(MAGIC):]
+        newline = rest.find(b"\n")
+        if newline < 0:
+            raise CheckpointError(f"{self._checkpoint_path} is truncated (no header)")
+        try:
+            header = json.loads(rest[:newline].decode("utf-8"))
+        except Exception as exc:
+            raise CheckpointError(
+                f"{self._checkpoint_path} has an undecodable header: {exc}"
+            ) from exc
+        blob = rest[newline + 1:]
+        if len(blob) != int(header.get("payload_bytes", -1)):
+            raise CheckpointError(
+                f"{self._checkpoint_path} payload is truncated "
+                f"({len(blob)} bytes, header says {header.get('payload_bytes')})"
+            )
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise CheckpointError(
+                f"{self._checkpoint_path} payload checksum mismatch"
+            )
+        with np.load(io.BytesIO(blob)) as payload:
+            return Checkpoint(
+                epoch=int(header["epoch"]),
+                entropy=int(header["entropy"]),
+                num_nodes=int(header["num_nodes"]),
+                cpes=payload["cpes"],
+                sources=payload["sources"],
+                targets=payload["targets"],
+                probabilities=payload["probabilities"],
+                members=payload["members"],
+                sizes=payload["sizes"],
+                tags=payload["tags"],
+                roots=payload["roots"],
+            )
+
+    def restore(
+        self,
+        policy: Optional["ExecutionPolicy"] = None,
+        runtime: Optional["Runtime"] = None,
+    ) -> RestoredState:
+        """Rebuild view + store from the checkpoint and replay the journal.
+
+        The rebuilt store adopts the checkpointed slots verbatim and then
+        absorbs every journaled batch newer than the checkpoint through the
+        ordinary maintenance path — bit-identical to the pre-crash store by
+        the slot-purity contract.  Journal epochs must continue the
+        checkpoint contiguously; a gap means lost acknowledged batches and
+        raises :class:`~repro.exceptions.CheckpointError`.
+        """
+        from repro.rrsets.store import RRStore
+
+        snapshot = self.load()
+        graph = CSRDiGraph(
+            snapshot.num_nodes, snapshot.sources, snapshot.targets
+        )
+        probabilities = [
+            np.asarray(row, dtype=np.float64) for row in snapshot.probabilities
+        ]
+        view = MutableGraphView(graph, probabilities)
+        store = RRStore.from_slots(
+            view,
+            snapshot.cpes,
+            snapshot.entropy,
+            snapshot.members,
+            snapshot.sizes,
+            snapshot.tags,
+            snapshot.roots,
+            policy=policy,
+            runtime=runtime,
+        )
+        entries, torn = self.journal.entries()
+        replayed = 0
+        expected = snapshot.epoch + 1
+        for epoch, deltas in entries:
+            if epoch <= snapshot.epoch:
+                # Stale entry from a crash between checkpoint replace and
+                # journal truncation — already folded into the snapshot.
+                continue
+            if epoch != expected:
+                raise CheckpointError(
+                    f"delta journal skips from epoch {expected - 1} to "
+                    f"{epoch}; acknowledged batches are missing"
+                )
+            store.apply_deltas(deltas)
+            expected += 1
+            replayed += 1
+        return RestoredState(
+            view=view,
+            store=store,
+            base_epoch=snapshot.epoch,
+            replayed_batches=replayed,
+            dropped_torn_tail=torn,
+        )

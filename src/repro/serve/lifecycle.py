@@ -1,0 +1,206 @@
+"""Service policy and request lifecycle primitives of the allocation server.
+
+The server composes **two** frozen policies: the
+:class:`~repro.runtime.ExecutionPolicy` it was built with (engines, shard
+counts, failure handling — *how* requests compute) and the
+:class:`ServicePolicy` defined here (*how the server behaves under load*:
+per-request deadlines, bounded admission, drain grace).  Keeping them
+separate mirrors the ``ExecutionPolicy`` / ``FailurePolicy`` split of the
+execution layer — service knobs never influence results, only latency and
+shedding behaviour.
+
+Lifecycle states form a one-way ladder::
+
+    starting ──start()──▶ serving ──drain──▶ draining ──queue empty──▶ stopped
+
+``draining`` rejects new admissions with a structured ``draining`` error but
+finishes every request already admitted (bounded by ``drain_grace_s``);
+``stopped`` is terminal.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import PolicyError, ServiceError
+
+#: Lifecycle states (one-way ladder; see module docstring).
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+STATES = (STARTING, SERVING, DRAINING, STOPPED)
+
+
+class DeadlineExceeded(ServiceError):
+    """Cooperative deadline signal raised by deadline-aware handlers.
+
+    Sharded engine work trips deadlines through the supervision machinery
+    (:class:`~repro.exceptions.ShardTimeoutError` under a per-request
+    ``FailurePolicy.fail_fast`` override); purely in-process handlers that
+    poll the deadline themselves raise this instead.  Both are translated to
+    the same structured ``deadline-exceeded`` reply.
+    """
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Frozen admission/deadline/drain configuration of the server.
+
+    Parameters
+    ----------
+    deadline_s:
+        Default per-request deadline in seconds, measured from *admission*
+        (so queueing time counts against it).  ``None`` disables deadlines;
+        a request may override with its own ``deadline_s`` field.
+    queue_depth:
+        Bound of the admission queue.  A request arriving while the queue
+        holds this many tickets is shed immediately with a structured
+        ``overloaded`` error — admission never allocates unboundedly.
+    max_inflight:
+        Upper bound on how many queued requests one dispatch batch pops (and
+        therefore how many get coalesced/answered per engine pass).
+    drain_grace_s:
+        Wall-clock budget for finishing already-admitted requests after a
+        drain begins; requests still queued when it expires get ``draining``
+        errors instead of hanging shutdown forever.
+    request_retries:
+        Server-level re-execution budget when a *deadline-bearing* request
+        dies to a worker crash (deadlines run under ``fail_fast``, which
+        raises instead of degrading).  Determinism makes every retry
+        bit-identical, so retrying is invisible to the client.
+    checkpoint_every:
+        Write an RR-store checkpoint (and rotate the delta journal) every N
+        accepted delta batches; ``0`` checkpoints only at startup, on drain
+        and on explicit ``checkpoint`` requests.
+    """
+
+    deadline_s: Optional[float] = None
+    queue_depth: int = 64
+    max_inflight: int = 4
+    drain_grace_s: float = 10.0
+    request_retries: int = 2
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and (
+            not math.isfinite(self.deadline_s) or self.deadline_s <= 0
+        ):
+            raise PolicyError(
+                f"deadline_s must be a positive number or None, got {self.deadline_s!r}"
+            )
+        if self.queue_depth < 1:
+            raise PolicyError(f"queue_depth must be >= 1, got {self.queue_depth!r}")
+        if self.max_inflight < 1:
+            raise PolicyError(f"max_inflight must be >= 1, got {self.max_inflight!r}")
+        if not math.isfinite(self.drain_grace_s) or self.drain_grace_s <= 0:
+            raise PolicyError(
+                f"drain_grace_s must be a positive number, got {self.drain_grace_s!r}"
+            )
+        if self.request_retries < 0:
+            raise PolicyError(
+                f"request_retries must be >= 0, got {self.request_retries!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise PolicyError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary (printed in the server's startup banner)."""
+        deadline = "none" if self.deadline_s is None else f"{self.deadline_s:g}s"
+        return (
+            f"deadline={deadline} queue_depth={self.queue_depth} "
+            f"max_inflight={self.max_inflight} drain_grace={self.drain_grace_s:g}s "
+            f"request_retries={self.request_retries} "
+            f"checkpoint_every={self.checkpoint_every}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (embedded in ``stats`` replies)."""
+        return {
+            "deadline_s": self.deadline_s,
+            "queue_depth": self.queue_depth,
+            "max_inflight": self.max_inflight,
+            "drain_grace_s": self.drain_grace_s,
+            "request_retries": self.request_retries,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+
+class Ticket:
+    """One admitted (or immediately rejected) request and its future reply.
+
+    Transports attach an ``on_done`` callback to stream the reply back over
+    their connection; in-process callers block on :meth:`wait`.  A ticket
+    resolves exactly once.
+    """
+
+    def __init__(
+        self,
+        request: Dict[str, Any],
+        arrival: Optional[float] = None,
+        on_done: Optional[Callable[["Ticket"], None]] = None,
+    ):
+        self.request = request
+        self.arrival = time.monotonic() if arrival is None else arrival
+        self.reply: Optional[Dict[str, Any]] = None
+        self.done = threading.Event()
+        self._on_done = on_done
+
+    def resolve(self, reply: Dict[str, Any]) -> None:
+        """Deliver the reply (idempotent against double resolution)."""
+        if self.done.is_set():  # pragma: no cover - defensive
+            return
+        self.reply = reply
+        self.done.set()
+        if self._on_done is not None:
+            self._on_done(self)
+
+    def wait(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the reply is available and return it."""
+        if not self.done.wait(timeout):
+            raise ServiceError(
+                f"no reply within {timeout}s for request "
+                f"{self.request.get('op', '?')!r}"
+            )
+        assert self.reply is not None
+        return self.reply
+
+
+@dataclass
+class ServerStats:
+    """Mutable request counters (reported by the ``stats`` op)."""
+
+    accepted: int = 0  #: tickets admitted to the queue
+    completed: int = 0  #: tickets answered with ``ok: true``
+    failed: int = 0  #: tickets answered with a structured error
+    shed: int = 0  #: tickets rejected with ``overloaded`` (queue full)
+    rejected: int = 0  #: tickets rejected before admission (bad request / draining)
+    coalesced: int = 0  #: tickets answered by another identical ticket's pass
+    deadline_timeouts: int = 0  #: deadline-exceeded replies
+    request_retries: int = 0  #: server-level re-executions after worker crashes
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        """Thread-safe increment (admission and dispatch touch these)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "accepted": self.accepted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "coalesced": self.coalesced,
+                "deadline_timeouts": self.deadline_timeouts,
+                "request_retries": self.request_retries,
+            }

@@ -1,0 +1,237 @@
+"""Line-delimited JSON protocol of the allocation server.
+
+One request per line in, one reply per line out — transport-agnostic, so the
+same parser backs stdio, TCP and Unix-socket listeners.  A request is a JSON
+object::
+
+    {"id": 7, "op": "allocate", "tau": 0.1, "deadline_s": 2.0}
+
+``op`` is mandatory; ``id`` is an optional client correlation token echoed
+verbatim; ``deadline_s`` overrides the service-level default deadline for
+this request.  Every reply is a JSON object carrying the full envelope::
+
+    {"id": 7, "ok": true,  "epoch": 3, "state": "serving",
+     "recovery": {...}, "result": {...}}
+    {"id": 7, "ok": false, "epoch": 3, "state": "serving",
+     "recovery": {...}, "error": {"code": "deadline-exceeded", "message": "..."}}
+
+``epoch`` is the server's absolute delta epoch (checkpoint base + batches
+absorbed since), ``recovery`` the runtime's cumulative
+:meth:`~repro.parallel.failure.RecoveryStats.as_dict` — so every reply
+doubles as a health probe.  Error codes are machine-readable and closed
+(:data:`ERROR_CODES`); messages are for humans.
+
+Graph deltas travel as tagged objects mirroring :mod:`repro.graph.deltas`::
+
+    {"kind": "add_edge", "source": 3, "target": 9, "probabilities": [0.1, 0.2]}
+    {"kind": "remove_edge", "source": 3, "target": 9}
+    {"kind": "update_probability", "source": 3, "target": 9,
+     "probability": 0.05, "advertiser": 1}
+    {"kind": "add_node", "count": 2}
+    {"kind": "remove_node", "node": 4}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ProtocolError
+from repro.graph.deltas import (
+    AddEdge,
+    AddNode,
+    GraphDelta,
+    RemoveEdge,
+    RemoveNode,
+    UpdateProbability,
+)
+
+#: Supported operations.
+OPS = (
+    "ping",
+    "stats",
+    "spread",
+    "allocate",
+    "refresh",
+    "checkpoint",
+    "burn",
+    "shutdown",
+)
+
+#: Closed set of machine-readable error codes.
+BAD_REQUEST = "bad-request"
+OVERLOADED = "overloaded"
+DEADLINE_EXCEEDED = "deadline-exceeded"
+DRAINING_REJECTED = "draining"
+INTERNAL = "internal"
+
+ERROR_CODES = (
+    BAD_REQUEST,
+    OVERLOADED,
+    DEADLINE_EXCEEDED,
+    DRAINING_REJECTED,
+    INTERNAL,
+)
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Parse one protocol line into a raw request object.
+
+    Raises :class:`~repro.exceptions.ProtocolError` (code ``bad-request``)
+    on malformed JSON or a non-object payload; field-level validation is
+    :func:`validate_request`'s job.
+    """
+    try:
+        request = json.loads(line)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    return request
+
+
+def request_id(candidate: Any) -> Optional[Any]:
+    """Best-effort extraction of a correlation id from a raw line/object.
+
+    Used when a request is rejected before validation so the error reply can
+    still be correlated.  Only JSON scalars are echoed; anything else maps
+    to ``None``.
+    """
+    if isinstance(candidate, str):
+        try:
+            candidate = json.loads(candidate)
+        except (json.JSONDecodeError, ValueError):
+            return None
+    if not isinstance(candidate, dict):
+        return None
+    value = candidate.get("id")
+    return value if isinstance(value, (str, int, float, bool)) or value is None else None
+
+
+def validate_request(request: Any) -> Dict[str, Any]:
+    """Validate the envelope-level fields of a parsed request.
+
+    Returns the request itself (ops validate their own parameters at
+    execution time, so a malformed ``spread`` does not block the queue at
+    admission).  Raises :class:`~repro.exceptions.ProtocolError` on a
+    missing/unknown ``op``, a non-scalar ``id`` or an invalid ``deadline_s``.
+    """
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op is None:
+        raise ProtocolError("request is missing the 'op' field")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; supported ops: {', '.join(OPS)}"
+        )
+    identifier = request.get("id")
+    if identifier is not None and not isinstance(identifier, (str, int, float, bool)):
+        raise ProtocolError("'id' must be a JSON scalar")
+    deadline = request.get("deadline_s")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            raise ProtocolError("'deadline_s' must be a number")
+        if not math.isfinite(deadline) or deadline <= 0:
+            raise ProtocolError(
+                f"'deadline_s' must be positive and finite, got {deadline!r}"
+            )
+    return request
+
+
+def encode_reply(reply: Dict[str, Any]) -> str:
+    """Serialize a reply envelope to one protocol line (newline included).
+
+    ``sort_keys`` plus compact separators make the encoding canonical — the
+    bit-identity acceptance tests compare these lines byte-for-byte.
+    """
+    return json.dumps(reply, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# delta (de)serialization
+# ---------------------------------------------------------------------- #
+def _require(obj: Dict[str, Any], key: str, kind: str) -> Any:
+    if key not in obj:
+        raise ProtocolError(f"{kind} delta is missing the {key!r} field")
+    return obj[key]
+
+
+def delta_from_json(obj: Any) -> GraphDelta:
+    """Decode one tagged delta object (see module docstring for the shapes)."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"each delta must be a JSON object, got {type(obj).__name__}"
+        )
+    kind = obj.get("kind")
+    try:
+        if kind == "add_edge":
+            return AddEdge(
+                source=int(_require(obj, "source", kind)),
+                target=int(_require(obj, "target", kind)),
+                probabilities=tuple(
+                    float(p) for p in _require(obj, "probabilities", kind)
+                ),
+            )
+        if kind == "remove_edge":
+            return RemoveEdge(
+                source=int(_require(obj, "source", kind)),
+                target=int(_require(obj, "target", kind)),
+            )
+        if kind == "update_probability":
+            advertiser = obj.get("advertiser")
+            return UpdateProbability(
+                source=int(_require(obj, "source", kind)),
+                target=int(_require(obj, "target", kind)),
+                probability=float(_require(obj, "probability", kind)),
+                advertiser=None if advertiser is None else int(advertiser),
+            )
+        if kind == "add_node":
+            return AddNode(count=int(obj.get("count", 1)))
+        if kind == "remove_node":
+            return RemoveNode(node=int(_require(obj, "node", kind)))
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid {kind} delta: {exc}") from exc
+    raise ProtocolError(
+        f"unknown delta kind {kind!r}; expected add_edge, remove_edge, "
+        "update_probability, add_node or remove_node"
+    )
+
+
+def delta_to_json(delta: GraphDelta) -> Dict[str, Any]:
+    """Encode one delta to its tagged-object form (journal + wire format)."""
+    if isinstance(delta, AddEdge):
+        return {
+            "kind": "add_edge",
+            "source": int(delta.source),
+            "target": int(delta.target),
+            "probabilities": [float(p) for p in delta.probabilities],
+        }
+    if isinstance(delta, RemoveEdge):
+        return {
+            "kind": "remove_edge",
+            "source": int(delta.source),
+            "target": int(delta.target),
+        }
+    if isinstance(delta, UpdateProbability):
+        encoded: Dict[str, Any] = {
+            "kind": "update_probability",
+            "source": int(delta.source),
+            "target": int(delta.target),
+            "probability": float(delta.probability),
+        }
+        if delta.advertiser is not None:
+            encoded["advertiser"] = int(delta.advertiser)
+        return encoded
+    if isinstance(delta, AddNode):
+        return {"kind": "add_node", "count": int(delta.count)}
+    if isinstance(delta, RemoveNode):
+        return {"kind": "remove_node", "node": int(delta.node)}
+    raise ProtocolError(f"cannot encode delta of type {type(delta).__name__}")

@@ -1,0 +1,82 @@
+"""Crash-safe file writes: tmp file + ``os.replace`` + directory fsync.
+
+A plain ``open(path, "w")`` truncates the destination before the new content
+is durable, so a crash mid-write (process kill, power loss, full disk) leaves
+a torn file where a good one used to be.  Every durable artefact in this
+repo — experiment result files (:mod:`repro.experiments.persistence`), the
+allocation server's RR-store checkpoints (:mod:`repro.serve.checkpoint`) —
+goes through the primitives here instead:
+
+1. the full content is materialised first (in memory or in a sibling tmp
+   file), so serialization errors can never touch the destination;
+2. the tmp file is flushed and ``fsync``-ed, so the *content* is durable
+   before it becomes visible;
+3. ``os.replace`` swaps it in — atomic on POSIX within one filesystem — so
+   readers only ever observe the old complete file or the new complete file;
+4. the containing directory is fsync-ed so the rename itself survives a
+   crash.
+
+The guarantee is *atomic visibility*, not write-once semantics: concurrent
+writers still race (last replace wins), which is fine for the single-writer
+artefacts these functions serve.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Flush directory metadata (renames, new entries) to disk.
+
+    Best-effort on platforms whose directories cannot be opened for fsync
+    (Windows); a no-op failure there does not weaken the tmp+replace
+    atomicity, only the durability of the rename across power loss.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The destination either keeps its previous content or holds exactly
+    ``data`` — never a prefix, regardless of when the writer dies.  The tmp
+    file is created next to the destination (same filesystem, a hard
+    requirement of atomic ``os.replace``) and removed on failure.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -505,3 +505,151 @@ class TestPolicyThreading:
             assert rt.recovery_stats.worker_crashes >= 1
             assert rt.pool_spawn_count == 2
         assert recovered == expected
+
+
+# --------------------------------------------------------------------------- #
+# exception diagnostics: every raise carries the recovery ledger
+# --------------------------------------------------------------------------- #
+class TestExceptionDiagnostics:
+    """Operators triage from the exception text alone — it must name the
+    outstanding shards and embed the full ``RecoveryStats.describe()``."""
+
+    def test_worker_crash_message_embeds_recovery_stats(self):
+        executor = ShardedExecutor(2, failure=FailurePolicy.fail_fast())
+        injector = FaultInjector()
+        injector.kill_worker(shard=0, when="before")
+        with injector:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                executor.run(_echo_task, 0, list(range(4)))
+        message = str(excinfo.value)
+        assert "[recovery: " in message
+        assert executor.recovery_stats.describe() in message
+        assert "crashes=1" in message
+        # The outstanding shard list is named so the blast radius is visible.
+        assert "shard(s) [" in message
+
+    def test_shard_timeout_message_embeds_recovery_stats(self):
+        executor = ShardedExecutor(2, failure=RAISE_FAST)
+        injector = FaultInjector()
+        injector.delay_shard(shard=0, seconds=30.0)
+        with injector:
+            with pytest.raises(ShardTimeoutError) as excinfo:
+                executor.run(_slow_echo_task, 0, list(range(4)))
+        message = str(excinfo.value)
+        assert "[recovery: " in message
+        assert executor.recovery_stats.describe() in message
+        assert "timeouts=" in message
+        assert f"shard_timeout_s={RAISE_FAST.shard_timeout_s:g}" in message
+        assert "shard(s) [" in message  # which shards blew the deadline
+
+    def test_crash_message_stats_include_prior_recoveries(self):
+        """The embedded ledger is cumulative: a degrade-mode recovery
+        earlier in the runtime's life shows up in a later raise — the
+        server's deadline path relies on this for triage context."""
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        with Runtime(ExecutionPolicy(n_jobs=2, failure=DEGRADE)) as runtime:
+            injector = FaultInjector()
+            injector.kill_worker(shard=0, when="before", times=1)
+            with injector:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    runtime.sharded_executor(2).run(_echo_task, 0, list(range(4)))
+            assert runtime.recovery_stats.worker_crashes == 1
+            runtime.close()  # faults arm at pool spawn
+            injector2 = FaultInjector()
+            injector2.kill_worker(shard=1, when="before")
+            with injector2:
+                with runtime.overriding_failure(FailurePolicy.fail_fast()):
+                    with pytest.raises(WorkerCrashError) as excinfo:
+                        runtime.sharded_executor(2).run(
+                            _echo_task, 0, list(range(4))
+                        )
+            assert "crashes=2" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------------- #
+# runtime recovery accumulation + re-entrancy
+# --------------------------------------------------------------------------- #
+class TestRuntimeRecoveryAccumulation:
+    def test_stats_accumulate_across_sequential_executors(self):
+        """One runtime, several executors: the runtime-level ledger is the
+        union of everything its pool survived."""
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        with Runtime(ExecutionPolicy(n_jobs=2, failure=DEGRADE)) as runtime:
+            for round_index in range(2):
+                runtime.close()  # faults arm at pool spawn
+                injector = FaultInjector()
+                injector.kill_worker(shard=0, when="before", times=1)
+                with injector:
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", RuntimeWarning)
+                        results = runtime.sharded_executor(2).run(
+                            _echo_task, round_index, list(range(4))
+                        )
+                assert results == [round_index + s for s in range(4)]
+                assert runtime.recovery_stats.worker_crashes == round_index + 1
+            stats = runtime.recovery_stats
+            assert stats.worker_crashes == 2
+            assert stats.pool_respawns >= 2
+            assert stats.shards_rerun >= 2
+            assert stats.as_dict()["worker_crashes"] == 2
+
+    def test_acquire_executor_prefers_ambient_runtime(self):
+        from repro.runtime import ExecutionPolicy, Runtime, acquire_executor
+
+        with Runtime(ExecutionPolicy(n_jobs=2)) as runtime:
+            executor = acquire_executor(2)
+            # Bound to the runtime's pool: they share one recovery ledger.
+            assert executor.recovery_stats is runtime.recovery_stats
+            # n_jobs always comes from the caller, never the runtime.
+            serial = acquire_executor(None)
+            assert serial.n_jobs == 1
+
+    def test_acquire_executor_reentrant_under_override(self):
+        """acquire_executor during an overriding_failure window hands out
+        executors carrying the override; after the window, the policy's own
+        failure policy is restored."""
+        from repro.runtime import ExecutionPolicy, Runtime, acquire_executor
+
+        policy = ExecutionPolicy(n_jobs=2, failure=DEGRADE)
+        deadline = FailurePolicy.fail_fast(shard_timeout_s=0.5)
+        with Runtime(policy) as runtime:
+            with runtime.overriding_failure(deadline):
+                inner = acquire_executor(2)
+                assert inner.failure is deadline
+                # Nested override wins, then unwinds to the outer one.
+                tighter = FailurePolicy.fail_fast(shard_timeout_s=0.1)
+                with runtime.overriding_failure(tighter):
+                    assert acquire_executor(2).failure is tighter
+                assert acquire_executor(2).failure is deadline
+                # An explicit failure= still beats the ambient override.
+                explicit = runtime.sharded_executor(2, failure=DEGRADE)
+                assert explicit.failure is DEGRADE
+            assert acquire_executor(2).failure is policy.failure
+
+    def test_override_restored_after_exception(self):
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        policy = ExecutionPolicy(n_jobs=2, failure=DEGRADE)
+        deadline = FailurePolicy.fail_fast(shard_timeout_s=0.5)
+        with Runtime(policy) as runtime:
+            with pytest.raises(RuntimeError, match="boom"):
+                with runtime.overriding_failure(deadline):
+                    raise RuntimeError("boom")
+            assert runtime.sharded_executor(2).failure is policy.failure
+
+    def test_close_during_drain_is_reentrant(self):
+        """close() is idempotent and the runtime stays usable after it —
+        the server's drain path closes the pool while later requests may
+        still acquire executors."""
+        from repro.runtime import ExecutionPolicy, Runtime
+
+        with Runtime(ExecutionPolicy(n_jobs=2)) as runtime:
+            first = runtime.sharded_executor(2).run(_echo_task, 1, [0, 1])
+            runtime.close()
+            runtime.close()  # double close is fine
+            again = runtime.sharded_executor(2).run(_echo_task, 1, [0, 1])
+            assert again == first
+            assert runtime.pool_spawn_count >= 2

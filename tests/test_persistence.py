@@ -83,3 +83,58 @@ class TestCsvRoundtrip:
         loaded = load_rows_csv(path)
         assert loaded[0]["dataset"] == "lastfm_like"
         assert loaded[0]["budget_mean"] == pytest.approx(rows[0]["budget_mean"])
+
+
+class TestAtomicWrites:
+    """Torn-write safety: a crash mid-save never destroys the previous file."""
+
+    def test_atomic_write_replaces_or_preserves(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        from repro.utils import atomic
+
+        path = tmp_path / "results.json"
+        save_rows_json(SAMPLE_ROWS, path)
+        before = path.read_bytes()
+
+        # Simulated crash at the very last step: the rename itself fails.
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_rows_json([{"algorithm": "X", "revenue": 1.0}], path)
+        monkeypatch.undo()
+
+        # The interrupted write never touched the destination...
+        assert path.read_bytes() == before
+        assert load_rows_json(path) == (SAMPLE_ROWS, {})
+        # ...and its tmp file was cleaned up.
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_failed_serialization_never_truncates(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_rows_json(SAMPLE_ROWS, path)
+        circular = {}
+        circular["self"] = circular
+        with pytest.raises(ValueError):
+            # A non-serialisable row fails during json.dumps, before any
+            # file is opened: the destination must be untouched.
+            save_rows_json([circular], path)
+        assert load_rows_json(path) == (SAMPLE_ROWS, {})
+
+    def test_no_tmp_residue_on_success(self, tmp_path):
+        from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+        atomic_write_bytes(tmp_path / "a.bin", b"\x00\x01")
+        atomic_write_text(tmp_path / "b.txt", "hello")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["a.bin", "b.txt"]
+        assert (tmp_path / "a.bin").read_bytes() == b"\x00\x01"
+        assert (tmp_path / "b.txt").read_text() == "hello"
+
+    def test_write_into_missing_directory_raises_cleanly(self, tmp_path):
+        from repro.utils.atomic import atomic_write_text
+
+        with pytest.raises(FileNotFoundError):
+            atomic_write_text(tmp_path / "nope" / "x.txt", "data")
