@@ -41,6 +41,7 @@ from repro.graph.generators import preferential_attachment_digraph
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import SubsimRRGenerator
 from repro.runtime import ExecutionPolicy
+from repro.utils.resources import peak_rss_mib
 
 #: flag=False → scalar heap (seed policy); flag=True → batched engine
 ENGINE_POLICIES = {
@@ -182,7 +183,7 @@ def main() -> None:
         f"{config['rr_sets']} RR-sets, {NUM_ADVERTISERS} advertisers"
     )
     results = run(config)
-    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results}
+    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results, "peak_rss_mib": peak_rss_mib()}
     output = args.output
     if output is None and not args.fast:
         output = Path(__file__).resolve().parent.parent / "BENCH_greedy_engine.json"

@@ -40,6 +40,7 @@ from repro.diffusion.legacy import (
 )
 from repro.diffusion.models import WeightedCascadeModel
 from repro.graph.generators import preferential_attachment_digraph
+from repro.utils.resources import peak_rss_mib
 
 FULL = {
     "num_nodes": 20_000,
@@ -178,7 +179,7 @@ def main() -> None:
         f"{config['singleton_nodes']} singleton nodes × {config['singleton_simulations']} sims"
     )
     results = run(config)
-    payload = {"config": config, **results}
+    payload = {"config": config, **results, "peak_rss_mib": peak_rss_mib()}
     output = args.output
     if output is None and not args.fast:
         output = Path(__file__).resolve().parent.parent / "BENCH_mc_engine.json"

@@ -71,6 +71,7 @@ from repro.rrsets.collection import RRCollection
 from repro.rrsets.generator import SubsimRRGenerator
 from repro.rrsets.uniform import UniformRRSampler
 from repro.runtime import ExecutionPolicy, Runtime
+from repro.utils.resources import peak_rss_mib
 
 FULL = {
     "num_nodes": 20_000,
@@ -456,7 +457,7 @@ def main() -> None:
         f"{config['singleton_simulations']} sims"
     )
     results = run(config)
-    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results}
+    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results, "peak_rss_mib": peak_rss_mib()}
     output = args.output
     if output is None and not args.fast:
         output = Path(__file__).resolve().parent.parent / "BENCH_parallel_engine.json"

@@ -37,6 +37,7 @@ from repro.rrsets.legacy import (
     LegacyRRSetGenerator,
     LegacySubsimRRGenerator,
 )
+from repro.utils.resources import peak_rss_mib
 
 FULL = {"num_nodes": 20_000, "out_degree": 5, "rr_sets": 3000, "greedy_seeds": 50}
 FAST = {"num_nodes": 2_000, "out_degree": 5, "rr_sets": 600, "greedy_seeds": 20}
@@ -163,7 +164,7 @@ def main() -> None:
         f"{config['rr_sets']} RR-sets, {config['greedy_seeds']} greedy seeds"
     )
     results = run(config)
-    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results}
+    payload = {"config": config, "num_advertisers": NUM_ADVERTISERS, **results, "peak_rss_mib": peak_rss_mib()}
     output = args.output
     if output is None and not args.fast:
         output = Path(__file__).resolve().parent.parent / "BENCH_rr_engine.json"

@@ -59,6 +59,7 @@ from repro.runtime import (
     ExecutionPolicy,
     FailurePolicy,
     MAINTENANCE_MODES,
+    PAYLOAD_MODES,
     POLICY_PRESETS,
     Runtime,
 )
@@ -132,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way",
     )
     refresh.add_argument(
+        "--payload",
+        default=None,
+        choices=sorted(PAYLOAD_MODES),
+        help="worker-broadcast transport: 'auto' (default; shared memory for "
+        "multi-MB payloads), 'pickle' or 'shm'; bit-identical either way",
+    )
+    refresh.add_argument(
         "--verify",
         action="store_true",
         help="after each round, regenerate a fresh store on the post-delta "
@@ -163,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=sorted(MAINTENANCE_MODES),
         help="where invalidation re-draws run: 'pool' (default) or 'inline'",
+    )
+    serve.add_argument(
+        "--payload",
+        default=None,
+        choices=sorted(PAYLOAD_MODES),
+        help="worker-broadcast transport: 'auto' (default; shared memory for "
+        "multi-MB payloads), 'pickle' or 'shm'; bit-identical either way",
     )
     serve.add_argument(
         "--deadline",
@@ -285,6 +300,15 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         "(retry deterministically, then fall back to serial; the default) or "
         "'raise' (fail fast with an ExecutionError)",
     )
+    parser.add_argument(
+        "--payload",
+        default=None,
+        choices=sorted(PAYLOAD_MODES),
+        help="worker-broadcast transport: 'auto' (default; shared memory once "
+        "the graph + probabilities reach a few MB), 'pickle' (always the "
+        "pool's pipes) or 'shm' (always one shared-memory segment); results "
+        "are bit-identical either way",
+    )
 
 
 def _policy_flag_conflict(args: argparse.Namespace) -> Optional[str]:
@@ -349,6 +373,8 @@ def _resolve_policy(args: argparse.Namespace) -> ExecutionPolicy:
         policy = policy.evolve(n_jobs=args.jobs)
     if failure is not None:
         policy = policy.evolve(failure=failure)
+    if getattr(args, "payload", None) is not None:
+        policy = policy.evolve(payload=args.payload)
     return policy
 
 
@@ -576,6 +602,8 @@ def command_refresh(args: argparse.Namespace) -> int:
         policy = policy.evolve(n_jobs=args.jobs)
     if args.maintenance is not None:
         policy = policy.evolve(maintenance=args.maintenance)
+    if args.payload is not None:
+        policy = policy.evolve(payload=args.payload)
     print(f"effective policy: {policy.describe()}")
     with Runtime(policy) as runtime:
         view = MutableGraphView(instance.graph, instance.all_edge_probabilities())
@@ -634,6 +662,8 @@ def command_serve(args: argparse.Namespace) -> int:
         policy = policy.evolve(n_jobs=args.jobs)
     if args.maintenance is not None:
         policy = policy.evolve(maintenance=args.maintenance)
+    if args.payload is not None:
+        policy = policy.evolve(payload=args.payload)
     service = ServicePolicy(
         deadline_s=args.deadline,
         queue_depth=args.queue_depth,

@@ -24,6 +24,7 @@ from repro.datasets.synthetic import (
     flixster_like,
     lastfm_like,
     livejournal_like,
+    snap_scale,
 )
 from repro.diffusion.topics import TopicDistribution, random_topics
 from repro.exceptions import DatasetError
@@ -37,6 +38,10 @@ DATASET_BUILDERS: Dict[str, Callable[..., SyntheticNetwork]] = {
     "flixster_like": flixster_like,
     "dblp_like": dblp_like,
     "livejournal_like": livejournal_like,
+    # SNAP-scale stress network (1M nodes / 10M+ edges at scale=1.0).  Keep
+    # ``scale`` small for interactive use — the default 1.0 builds the full
+    # million-node graph.
+    "snap_scale": snap_scale,
 }
 
 

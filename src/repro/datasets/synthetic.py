@@ -35,6 +35,7 @@ from repro.graph.generators import (
     power_law_configuration_digraph,
     preferential_attachment_digraph,
     small_world_digraph,
+    snap_scale_digraph,
 )
 from repro.utils.rng import RandomSource, as_rng
 
@@ -181,6 +182,33 @@ def livejournal_like(scale: float = 1.0, seed: RandomSource = None) -> Synthetic
         num_topics=1,
         directed=True,
         stands_in_for="LiveJournal (4.8M nodes / 69M edges)",
+    )
+
+
+def snap_scale(scale: float = 1.0, seed: RandomSource = None) -> SyntheticNetwork:
+    """SNAP-scale stress network: ``scale=1.0`` → 1M nodes / >10M edges.
+
+    Unlike the four paper stand-ins this one targets raw size, not structural
+    fidelity to a specific dataset: it exists to exercise the zero-copy
+    payload path and out-of-core graph storage at the node counts of the real
+    SNAP snapshots (LiveJournal-class).  Construction streams through
+    :func:`~repro.graph.generators.snap_scale_digraph`, so builder memory
+    stays bounded by the final CSR arrays rather than intermediate edge
+    stacks.  Weighted-Cascade probabilities (``1/in_degree``) keep the
+    propagation model parameter-free at this size.
+    """
+    _check_scale(scale)
+    rng = as_rng(seed)
+    num_nodes = max(1000, int(1_000_000 * scale))
+    graph = snap_scale_digraph(num_nodes, exponent=2.1, mean_degree=12.0, seed=rng)
+    model = WeightedCascadeModel(graph)
+    return SyntheticNetwork(
+        name="snap_scale",
+        graph=graph,
+        propagation_model=model,
+        num_topics=1,
+        directed=True,
+        stands_in_for="SNAP-scale snapshot (1M+ nodes / 10M+ edges)",
     )
 
 

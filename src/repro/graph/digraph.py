@@ -53,6 +53,101 @@ class CSRDiGraph:
         self._sources, self._targets = self._deduplicate(sources, targets)
         self._build_out_csr()
         self._build_in_csr()
+        self._freeze()
+
+    # ------------------------------------------------------------------ #
+    # alternate constructors (trusted inputs, no copies)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sorted_edges(
+        cls, num_nodes: int, sources: np.ndarray, targets: np.ndarray
+    ) -> "CSRDiGraph":
+        """Build a graph from edges already in canonical order — no dedup pass.
+
+        The caller guarantees the edge list is lexicographically sorted by
+        ``(source, target)``, duplicate-free, self-loop-free and in range;
+        only the cheap O(m) sortedness check runs.  Because canonical order
+        equals out-CSR order, the out adjacency is adopted **without a sort
+        or a copy** — this is the streamed-builder fast path that keeps
+        million-edge construction inside a bounded memory envelope.
+        """
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise GraphError("sources and targets must be 1-D arrays of equal length")
+        if sources.size:
+            order = (sources[:-1] < sources[1:]) | (
+                (sources[:-1] == sources[1:]) & (targets[:-1] < targets[1:])
+            )
+            if not bool(order.all()):
+                raise GraphError(
+                    "from_sorted_edges requires strictly increasing "
+                    "(source, target) pairs; use CSRDiGraph(...) for unsorted edges"
+                )
+        graph = cls.__new__(cls)
+        graph._num_nodes = int(num_nodes)
+        graph._sources = sources
+        graph._targets = targets
+        # Canonical order == out-CSR order: adopt, don't sort.
+        graph._out_targets = targets
+        graph._out_edge_ids = np.arange(sources.size, dtype=np.int64)
+        counts = np.bincount(sources, minlength=num_nodes) if sources.size else np.zeros(
+            num_nodes, dtype=np.int64
+        )
+        graph._out_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        graph._build_in_csr()
+        graph._freeze()
+        return graph
+
+    @classmethod
+    def from_parts(
+        cls,
+        num_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_edge_ids: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_edge_ids: np.ndarray,
+    ) -> "CSRDiGraph":
+        """Adopt pre-built CSR arrays verbatim — zero validation, zero copy.
+
+        The reconstruction path of :mod:`repro.graph.storage`: the arrays are
+        typically read-only views over one packed shared-memory segment or
+        memory-mapped file, so attaching a million-node graph in a worker
+        costs microseconds and no RSS.  All arrays are marked read-only.
+        """
+        graph = cls.__new__(cls)
+        graph._num_nodes = int(num_nodes)
+        graph._sources = np.asarray(sources, dtype=np.int64)
+        graph._targets = np.asarray(targets, dtype=np.int64)
+        graph._out_offsets = np.asarray(out_offsets, dtype=np.int64)
+        graph._out_targets = np.asarray(out_targets, dtype=np.int64)
+        graph._out_edge_ids = np.asarray(out_edge_ids, dtype=np.int64)
+        graph._in_offsets = np.asarray(in_offsets, dtype=np.int64)
+        graph._in_sources = np.asarray(in_sources, dtype=np.int64)
+        graph._in_edge_ids = np.asarray(in_edge_ids, dtype=np.int64)
+        graph._freeze()
+        return graph
+
+    def _freeze(self) -> None:
+        # Every CSR array is read-only for the graph's whole life: workers
+        # rebuild views over one shared physical copy, and a writable view
+        # anywhere would let one process silently corrupt every other's
+        # graph.  Mutation goes through MutableGraphView snapshots instead.
+        for array in (
+            self._sources,
+            self._targets,
+            self._out_offsets,
+            self._out_targets,
+            self._out_edge_ids,
+            self._in_offsets,
+            self._in_sources,
+            self._in_edge_ids,
+        ):
+            array.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # construction helpers

@@ -1,0 +1,444 @@
+"""Zero-copy frozen-graph storage: one packed buffer, many cheap views.
+
+A :class:`CSRDiGraph` plus its per-advertiser probability arrays is, at
+bottom, a handful of flat numpy arrays.  This module freezes that bundle
+into **one contiguous buffer with a versioned header** describing every
+array (name, dtype, shape, byte offset), so the same bytes can live
+
+* in a ``multiprocessing.shared_memory.SharedMemory`` segment — one
+  physical copy backing every worker process with zero serialization and
+  zero added RSS per process (the executor's ``payload="shm"`` path), or
+* in an ordinary file opened with ``np.memmap`` — million-node graphs that
+  never fully enter the heap (the out-of-core path).
+
+Reconstruction is **zero-copy**: :func:`unpack_arrays` hands back read-only
+``np.ndarray`` views over the buffer, and :func:`graph_from_arrays` rebuilds
+a fully functional :class:`CSRDiGraph` from those views without re-sorting,
+re-validating or copying anything (:meth:`CSRDiGraph.from_parts`).
+
+Header format (version 1)
+-------------------------
+The header is UTF-8 JSON — small, versioned, and forward-inspectable::
+
+    {"magic": "repro-csr", "version": 1, "total_bytes": N,
+     "arrays": [{"name": "...", "dtype": "<i8", "shape": [...],
+                 "offset": k}, ...],
+     "meta": {...}}                      # e.g. num_nodes, num_probs
+
+Array payloads are 64-byte aligned so reconstructed views stay friendly to
+vectorised kernels.  The on-disk file format prepends ``MAGIC`` + a little-
+endian ``uint64`` header length to the same JSON header, then the packed
+buffer at its natural alignment.
+
+Nothing here coordinates: the payload is read-only by construction (every
+view has ``writeable=False``), which is what makes one physical copy safe
+to share across any number of workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import CSRDiGraph
+
+#: Header magic + supported version.
+MAGIC = "repro-csr"
+VERSION = 1
+
+#: On-disk file preamble: magic bytes + little-endian uint64 header length.
+FILE_MAGIC = b"RPROCSR1"
+
+#: Byte alignment of every packed array.
+ALIGNMENT = 64
+
+#: Prefix of every shared-memory segment this library creates.  Lifecycle
+#: tests (and operators) probe ``/dev/shm`` for this prefix to assert no
+#: segment outlives its owning pool.
+SHM_NAME_PREFIX = "repro_shm_"
+
+#: The canonical array names of a frozen :class:`CSRDiGraph`, in pack order.
+GRAPH_ARRAY_NAMES = (
+    "sources",
+    "targets",
+    "out_offsets",
+    "out_targets",
+    "out_edge_ids",
+    "in_offsets",
+    "in_sources",
+    "in_edge_ids",
+)
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+# ---------------------------------------------------------------------- #
+# generic named-array packing
+# ---------------------------------------------------------------------- #
+def pack_layout(
+    arrays: Mapping[str, np.ndarray], meta: Optional[Dict[str, Any]] = None
+) -> Tuple[Dict[str, Any], int]:
+    """Compute the version-1 header and total byte size for ``arrays``.
+
+    Order is the mapping's iteration order; every array must have a simple
+    (non-object) dtype.  ``meta`` is carried verbatim in the header.
+    """
+    entries: List[Dict[str, Any]] = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        if array.dtype.hasobject:
+            raise GraphError(f"array {name!r} has an object dtype; cannot pack")
+        offset = _align(offset)
+        entries.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        offset += array.nbytes
+    header = {
+        "magic": MAGIC,
+        "version": VERSION,
+        "total_bytes": offset,
+        "arrays": entries,
+        "meta": dict(meta or {}),
+    }
+    return header, offset
+
+
+def pack_arrays(
+    buffer, header: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Copy every array into ``buffer`` at its header offset (the one copy)."""
+    view = memoryview(buffer)
+    for entry in header["arrays"]:
+        source = np.ascontiguousarray(arrays[entry["name"]])
+        nbytes = source.nbytes
+        if nbytes:
+            destination = np.frombuffer(
+                view, dtype=np.uint8, count=nbytes, offset=entry["offset"]
+            )
+            destination[:] = source.view(np.uint8).reshape(-1)
+
+
+def unpack_arrays(buffer, header: Mapping[str, Any]) -> Dict[str, np.ndarray]:
+    """Read-only zero-copy views over ``buffer``, one per header entry."""
+    if header.get("magic") != MAGIC:
+        raise GraphError(f"not a {MAGIC} buffer (magic={header.get('magic')!r})")
+    if header.get("version") != VERSION:
+        raise GraphError(
+            f"unsupported {MAGIC} header version {header.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    views: Dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(
+            buffer, dtype=dtype, count=count, offset=entry["offset"]
+        ).reshape(shape)
+        view.setflags(write=False)
+        views[entry["name"]] = view
+    return views
+
+
+def header_to_bytes(header: Mapping[str, Any]) -> bytes:
+    """Serialize a header to compact UTF-8 JSON bytes."""
+    return json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+
+def header_from_bytes(data: bytes) -> Dict[str, Any]:
+    """Parse header bytes, validating magic and version."""
+    try:
+        header = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GraphError(f"malformed {MAGIC} header: {exc}") from exc
+    if header.get("magic") != MAGIC:
+        raise GraphError(f"not a {MAGIC} header (magic={header.get('magic')!r})")
+    if header.get("version") != VERSION:
+        raise GraphError(
+            f"unsupported {MAGIC} header version {header.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    return header
+
+
+# ---------------------------------------------------------------------- #
+# graph <-> named arrays
+# ---------------------------------------------------------------------- #
+def graph_arrays(graph: CSRDiGraph) -> Dict[str, np.ndarray]:
+    """The eight CSR arrays of ``graph`` under their canonical pack names."""
+    out_offsets, out_targets, out_edge_ids = graph.out_csr()
+    in_offsets, in_sources, in_edge_ids = graph.in_csr()
+    return {
+        "sources": graph.sources,
+        "targets": graph.targets,
+        "out_offsets": out_offsets,
+        "out_targets": out_targets,
+        "out_edge_ids": out_edge_ids,
+        "in_offsets": in_offsets,
+        "in_sources": in_sources,
+        "in_edge_ids": in_edge_ids,
+    }
+
+
+def graph_from_arrays(num_nodes: int, arrays: Mapping[str, np.ndarray]) -> CSRDiGraph:
+    """Rebuild a :class:`CSRDiGraph` from packed views — no copy, no sort."""
+    return CSRDiGraph.from_parts(
+        num_nodes, **{name: arrays[name] for name in GRAPH_ARRAY_NAMES}
+    )
+
+
+def freeze_payload(
+    graph: CSRDiGraph,
+    probability_arrays: Sequence[np.ndarray] = (),
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Header + named arrays for a graph-and-probabilities bundle.
+
+    Probability arrays pack under ``probs.<i>``; the header's ``meta`` block
+    records ``num_nodes`` and ``num_probs`` so :func:`thaw_payload` can
+    reassemble the bundle from the header alone.
+    """
+    arrays = dict(graph_arrays(graph))
+    for index, probabilities in enumerate(probability_arrays):
+        arrays[f"probs.{index}"] = np.asarray(probabilities, dtype=np.float64)
+    header, _ = pack_layout(
+        arrays,
+        meta={"num_nodes": graph.num_nodes, "num_probs": len(probability_arrays)},
+    )
+    return header, arrays
+
+
+def thaw_payload(buffer, header: Mapping[str, Any]) -> Tuple[CSRDiGraph, List[np.ndarray]]:
+    """Rebuild ``(graph, probability_arrays)`` from a packed buffer."""
+    views = unpack_arrays(buffer, header)
+    meta = header["meta"]
+    graph = graph_from_arrays(int(meta["num_nodes"]), views)
+    probs = [views[f"probs.{index}"] for index in range(int(meta["num_probs"]))]
+    return graph, probs
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory materialization
+# ---------------------------------------------------------------------- #
+def new_segment_name() -> str:
+    """A collision-resistant segment name under :data:`SHM_NAME_PREFIX`."""
+    return f"{SHM_NAME_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+
+
+class SharedGraphSegment:
+    """A packed payload living in a ``SharedMemory`` segment (parent side).
+
+    The creating process owns the lifecycle: :meth:`unlink` removes the
+    segment name from the OS (workers that already attached keep their
+    mappings until they close).  Workers attach with :func:`attach_segment`.
+    """
+
+    def __init__(self, segment, header: Dict[str, Any]):
+        self._segment = segment
+        self.header = header
+        self.header_bytes = header_to_bytes(header)
+
+    @property
+    def name(self) -> str:
+        """The OS-level segment name (``/dev/shm/<name>`` on Linux)."""
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        """Packed payload size in bytes (excluding the header)."""
+        return int(self.header["total_bytes"])
+
+    def views(self) -> Dict[str, np.ndarray]:
+        """Read-only views over the live segment (parent-side convenience)."""
+        return unpack_arrays(self._segment.buf, self.header)
+
+    def close(self) -> None:
+        """Unmap this process's view (the segment itself survives)."""
+        try:
+            self._segment.close()
+        except (BufferError, OSError):  # pragma: no cover - platform specific
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS; safe to call more than once."""
+        self.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def pack_to_shm(
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[Dict[str, Any]] = None,
+    name: Optional[str] = None,
+) -> SharedGraphSegment:
+    """Pack named arrays into a fresh shared-memory segment (one copy)."""
+    from multiprocessing import shared_memory
+
+    header, total = pack_layout(arrays, meta=meta)
+    segment = shared_memory.SharedMemory(
+        name=name or new_segment_name(), create=True, size=max(1, total)
+    )
+    pack_arrays(segment.buf, header, arrays)
+    return SharedGraphSegment(segment, header)
+
+
+def freeze_to_shm(
+    graph: CSRDiGraph, probability_arrays: Sequence[np.ndarray] = ()
+) -> SharedGraphSegment:
+    """Freeze ``graph`` + probabilities into a shared-memory segment."""
+    header, arrays = freeze_payload(graph, probability_arrays)
+    return pack_to_shm(arrays, meta=header["meta"])
+
+
+def attach_segment(name: str):
+    """Attach an existing segment by name, resource-tracker-safe.
+
+    Within a ``multiprocessing`` tree every process — fork *and* spawn —
+    inherits the parent's ``resource_tracker`` fd, so the attach-side
+    registration is an idempotent no-op on the shared tracker's name set
+    and the creating process's :meth:`SharedGraphSegment.unlink` performs
+    the single unregister.  (Unregistering here would strip the parent's
+    registration, defeating crash cleanup and making the eventual unlink
+    noisy.)  Returns the ``SharedMemory`` object (caller closes it when
+    done and must keep it referenced while any view over it is alive).
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def attach_views(name: str, header_bytes: bytes):
+    """Attach a segment and rebuild its read-only views.
+
+    Returns ``(segment, views)``; the caller keeps ``segment`` alive for as
+    long as any view is in use and closes it afterwards.
+    """
+    header = header_from_bytes(header_bytes)
+    segment = attach_segment(name)
+    return segment, unpack_arrays(segment.buf, header)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a segment of that name is currently linked in the OS.
+
+    Probes ``/dev/shm`` by path where available (Linux) — attaching just to
+    probe would register the name with *this* process's resource tracker,
+    which is wrong when probing a segment owned by a foreign process tree
+    (the tracker would unlink it on our exit).  The non-Linux fallback
+    attaches and immediately withdraws the registration for that reason.
+    """
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(os.path.join("/dev/shm", name))
+    from multiprocessing import shared_memory  # pragma: no cover - non-Linux
+
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(probe._name, "shared_memory")
+    except Exception:
+        pass
+    probe.close()
+    return True
+
+
+def active_segments() -> List[str]:
+    """Names of live ``repro`` shared-memory segments on this host.
+
+    Linux-only (reads ``/dev/shm``); returns ``[]`` elsewhere.  The leak
+    tests assert this is empty after every pool close / drain / crash path.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    return sorted(entry for entry in entries if entry.startswith(SHM_NAME_PREFIX))
+
+
+# ---------------------------------------------------------------------- #
+# on-disk materialization (np.memmap)
+# ---------------------------------------------------------------------- #
+def save_frozen(
+    path,
+    graph: CSRDiGraph,
+    probability_arrays: Sequence[np.ndarray] = (),
+) -> None:
+    """Write a frozen graph bundle to ``path`` (atomic via rename).
+
+    Layout: ``FILE_MAGIC`` + uint64 header length + header JSON + padding to
+    :data:`ALIGNMENT` + the packed buffer.  The data region starts aligned,
+    so :func:`load_frozen` can hand out ``np.memmap`` views directly.
+    """
+    header, arrays = freeze_payload(graph, probability_arrays)
+    header_bytes = header_to_bytes(header)
+    preamble = len(FILE_MAGIC) + 8 + len(header_bytes)
+    data_start = _align(preamble)
+    header["meta"]["data_start"] = data_start
+    header_bytes = header_to_bytes(header)
+    # Re-aligning after embedding data_start can grow the header past the
+    # padding; recompute until stable (at most twice — the length only grows).
+    while _align(len(FILE_MAGIC) + 8 + len(header_bytes)) != data_start:
+        data_start = _align(len(FILE_MAGIC) + 8 + len(header_bytes))
+        header["meta"]["data_start"] = data_start
+        header_bytes = header_to_bytes(header)
+    tmp_path = str(path) + ".tmp"
+    with open(tmp_path, "w+b") as handle:
+        handle.write(FILE_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        handle.write(b"\0" * (data_start - len(FILE_MAGIC) - 8 - len(header_bytes)))
+        handle.truncate(data_start + max(1, int(header["total_bytes"])))
+        handle.flush()
+        buffer = np.memmap(
+            handle, dtype=np.uint8, mode="r+", offset=data_start,
+            shape=(max(1, int(header["total_bytes"])),),
+        )
+        pack_arrays(buffer, header, arrays)
+        buffer.flush()
+        del buffer
+    os.replace(tmp_path, path)
+
+
+def load_frozen(path, mmap: bool = True) -> Tuple[CSRDiGraph, List[np.ndarray]]:
+    """Load a frozen graph bundle written by :func:`save_frozen`.
+
+    ``mmap=True`` (the default) memory-maps the data region read-only — the
+    graph's arrays are demand-paged from disk and never duplicated in the
+    heap, which is what lets million-node graphs run in bounded memory.
+    ``mmap=False`` reads the buffer into the heap instead.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(FILE_MAGIC))
+        if magic != FILE_MAGIC:
+            raise GraphError(f"{path}: not a frozen-graph file (bad magic)")
+        header_len = int.from_bytes(handle.read(8), "little")
+        header = header_from_bytes(handle.read(header_len))
+        data_start = int(header["meta"]["data_start"])
+        if mmap:
+            buffer = np.memmap(
+                handle, dtype=np.uint8, mode="r", offset=data_start,
+                shape=(max(1, int(header["total_bytes"])),),
+            )
+        else:
+            handle.seek(data_start)
+            buffer = np.frombuffer(
+                handle.read(int(header["total_bytes"])), dtype=np.uint8
+            )
+    return thaw_payload(buffer, header)

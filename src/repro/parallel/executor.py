@@ -63,6 +63,7 @@ integer → that many shards.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import sys
@@ -84,6 +85,21 @@ MAX_JOBS_ENV = "REPRO_MAX_JOBS"
 #: Environment variable overriding the multiprocessing start method
 #: ("fork", "spawn" or "forkserver").
 START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: Valid payload-transport modes.  ``"pickle"`` ships payloads through the
+#: pool's pipes (the historical path); ``"shm"`` packs every ndarray /
+#: :class:`~repro.graph.digraph.CSRDiGraph` in the payload into one
+#: ``multiprocessing.shared_memory`` segment and ships only the segment name
+#: + header; ``"auto"`` picks ``"shm"`` once the payload's array bytes reach
+#: :data:`AUTO_SHM_MIN_BYTES`.  Transport never influences results — workers
+#: rebuild bit-identical read-only views — so this knob lives outside
+#: ``rng_compat``.
+PAYLOAD_MODES = ("auto", "pickle", "shm")
+
+#: ``payload="auto"`` switches to shared memory at this many payload array
+#: bytes (4 MiB).  Below it, pickling through the pipe is already cheap and
+#: not worth a ``/dev/shm`` segment's lifecycle.
+AUTO_SHM_MIN_BYTES = 4 << 20
 
 
 def validate_n_jobs(n_jobs: Optional[int], error_cls: type = ValueError) -> None:
@@ -179,6 +195,11 @@ def _default_start_method() -> str:
 
 _WORKER_PAYLOAD: Any = None
 _WORKER_PAYLOADS: dict = {}
+#: Worker-side ``SharedMemory`` objects attached for decoded shm payloads,
+#: keyed by segment name.  The attachment must stay referenced for as long
+#: as any rebuilt array view is alive (closing it would invalidate the
+#: views); entries are dropped in lockstep with ``_WORKER_PAYLOADS``.
+_ATTACHED_SEGMENTS: dict = {}
 #: Worker-side scratch caches, one dict per broadcast payload token.  Task
 #: functions reach theirs through :func:`current_worker_cache` to keep
 #: expensive payload-derived state (e.g. RR generators with their CSR scratch
@@ -217,6 +238,26 @@ class _PoolBrokenError(RuntimeError):
     """Parent-side internal: the pool must be torn down and respawned."""
 
 
+def _ensure_resource_tracker() -> None:
+    """Start the parent's ``resource_tracker`` before any worker exists.
+
+    ``spawn`` children always receive the parent tracker's fd, but ``fork``
+    children inherit whatever state the parent had at fork time — if the
+    tracker is not running yet, a worker that later attaches a shared
+    segment lazily starts its *own* tracker, which unlinks the parent's
+    live segment the moment that worker is terminated.  Starting the
+    tracker parent-side first makes every child share it, where attach-side
+    registrations are idempotent set inserts and the creator's ``unlink``
+    is the single cleanup.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - platforms without a tracker
+        pass
+
+
 def _freeze_inherited_heap() -> None:
     # Under fork the worker inherits the parent's whole object heap; without
     # this, the first collector cycles inside the worker walk every inherited
@@ -229,8 +270,219 @@ def _freeze_inherited_heap() -> None:
     gc.freeze()
 
 
+# ---------------------------------------------------------------------- #
+# zero-copy payload transport (payload="shm")
+# ---------------------------------------------------------------------- #
+class _ArrayRef:
+    """Skeleton placeholder for an ndarray packed into the shared segment."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        self.key = key
+
+    def __getstate__(self):
+        return self.key
+
+    def __setstate__(self, state):
+        self.key = state
+
+
+class _GraphRef:
+    """Skeleton placeholder for a :class:`CSRDiGraph` packed into the segment."""
+
+    __slots__ = ("num_nodes", "prefix")
+
+    def __init__(self, num_nodes: int, prefix: str):
+        self.num_nodes = num_nodes
+        self.prefix = prefix
+
+    def __getstate__(self):
+        return (self.num_nodes, self.prefix)
+
+    def __setstate__(self, state):
+        self.num_nodes, self.prefix = state
+
+
+class _ShmPayload:
+    """Wire form of a shared-memory payload: segment name + header + skeleton.
+
+    The *skeleton* is the payload with every ndarray / ``CSRDiGraph``
+    replaced by a tiny ref object; everything else (classes, scalars, small
+    leaves) still pickles through the pipe.  Workers attach the named
+    segment and substitute read-only views back in — the arrays themselves
+    never cross a pipe and exist physically once per host.
+    """
+
+    __slots__ = ("name", "header_bytes", "skeleton")
+
+    def __init__(self, name: str, header_bytes: bytes, skeleton: Any):
+        self.name = name
+        self.header_bytes = header_bytes
+        self.skeleton = skeleton
+
+    def __getstate__(self):
+        return (self.name, self.header_bytes, self.skeleton)
+
+    def __setstate__(self, state):
+        self.name, self.header_bytes, self.skeleton = state
+
+
+def validate_payload_mode(mode: str, error_cls: type = ExecutionError) -> str:
+    """Raise ``error_cls`` unless ``mode`` is one of :data:`PAYLOAD_MODES`."""
+    if mode not in PAYLOAD_MODES:
+        raise error_cls(
+            f"payload mode must be one of {', '.join(PAYLOAD_MODES)}, "
+            f"got {mode!r}"
+        )
+    return mode
+
+
+def _payload_array_bytes(payload: Any) -> int:
+    """Total ndarray/graph bytes in ``payload`` (the ``auto`` mode signal)."""
+    from repro.graph.digraph import CSRDiGraph
+    from repro.graph.storage import graph_arrays
+
+    total = 0
+    stack = [payload]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, CSRDiGraph):
+            total += sum(arr.nbytes for arr in graph_arrays(obj).values())
+        elif isinstance(obj, np.ndarray):
+            if obj.dtype != object:
+                total += obj.nbytes
+        elif isinstance(obj, (tuple, list)):
+            stack.extend(obj)
+        elif isinstance(obj, dict):
+            stack.extend(obj.values())
+    return total
+
+
+def _resolve_payload_transport(payload_mode: str, payload: Any) -> str:
+    """Collapse ``auto`` to a concrete transport for this payload."""
+    validate_payload_mode(payload_mode)
+    if payload_mode != "auto":
+        return payload_mode
+    return "shm" if _payload_array_bytes(payload) >= AUTO_SHM_MIN_BYTES else "pickle"
+
+
+def _encode_shm_payload(payload: Any):
+    """Pack ``payload``'s arrays into one shared segment.
+
+    Returns ``(SharedGraphSegment, _ShmPayload)`` — the caller owns the
+    segment's lifecycle — or ``None`` when the payload holds no packable
+    arrays (ship it pickled; a segment would carry nothing).
+    """
+    from repro.graph.digraph import CSRDiGraph
+    from repro.graph import storage
+
+    arrays: Dict[str, np.ndarray] = {}
+    counter = [0]
+
+    def walk(obj: Any) -> Any:
+        if isinstance(obj, CSRDiGraph):
+            prefix = f"g{counter[0]}"
+            counter[0] += 1
+            for name, arr in storage.graph_arrays(obj).items():
+                arrays[f"{prefix}.{name}"] = arr
+            return _GraphRef(obj.num_nodes, prefix)
+        if isinstance(obj, np.ndarray) and obj.dtype != object:
+            key = f"a{counter[0]}"
+            counter[0] += 1
+            arrays[key] = obj
+            return _ArrayRef(key)
+        if isinstance(obj, tuple):
+            return tuple(walk(item) for item in obj)
+        if isinstance(obj, list):
+            return [walk(item) for item in obj]
+        if isinstance(obj, dict):
+            return {key: walk(value) for key, value in obj.items()}
+        return obj
+
+    skeleton = walk(payload)
+    if not arrays:
+        return None
+    segment = storage.pack_to_shm(arrays)
+    return segment, _ShmPayload(segment.name, segment.header_bytes, skeleton)
+
+
+def _decode_shm_payload(wire: "_ShmPayload") -> Any:
+    """Worker side: attach the segment and rebuild the payload, zero-copy."""
+    from repro.graph import storage
+
+    segment = _ATTACHED_SEGMENTS.get(wire.name)
+    if segment is None:
+        segment = storage.attach_segment(wire.name)
+        _ATTACHED_SEGMENTS[wire.name] = segment
+    views = storage.unpack_arrays(
+        segment.buf, storage.header_from_bytes(wire.header_bytes)
+    )
+
+    def build(obj: Any) -> Any:
+        if isinstance(obj, _ArrayRef):
+            return views[obj.key]
+        if isinstance(obj, _GraphRef):
+            parts = {
+                name: views[f"{obj.prefix}.{name}"]
+                for name in storage.GRAPH_ARRAY_NAMES
+            }
+            return storage.graph_from_arrays(obj.num_nodes, parts)
+        if isinstance(obj, tuple):
+            return tuple(build(item) for item in obj)
+        if isinstance(obj, list):
+            return [build(item) for item in obj]
+        if isinstance(obj, dict):
+            return {key: build(value) for key, value in obj.items()}
+        return obj
+
+    return build(wire.skeleton)
+
+
+#: Segments whose close() failed because some view still exports the buffer.
+#: Kept referenced so their ``__del__`` never retries the close and sprays
+#: "Exception ignored" noise at interpreter exit.
+_ZOMBIE_SEGMENTS: list = []
+
+
+def _close_attached_segments() -> None:
+    """Drop worker-side segment attachments (with their payload views gone)."""
+    if not _ATTACHED_SEGMENTS:
+        return
+    # The payload views over these segments were dropped just before this
+    # call; collect them now — numpy views hold buffer exports, and a
+    # mapping with live exports cannot close.
+    import gc
+
+    gc.collect()
+    for segment in _ATTACHED_SEGMENTS.values():
+        try:
+            segment.close()
+        except (BufferError, OSError):  # pragma: no cover - views still live
+            _ZOMBIE_SEGMENTS.append(segment)
+    _ATTACHED_SEGMENTS.clear()
+
+
+def _release_worker_state() -> None:  # pragma: no cover - runs at worker exit
+    """atexit hook: drop payload views, then close segment mappings.
+
+    Without this, interpreter shutdown tears module globals down in
+    arbitrary order and ``SharedMemory.__del__`` can run while numpy views
+    in ``_WORKER_PAYLOADS`` still export the buffer, raising ignored
+    ``BufferError`` tracebacks on the worker's stderr.
+    """
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = None
+    _WORKER_PAYLOADS.clear()
+    _WORKER_CACHES.clear()
+    _close_attached_segments()
+
+
 def _init_worker(payload: Any, fault_specs: Any = None) -> None:
     global _WORKER_PAYLOAD
+    atexit.register(_release_worker_state)
+    if isinstance(payload, _ShmPayload):
+        payload = _decode_shm_payload(payload)
     _WORKER_PAYLOAD = payload
     faults.arm(fault_specs)
     _freeze_inherited_heap()
@@ -246,9 +498,11 @@ def _call_task(task_shard_index) -> Any:
 
 def _init_persistent_worker(barrier: Any, fault_specs: Any = None) -> None:
     global _WORKER_BARRIER
+    atexit.register(_release_worker_state)
     _WORKER_BARRIER = barrier
     _WORKER_PAYLOADS.clear()
     _WORKER_CACHES.clear()
+    _close_attached_segments()
     faults.arm(fault_specs)
     _freeze_inherited_heap()
 
@@ -261,6 +515,7 @@ def _drop_payloads(_arg) -> None:
     """
     _WORKER_PAYLOADS.clear()
     _WORKER_CACHES.clear()
+    _close_attached_segments()
     _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
 
 
@@ -270,11 +525,15 @@ def _store_payload(token_and_payload) -> None:
     The barrier guarantees exactly-once delivery per worker: a worker can
     only execute one task at a time, and the barrier releases only when
     every worker in the pool is simultaneously inside a store task — so no
-    worker can grab a second copy while another has none.
+    worker can grab a second copy while another has none.  Shared-memory
+    wires are decoded here — attach + rebuild views, no array bytes on the
+    pipe — so task code sees the same payload shape either way.
     """
-    token, payload = token_and_payload
+    token, wire = token_and_payload
     faults.on_broadcast()
-    _WORKER_PAYLOADS[token] = payload
+    if isinstance(wire, _ShmPayload):
+        wire = _decode_shm_payload(wire)
+    _WORKER_PAYLOADS[token] = wire
     _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
 
 
@@ -482,22 +741,36 @@ def _supervise(
 class _EphemeralAdapter:
     """Pool mechanics of one supervised ephemeral :meth:`ShardedExecutor.run`."""
 
-    def __init__(self, start_method: Optional[str], task, payload, processes: int):
+    def __init__(
+        self,
+        start_method: Optional[str],
+        task,
+        payload,
+        processes: int,
+        payload_mode: str = "pickle",
+    ):
         self._context = multiprocessing.get_context(
             start_method or _default_start_method()
         )
         self._task = task
         self._payload = payload
         self._processes = processes
+        self._segment = None
+        self._wire = payload
+        if _resolve_payload_transport(payload_mode, payload) == "shm":
+            encoded = _encode_shm_payload(payload)
+            if encoded is not None:
+                self._segment, self._wire = encoded
         self._pool = None
         self._procs: List[Any] = []
         self._spawn()
 
     def _spawn(self) -> None:
+        _ensure_resource_tracker()
         self._pool = self._context.Pool(
             self._processes,
             initializer=_init_worker,
-            initargs=(self._payload, faults.active_faults()),
+            initargs=(self._wire, faults.active_faults()),
         )
         self._procs = list(self._pool._pool)
 
@@ -528,11 +801,19 @@ class _EphemeralAdapter:
         return self._task(self._payload, shard)
 
     def finish(self) -> None:
-        """End-of-call shutdown: graceful close, bounded, then terminate."""
+        """End-of-call shutdown: graceful close, bounded, then terminate.
+
+        Also the single unlink site for the call's shared segment — respawns
+        during recovery reuse the live segment, so only end-of-call releases
+        it.
+        """
         pool, self._pool = self._pool, None
         procs, self._procs = self._procs, []
         if pool is not None:
             _shutdown_pool(pool, procs, _EPHEMERAL_CLOSE_GRACE_S)
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.unlink()
 
 
 class _PersistentAdapter:
@@ -566,11 +847,13 @@ class _PersistentAdapter:
         return self._owner._dead_workers()
 
     def respawn(self) -> None:
-        self._owner.close(timeout_s=0)
+        # Keep the parent-side packed segments: the re-broadcast right after
+        # the respawn reuses the live segment instead of re-packing.
+        self._owner.close(timeout_s=0, release_payloads=False)
         self.attach()
 
     def discard(self) -> None:
-        self._owner.close(timeout_s=0)
+        self._owner.close(timeout_s=0, release_payloads=False)
 
     def serial(self, shard: Any) -> Any:
         return self._task(self._payload, shard)
@@ -615,17 +898,34 @@ class PersistentPool:
     #: ``terminate()`` (lets worker-side atexit/coverage hooks run).
     CLOSE_GRACE_S = 5.0
 
-    def __init__(self, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        payload_mode: str = "pickle",
+    ):
         self._start_method = start_method
+        self._payload_mode = validate_payload_mode(payload_mode)
         self._pool = None
         self._procs: List[Any] = []
         self._barrier = None
         self._processes = 0
         self._spawn_count = 0
         self._recovery = RecoveryStats()
+        #: Broadcast state of the *live* pool: identity key → token the
+        #: current workers hold.  Cleared on every close/respawn.
         self._tokens: dict = {}
-        self._payloads: dict = {}
+        #: Parent-side packed payloads: identity key → ``(payload, wire,
+        #: segment-or-None)``.  Outlives worker respawns — a re-broadcast
+        #: after a crash ships the same live segment — and holds the strong
+        #: payload references that make identity keys safe against ``id``
+        #: reuse.  Released on user-facing :meth:`close` / eviction.
+        self._packed: dict = {}
         self._next_token = 0
+
+    @property
+    def payload_mode(self) -> str:
+        """The payload transport this pool broadcasts with."""
+        return self._payload_mode
 
     @property
     def processes(self) -> int:
@@ -652,10 +952,11 @@ class PersistentPool:
             return None
         if self._pool is not None and self._processes >= requested:
             return self._pool
-        self.close()
+        self.close(release_payloads=False)
         context = multiprocessing.get_context(
             self._start_method or _default_start_method()
         )
+        _ensure_resource_tracker()
         barrier = context.Barrier(requested)
         self._pool = context.Pool(
             requested,
@@ -696,23 +997,60 @@ class PersistentPool:
                 "the payload-broadcast barrier broke"
             ) from exc
 
-    def _payload_token(self, payload: Any) -> int:
-        key = (
+    @staticmethod
+    def _payload_key(payload: Any) -> tuple:
+        return (
             tuple(id(element) for element in payload)
             if isinstance(payload, tuple)
             else (id(payload),)
         )
+
+    def _release_packed(self) -> None:
+        """Unlink every parent-side shared segment and drop the pack cache."""
+        packed, self._packed = self._packed, {}
+        for _payload, _wire, segment in packed.values():
+            if segment is not None:
+                segment.unlink()
+
+    def _wire_for(self, key: tuple, payload: Any) -> Any:
+        """The broadcastable wire form of ``payload`` (packing on first use).
+
+        Under ``"shm"``/large-``"auto"`` the arrays are packed into one
+        shared segment the first time; re-broadcasts (respawn recovery, a
+        re-grown pool) reuse the live segment.  The cache is pruned of
+        entries no live token addresses once it reaches
+        :attr:`MAX_CACHED_PAYLOADS`.
+        """
+        entry = self._packed.get(key)
+        if entry is not None:
+            return entry[1]
+        if len(self._packed) >= self.MAX_CACHED_PAYLOADS:
+            for stale in [k for k in self._packed if k not in self._tokens]:
+                _payload, _wire, segment = self._packed.pop(stale)
+                if segment is not None:
+                    segment.unlink()
+        segment = None
+        wire = payload
+        if _resolve_payload_transport(self._payload_mode, payload) == "shm":
+            encoded = _encode_shm_payload(payload)
+            if encoded is not None:
+                segment, wire = encoded
+        self._packed[key] = (payload, wire, segment)
+        return wire
+
+    def _payload_token(self, payload: Any) -> int:
+        key = self._payload_key(payload)
         token = self._tokens.get(key)
         if token is None:
             if len(self._tokens) >= self.MAX_CACHED_PAYLOADS:
                 self._broadcast(_drop_payloads, [None] * self._processes)
                 self._tokens.clear()
-                self._payloads.clear()
+                self._release_packed()
+            wire = self._wire_for(key, payload)
             token = self._next_token
             self._next_token += 1
-            self._broadcast(_store_payload, [(token, payload)] * self._processes)
+            self._broadcast(_store_payload, [(token, wire)] * self._processes)
             self._tokens[key] = token
-            self._payloads[token] = payload
         return token
 
     def _attach_payload(
@@ -735,7 +1073,7 @@ class PersistentPool:
             except _PoolBrokenError as exc:
                 last = exc
                 self._recovery.worker_crashes += 1
-                self.close(timeout_s=0)
+                self.close(timeout_s=0, release_payloads=False)
                 if attempt + 1 >= tries:
                     break
                 self._recovery.pool_respawns += 1
@@ -789,7 +1127,52 @@ class PersistentPool:
             return [task(payload, shard) for shard in shards]
         return _supervise(adapter, shards, failure, self._recovery, "persistent pool")
 
-    def close(self, timeout_s: Optional[float] = None) -> None:
+    def broadcast(self, payload: Any, processes: int) -> bool:
+        """Ship ``payload`` to ``processes`` workers now, under a fresh token.
+
+        A diagnostics/benchmark entry point: unlike the token cache used by
+        :meth:`run`, every call performs a real broadcast (the packed
+        segment, if any, is reused — re-broadcasting under ``"shm"`` only
+        ships the segment name + header).  Returns ``False`` when
+        ``processes <= 1`` keeps the pool serial.  Call
+        :meth:`forget_payloads` between repeated broadcasts of large
+        payloads to keep worker memory bounded.
+        """
+        if self._ensure(processes) is None:
+            return False
+        key = self._payload_key(payload)
+        try:
+            wire = self._wire_for(key, payload)
+            token = self._next_token
+            self._next_token += 1
+            self._broadcast(_store_payload, [(token, wire)] * self._processes)
+        except _PoolBrokenError as exc:
+            self.close(timeout_s=0, release_payloads=False)
+            raise WorkerCrashError(f"persistent pool: {exc}") from exc
+        self._tokens[key] = token
+        return True
+
+    def forget_payloads(self, release_segments: bool = True) -> None:
+        """Make the live workers drop every broadcast payload.
+
+        ``release_segments=False`` keeps the parent-side packed segments so
+        the next broadcast of the same payload reuses them (what the
+        broadcast benchmark wants); the default also unlinks them.
+        """
+        if self._pool is not None and self._tokens:
+            try:
+                self._broadcast(_drop_payloads, [None] * self._processes)
+            except _PoolBrokenError:
+                self.close(timeout_s=0, release_payloads=False)
+        self._tokens.clear()
+        if release_segments:
+            self._release_packed()
+
+    def close(
+        self,
+        timeout_s: Optional[float] = None,
+        release_payloads: bool = True,
+    ) -> None:
         """Shut the workers down and forget broadcast payloads.
 
         Workers are first asked to exit gracefully — so worker-side
@@ -798,6 +1181,12 @@ class PersistentPool:
         ``0`` to terminate immediately, e.g. when the pool is known broken).
         The pool object stays usable — the next sharded call respawns
         workers (incrementing :attr:`spawn_count`).
+
+        ``release_payloads=False`` is the internal respawn flavour: the
+        parent-side packed payloads (and their live shared-memory segments)
+        survive so the post-respawn re-broadcast reuses them.  The default
+        unlinks every segment this pool created — the single user-facing
+        cleanup point the leak tests probe.
         """
         pool, self._pool = self._pool, None
         procs, self._procs = self._procs, []
@@ -807,7 +1196,8 @@ class PersistentPool:
             _shutdown_pool(pool, procs, grace)
         self._processes = 0
         self._tokens.clear()
-        self._payloads.clear()
+        if release_payloads:
+            self._release_packed()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -836,6 +1226,11 @@ class ShardedExecutor:
         The :class:`~repro.parallel.failure.FailurePolicy` governing worker
         loss and shard timeouts (default: degrade-and-recover).  Never
         influences results, only whether/where lost shards are re-executed.
+    payload_mode:
+        Payload transport for the *ephemeral* path (one of
+        :data:`PAYLOAD_MODES`; default ``"pickle"``).  A bound ``pool``
+        broadcasts with its own mode instead.  Transport never influences
+        results.
     """
 
     def __init__(
@@ -844,11 +1239,13 @@ class ShardedExecutor:
         start_method: Optional[str] = None,
         pool: Optional[PersistentPool] = None,
         failure: Optional[FailurePolicy] = None,
+        payload_mode: str = "pickle",
     ):
         self._n_jobs = resolve_n_jobs(n_jobs)
         self._start_method = start_method
         self._pool = pool
         self._failure = failure if failure is not None else DEFAULT_FAILURE_POLICY
+        self._payload_mode = validate_payload_mode(payload_mode)
         self._recovery = RecoveryStats()
 
     @property
@@ -891,7 +1288,9 @@ class ShardedExecutor:
             return self._pool.run(
                 task, payload, shards, processes, failure=self._failure
             )
-        adapter = _EphemeralAdapter(self._start_method, task, payload, processes)
+        adapter = _EphemeralAdapter(
+            self._start_method, task, payload, processes, self._payload_mode
+        )
         try:
             return _supervise(
                 adapter, shards, self._failure, self._recovery, "ephemeral pool"

@@ -26,6 +26,7 @@ from repro.parallel.failure import FailurePolicy, RecoveryStats
 from repro.runtime.policy import (
     ExecutionPolicy,
     MAINTENANCE_MODES,
+    PAYLOAD_MODES,
     POLICY_PRESETS,
     resolve_policy,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ExecutionPolicy",
     "FailurePolicy",
     "MAINTENANCE_MODES",
+    "PAYLOAD_MODES",
     "POLICY_PRESETS",
     "RecoveryStats",
     "Runtime",

@@ -33,7 +33,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Optional
 
 from repro.exceptions import PolicyError
-from repro.parallel.executor import validate_n_jobs
+from repro.parallel.executor import PAYLOAD_MODES, validate_n_jobs
 from repro.parallel.failure import DEFAULT_FAILURE_POLICY, FailurePolicy
 
 #: Valid engine names per stage.
@@ -101,6 +101,15 @@ class ExecutionPolicy:
         ``"inline"`` keeps them in-process.  Bit-identical either way —
         store slots own their seed substreams — so it never participates in
         ``rng_compat``.
+    payload:
+        How worker broadcasts transport the payload (graph + probability
+        arrays): ``"auto"`` (default — one ``multiprocessing.shared_memory``
+        segment once the payload's array bytes reach
+        :data:`~repro.parallel.executor.AUTO_SHM_MIN_BYTES`, pickling below
+        that), ``"pickle"`` (always through the pool's pipes), ``"shm"``
+        (always shared memory).  Bit-identical by construction — only the
+        transport changes, workers rebuild read-only views over the same
+        bytes — so it never participates in ``rng_compat``.
     """
 
     rr_engine: str = "legacy"
@@ -111,6 +120,7 @@ class ExecutionPolicy:
     rng_compat: Optional[bool] = None
     failure: FailurePolicy = DEFAULT_FAILURE_POLICY
     maintenance: str = "pool"
+    payload: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rr_engine not in RR_ENGINES:
@@ -138,6 +148,10 @@ class ExecutionPolicy:
             raise PolicyError(
                 f"maintenance must be one of {MAINTENANCE_MODES}, "
                 f"got {self.maintenance!r}"
+            )
+        if self.payload not in PAYLOAD_MODES:
+            raise PolicyError(
+                f"payload must be one of {PAYLOAD_MODES}, got {self.payload!r}"
             )
         derived = self._derive_rng_compat()
         if self.rng_compat is None:
@@ -233,10 +247,12 @@ class ExecutionPolicy:
             else f" failure={self.failure.describe()}"
         )
         upkeep = "" if self.maintenance == "pool" else f" maintenance={self.maintenance}"
+        transport = "" if self.payload == "auto" else f" payload={self.payload}"
         return (
             f"{name}rr={self.rr_engine} mc={self.mc_engine} "
             f"greedy={self.greedy_engine} n_jobs={jobs}{batch} "
             f"rng_compat={'yes' if self.rng_compat else 'no'}{fail}{upkeep}"
+            f"{transport}"
         )
 
 

@@ -57,7 +57,9 @@ class Runtime:
         start_method: Optional[str] = None,
     ):
         self._policy = resolve_policy(policy)
-        self._pool = PersistentPool(start_method=start_method)
+        self._pool = PersistentPool(
+            start_method=start_method, payload_mode=self._policy.payload
+        )
         self._failure_override: Optional[FailurePolicy] = None
 
     @property

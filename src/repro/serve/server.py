@@ -579,6 +579,7 @@ class AllocationServer:
             "slots": len(self._store),
             "redraws_total": self._store.redraws_total,
             "pool_spawns": self._runtime.pool_spawn_count,
+            "payload_mode": self._runtime.pool.payload_mode,
             "requests": self._stats.as_dict(),
             "service": self._service.as_dict(),
             "checkpoint": checkpoint_info,

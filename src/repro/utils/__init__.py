@@ -2,6 +2,7 @@
 
 from repro.utils.rng import RandomSource, as_rng, spawn_rngs
 from repro.utils.lazy_heap import BatchedLazyGreedy, LazyMarginalHeap, HeapEntry
+from repro.utils.resources import peak_rss_bytes, peak_rss_mib
 from repro.utils.timer import Timer, timed
 from repro.utils.validation import (
     check_positive,
@@ -19,6 +20,8 @@ __all__ = [
     "HeapEntry",
     "Timer",
     "timed",
+    "peak_rss_bytes",
+    "peak_rss_mib",
     "check_positive",
     "check_non_negative",
     "check_probability",

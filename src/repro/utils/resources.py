@@ -1,0 +1,32 @@
+"""Process resource metrics for the benchmark harnesses.
+
+Every ``BENCH_*.json`` records peak resident-set size alongside wall time so
+perf PRs are judged on memory as well as speed — the zero-copy payload and
+memmapped-graph work only counts if the parent's footprint actually stays
+flat while worker count and graph size grow.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of the current process, in bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalised here
+    so benchmark JSONs are comparable across platforms.  The value is a
+    high-water mark — it never decreases within a process lifetime, so
+    benchmarks that need a per-stage figure must sample before and after and
+    report the max, not a delta.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def peak_rss_mib() -> float:
+    """Peak resident-set size in MiB (rounded to 1 decimal for reports)."""
+    return round(peak_rss_bytes() / (1024.0 * 1024.0), 1)

@@ -1,0 +1,248 @@
+"""Tests for the packed-CSR storage layer (:mod:`repro.graph.storage`).
+
+Covers the packed-buffer format (layout, header versioning, zero-copy
+views), the shared-memory materialisation, the on-disk frozen-graph file
+with memory-mapped loading, and the adopting :class:`CSRDiGraph`
+constructors the streamed builders rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import WeightedCascadeModel
+from repro.exceptions import GraphError
+from repro.graph import storage
+from repro.graph.builders import from_edge_array
+from repro.graph.digraph import CSRDiGraph
+from repro.graph.generators import (
+    power_law_configuration_digraph,
+    preferential_attachment_digraph,
+    snap_scale_digraph,
+)
+from repro.rrsets.generator import SubsimRRGenerator
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_digraph(80, out_degree=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def probabilities(graph):
+    return np.asarray(
+        WeightedCascadeModel(graph).edge_probabilities(), dtype=np.float64
+    )
+
+
+def _assert_graph_equal(left: CSRDiGraph, right: CSRDiGraph) -> None:
+    assert left.num_nodes == right.num_nodes
+    assert left.num_edges == right.num_edges
+    for name in storage.GRAPH_ARRAY_NAMES:
+        a = storage.graph_arrays(left)[name]
+        b = storage.graph_arrays(right)[name]
+        assert np.array_equal(a, b), name
+
+
+# --------------------------------------------------------------------------- #
+# packed buffer + header
+# --------------------------------------------------------------------------- #
+class TestPackedBuffer:
+    def test_roundtrip_views_are_zero_copy_and_read_only(self):
+        arrays = {
+            "ints": np.arange(17, dtype=np.int64),
+            "floats": np.linspace(0, 1, 9, dtype=np.float64),
+            "matrix": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "empty": np.empty(0, dtype=np.int32),
+        }
+        header, total_bytes = storage.pack_layout(arrays)
+        buffer = bytearray(total_bytes)
+        storage.pack_arrays(buffer, header, arrays)
+        views = storage.unpack_arrays(buffer, header)
+        assert set(views) == set(arrays)
+        for name, original in arrays.items():
+            view = views[name]
+            assert np.array_equal(view, original)
+            assert view.dtype == original.dtype
+            assert view.shape == original.shape
+            assert not view.flags.writeable
+        # zero-copy: the views alias the packed buffer, so mutating the
+        # buffer through the bytearray shows up in the view
+        offset = next(e for e in header["arrays"] if e["name"] == "ints")["offset"]
+        buffer[offset] = 0xFF
+        assert views["ints"][0] != 0
+
+    def test_alignment(self):
+        arrays = {"a": np.ones(3, dtype=np.int8), "b": np.ones(5, dtype=np.float64)}
+        header, _ = storage.pack_layout(arrays)
+        for entry in header["arrays"]:
+            assert entry["offset"] % storage.ALIGNMENT == 0
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(GraphError, match="object dtype"):
+            storage.pack_layout({"bad": np.array([object()])})
+
+    def test_header_bytes_roundtrip(self):
+        arrays = {"x": np.arange(4, dtype=np.int64)}
+        header, _ = storage.pack_layout(arrays)
+        data = storage.header_to_bytes(header)
+        assert storage.header_from_bytes(data) == header
+
+    def test_header_validation(self):
+        arrays = {"x": np.arange(4, dtype=np.int64)}
+        header, _ = storage.pack_layout(arrays)
+        bad_magic = dict(header, magic="not-repro")
+        with pytest.raises(GraphError, match="magic"):
+            storage.unpack_arrays(bytearray(64), bad_magic)
+        bad_version = dict(header, version=999)
+        with pytest.raises(GraphError, match="version"):
+            storage.unpack_arrays(bytearray(64), bad_version)
+        with pytest.raises(GraphError, match="malformed"):
+            storage.header_from_bytes(b"\xff\xfe not json")
+
+
+# --------------------------------------------------------------------------- #
+# freeze/thaw of (graph, probabilities) payloads
+# --------------------------------------------------------------------------- #
+class TestFreezeThaw:
+    def test_payload_roundtrip(self, graph, probabilities):
+        header, arrays = storage.freeze_payload(
+            graph, [probabilities, probabilities * 0.5]
+        )
+        buffer = bytearray(header["total_bytes"])
+        storage.pack_arrays(buffer, header, arrays)
+        thawed_graph, thawed_probs = storage.thaw_payload(buffer, header)
+        _assert_graph_equal(graph, thawed_graph)
+        assert len(thawed_probs) == 2
+        assert np.array_equal(thawed_probs[0], probabilities)
+        assert np.array_equal(thawed_probs[1], probabilities * 0.5)
+
+    def test_graph_from_arrays_ignores_extra_keys(self, graph):
+        arrays = storage.graph_arrays(graph)
+        arrays["probs.0"] = np.zeros(3)
+        rebuilt = storage.graph_from_arrays(graph.num_nodes, arrays)
+        _assert_graph_equal(graph, rebuilt)
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory segments
+# --------------------------------------------------------------------------- #
+class TestSharedMemory:
+    def test_freeze_attach_close_unlink(self, graph, probabilities):
+        segment = storage.freeze_to_shm(graph, [probabilities])
+        try:
+            assert segment.name.startswith(storage.SHM_NAME_PREFIX)
+            assert storage.segment_exists(segment.name)
+            assert segment.name in storage.active_segments()
+            attached, views = storage.attach_views(segment.name, segment.header_bytes)
+            rebuilt = storage.graph_from_arrays(
+                graph.num_nodes,
+                {name: views[name] for name in storage.GRAPH_ARRAY_NAMES},
+            )
+            _assert_graph_equal(graph, rebuilt)
+            assert np.array_equal(views["probs.0"], probabilities)
+            assert not views["probs.0"].flags.writeable
+            del views, rebuilt
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+        assert not storage.segment_exists(segment.name)
+        assert segment.name not in storage.active_segments()
+        # unlink is safe to repeat
+        segment.unlink()
+
+    def test_attach_unknown_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            storage.attach_segment(storage.new_segment_name())
+
+    def test_segment_names_are_unique(self):
+        names = {storage.new_segment_name() for _ in range(32)}
+        assert len(names) == 32
+
+
+# --------------------------------------------------------------------------- #
+# on-disk frozen graphs (np.memmap)
+# --------------------------------------------------------------------------- #
+class TestFrozenFile:
+    def test_save_load_roundtrip_mmap_and_copy(self, tmp_path, graph, probabilities):
+        path = tmp_path / "graph.rprocsr"
+        storage.save_frozen(path, graph, [probabilities])
+        for mmap in (True, False):
+            loaded_graph, loaded_probs = storage.load_frozen(path, mmap=mmap)
+            _assert_graph_equal(graph, loaded_graph)
+            assert np.array_equal(loaded_probs[0], probabilities)
+            assert not loaded_graph.targets.flags.writeable
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rprocsr"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        with pytest.raises(GraphError, match="bad magic"):
+            storage.load_frozen(path)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        empty = CSRDiGraph(
+            5, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        path = tmp_path / "empty.rprocsr"
+        storage.save_frozen(path, empty, [])
+        loaded, probs = storage.load_frozen(path)
+        _assert_graph_equal(empty, loaded)
+        assert probs == []
+
+    def test_rr_generation_bit_identical_on_memmapped_graph(
+        self, tmp_path, graph, probabilities
+    ):
+        path = tmp_path / "graph.rprocsr"
+        storage.save_frozen(path, graph, [probabilities])
+        loaded_graph, (loaded_probs,) = storage.load_frozen(path, mmap=True)
+        expected = SubsimRRGenerator(graph, probabilities).generate_batch(64, rng=9)
+        actual = SubsimRRGenerator(loaded_graph, loaded_probs).generate_batch(64, rng=9)
+        assert len(expected) == len(actual)
+        for left, right in zip(expected, actual):
+            assert np.array_equal(left, right)
+
+
+# --------------------------------------------------------------------------- #
+# adopting constructors + read-only arrays (satellite)
+# --------------------------------------------------------------------------- #
+class TestAdoptingConstructors:
+    def test_from_sorted_edges_matches_generic_builder(self):
+        generic = power_law_configuration_digraph(200, seed=11)
+        adopted = CSRDiGraph.from_sorted_edges(
+            generic.num_nodes, generic.sources, generic.targets
+        )
+        _assert_graph_equal(generic, adopted)
+
+    def test_from_sorted_edges_rejects_unsorted(self):
+        sources = np.array([1, 0], dtype=np.int64)
+        targets = np.array([0, 1], dtype=np.int64)
+        with pytest.raises(GraphError):
+            CSRDiGraph.from_sorted_edges(3, sources, targets)
+
+    def test_from_parts_roundtrip(self, graph):
+        arrays = storage.graph_arrays(graph)
+        rebuilt = CSRDiGraph.from_parts(graph.num_nodes, **arrays)
+        _assert_graph_equal(graph, rebuilt)
+
+    def test_csr_arrays_are_read_only(self, graph):
+        for name in storage.GRAPH_ARRAY_NAMES:
+            array = storage.graph_arrays(graph)[name]
+            assert not array.flags.writeable, name
+            with pytest.raises(ValueError):
+                array[...] = 0
+
+    def test_snap_scale_generator_streams_sorted_edges(self):
+        graph = snap_scale_digraph(5_000, mean_degree=8.0, chunk_nodes=512, seed=5)
+        assert graph.num_nodes == 5_000
+        # edges come out globally sorted and deduplicated
+        keys = graph.sources * np.int64(graph.num_nodes) + graph.targets
+        assert np.all(np.diff(keys) > 0)
+        assert not np.any(graph.sources == graph.targets)
+        # deterministic under a fixed seed, chunking included
+        again = snap_scale_digraph(5_000, mean_degree=8.0, chunk_nodes=512, seed=5)
+        _assert_graph_equal(graph, again)
+        # chunk size must not change the result
+        other_chunks = snap_scale_digraph(5_000, mean_degree=8.0, chunk_nodes=512, seed=5)
+        _assert_graph_equal(graph, other_chunks)
